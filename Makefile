@@ -1,0 +1,38 @@
+# carsgo — build, test, and reproduce the paper's evaluation.
+
+GO ?= go
+
+.PHONY: all build vet test test-short bench experiments examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Skip the whole-suite workload tests (fast development loop).
+test-short:
+	$(GO) test -short ./...
+
+# Regenerate every table and figure (writes to stdout; see EXPERIMENTS.md).
+experiments:
+	$(GO) run ./cmd/carsexp
+
+# The same experiments as benchmarks, with headline metrics.
+bench:
+	$(GO) test -bench=. -benchmem
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/recursion
+	$(GO) run ./examples/toolchain
+	$(GO) run ./examples/raytracer
+	$(GO) run ./examples/mlstack
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,120 @@
+package carsgo_test
+
+import (
+	"testing"
+
+	"carsgo"
+	"carsgo/internal/cars"
+	"carsgo/internal/config"
+)
+
+func TestFacadeRunWorkload(t *testing.T) {
+	w, err := carsgo.Workload("FIB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := carsgo.Run(carsgo.Baseline(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crs, err := carsgo.Run(carsgo.CARS(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats.Cycles == 0 || crs.Stats.Cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	if len(base.Output) == 0 || len(base.Output) != len(crs.Output) {
+		t.Fatal("outputs missing")
+	}
+	for i := range base.Output {
+		if base.Output[i] != crs.Output[i] {
+			t.Fatalf("facade runs diverge at %d", i)
+		}
+	}
+	if base.EnergyNJ <= 0 || crs.EnergyNJ <= 0 {
+		t.Fatal("energy not computed")
+	}
+	if s := crs.Speedup(base); s <= 0 {
+		t.Fatalf("speedup = %v", s)
+	}
+}
+
+func TestFacadeForcedPolicy(t *testing.T) {
+	w, err := carsgo.Workload("FIB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := carsgo.Run(carsgo.CARSForced(cars.Level{Kind: cars.KindHigh}), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Stats.CARSLevels); got != 1 {
+		t.Fatalf("forced policy ran %d distinct levels: %v", got, res.Stats.CARSLevels)
+	}
+}
+
+func TestFacadeLTO(t *testing.T) {
+	w, err := carsgo.Workload("COLI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := carsgo.Run(carsgo.Baseline(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lto, err := carsgo.RunLTO(carsgo.Baseline(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Output {
+		if base.Output[i] != lto.Output[i] {
+			t.Fatalf("LTO output differs at %d", i)
+		}
+	}
+	// LTO must remove direct-call spills; COLI keeps only its indirect
+	// dispatch, so spill traffic should drop substantially.
+	if lto.Stats.Calls >= base.Stats.Calls {
+		t.Errorf("LTO calls %d not below baseline %d", lto.Stats.Calls, base.Stats.Calls)
+	}
+	if _, err := carsgo.RunLTO(carsgo.CARS(), w); err == nil {
+		t.Error("LTO with CARS config must be rejected")
+	}
+}
+
+func TestFacadeUnknownWorkload(t *testing.T) {
+	if _, err := carsgo.Workload("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if got := len(carsgo.Workloads()); got != 22 {
+		t.Errorf("workload count = %d", got)
+	}
+}
+
+func TestFacadeSharedSpill(t *testing.T) {
+	w, err := carsgo.Workload("COLI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := carsgo.Run(carsgo.Baseline(), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	smem, err := carsgo.Run(config.WithSharedSpill(config.V100()), w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Output {
+		if base.Output[i] != smem.Output[i] {
+			t.Fatalf("shared-spill output differs at %d", i)
+		}
+	}
+	// Recursive FIB cannot be compiled with a static smem frame bound.
+	fib, err := carsgo.Workload("FIB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := carsgo.Run(config.WithSharedSpill(config.V100()), fib); err == nil {
+		t.Error("recursive workload accepted under shared-spill ABI")
+	}
+}

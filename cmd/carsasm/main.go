@@ -1,0 +1,105 @@
+// Command carsasm assembles SASS-like text into linked binary images
+// and disassembles images back to text — the toolchain face of the
+// internal/asm and internal/binfmt packages.
+//
+// Usage:
+//
+//	carsasm -o prog.bin kernel.s        # assemble + link (baseline ABI)
+//	carsasm -mode cars -o prog.bin kernel.s
+//	carsasm -d prog.bin                 # disassemble a binary image
+//	carsasm -fmt kernel.s               # canonical formatting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/asm"
+	"carsgo/internal/binfmt"
+)
+
+func main() {
+	out := flag.String("o", "", "output binary image path")
+	mode := flag.String("mode", "baseline", "ABI mode: baseline, cars, or smem")
+	disasm := flag.Bool("d", false, "disassemble a binary image")
+	format := flag.Bool("fmt", false, "reformat assembly source")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "carsasm: exactly one input file required")
+		os.Exit(2)
+	}
+	input := flag.Arg(0)
+
+	if *disasm {
+		f, err := os.Open(input)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		prog, err := binfmt.Read(f)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("; %d functions, %d regs/warp baseline, cars=%v\n\n",
+			len(prog.Funcs), prog.StaticRegsPerWarp, prog.CARS)
+		for _, fn := range prog.Funcs {
+			fmt.Println(fn.Disassemble())
+		}
+		return
+	}
+
+	src, err := os.Open(input)
+	if err != nil {
+		fail(err)
+	}
+	m, err := asm.Parse(src)
+	src.Close()
+	if err != nil {
+		fail(err)
+	}
+
+	if *format {
+		fmt.Print(asm.Format(m))
+		return
+	}
+
+	var abiMode abi.Mode
+	switch *mode {
+	case "baseline":
+		abiMode = abi.Baseline
+	case "cars":
+		abiMode = abi.CARS
+	case "smem":
+		abiMode = abi.SharedSpill
+	default:
+		fail(fmt.Errorf("unknown mode %q", *mode))
+	}
+	prog, err := abi.Link(abiMode, m)
+	if err != nil {
+		fail(err)
+	}
+	if *out == "" {
+		fail(fmt.Errorf("-o required when assembling"))
+	}
+	w, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := binfmt.Write(w, prog); err != nil {
+		fail(err)
+	}
+	if err := w.Close(); err != nil {
+		fail(err)
+	}
+	st, _ := os.Stat(*out)
+	fmt.Printf("assembled %d functions (%s ABI) -> %s (%d bytes)\n",
+		len(prog.Funcs), abiMode, *out, st.Size())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "carsasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command carsexp regenerates the paper's evaluation tables and
+// figures on the simulated GPU.
+//
+// Usage:
+//
+//	carsexp [-run fig8,tab1] [-workers N] [-md] [-v]
+//
+// With no -run flag every experiment runs in paper order. -md emits
+// GitHub-flavoured markdown (the format EXPERIMENTS.md uses).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"carsgo/internal/experiments"
+)
+
+func main() {
+	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
+	md := flag.Bool("md", false, "emit markdown instead of aligned text")
+	chart := flag.Bool("chart", false, "append an ASCII bar chart per experiment")
+	verbose := flag.Bool("v", false, "log each simulation run")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	cache := flag.String("cache", "", "JSON results cache: reuse prior runs, save new ones")
+	flag.Parse()
+
+	r := experiments.NewRunner(*workers)
+	if *verbose {
+		r.Log = os.Stderr
+	}
+	if *cache != "" {
+		n, err := r.LoadCache(*cache)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "carsexp: %v\n", err)
+			os.Exit(1)
+		}
+		if *verbose && n > 0 {
+			fmt.Fprintf(os.Stderr, "loaded %d cached results from %s\n", n, *cache)
+		}
+		defer func() {
+			if err := r.SaveCache(*cache); err != nil {
+				fmt.Fprintf(os.Stderr, "carsexp: save cache: %v\n", err)
+			}
+		}()
+	}
+	if *list {
+		fmt.Println(strings.Join(r.IDs(), "\n"))
+		return
+	}
+
+	var ids []string
+	if *runIDs == "" {
+		ids = r.IDs()
+	} else {
+		ids = strings.Split(*runIDs, ",")
+	}
+	for _, id := range ids {
+		t, err := r.Run(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "carsexp: %v\n", err)
+			os.Exit(1)
+		}
+		if *md {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		if *chart {
+			if col := experiments.ChartableColumn(t); col >= 0 {
+				ch := experiments.Chart{Table: t, Column: col, Ref: 1.0}
+				ch.RenderChart(os.Stdout)
+				fmt.Println()
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command carsgraph dumps the link-time call-graph analysis CARS uses
+// to size register stacks (§III-B): per-function FRU, MaxStackDepth,
+// and the watermark allocation ladder — the paper's Fig. 4, computed
+// for any of the repo's workloads.
+//
+// Usage:
+//
+//	carsgraph -w MST            # every kernel in the workload
+//	carsgraph -w PTA -disasm    # include SASS-style disassembly
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/callgraph"
+	"carsgo/internal/cars"
+	"carsgo/internal/config"
+	"carsgo/internal/workloads"
+)
+
+func main() {
+	wname := flag.String("w", "", "workload name")
+	disasm := flag.Bool("disasm", false, "disassemble every function")
+	flag.Parse()
+	if *wname == "" {
+		fmt.Fprintln(os.Stderr, "carsgraph: -w <workload> required")
+		os.Exit(2)
+	}
+	w, err := workloads.ByName(*wname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsgraph:", err)
+		os.Exit(1)
+	}
+	prog, err := abi.Link(abi.CARS, w.Modules()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsgraph:", err)
+		os.Exit(1)
+	}
+	cfg := config.V100()
+	for kernel := range prog.Kernels {
+		a, err := callgraph.Analyze(prog, kernel)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carsgraph:", err)
+			os.Exit(1)
+		}
+		fmt.Print(a.String())
+		plan := cars.NewPlan(a, cfg.MaxWarpsPerSM, cfg.RegFileSlots)
+		fmt.Printf("allocation ladder (base %d regs/warp):\n", plan.Base)
+		for i, l := range plan.Levels {
+			fmt.Printf("  [%d] %-6s stack %3d slots -> %3d regs/warp\n",
+				i, l.Name(), l.StackSlots, plan.RegsPerWarp(i))
+		}
+		if plan.HighFree {
+			fmt.Println("  High-watermark costs no occupancy: all warps get High")
+		}
+		if plan.Cyclic {
+			fmt.Println("  cyclic call graph: High assumes one recursion iteration (§III-C)")
+		}
+		fmt.Println()
+	}
+	if *disasm {
+		for _, f := range prog.Funcs {
+			fmt.Println(f.Disassemble())
+		}
+	}
+}

@@ -1,0 +1,188 @@
+// Command carsim runs one of the paper's workloads on one configuration
+// and prints its statistics.
+//
+// Usage:
+//
+//	carsim -w MST                 # baseline V100
+//	carsim -w MST -config cars    # V100 + CARS
+//	carsim -w PTA -config 10mb -v
+//	carsim -list                  # workload names
+//
+// Configurations: base, cars, ideal, 10mb, allhit, swl<N>, 3070,
+// 3070cars, lto.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"carsgo"
+	"carsgo/internal/config"
+	"carsgo/internal/mem"
+	"carsgo/internal/stats"
+	"carsgo/internal/workloads"
+)
+
+func pickConfig(name string) (carsgo.Config, bool, error) {
+	lto := false
+	var c carsgo.Config
+	switch {
+	case name == "base":
+		c = config.V100()
+	case name == "cars":
+		c = config.WithCARS(config.V100())
+	case name == "ideal":
+		c = config.IdealizedVirtualWarps(config.V100())
+	case name == "10mb":
+		c = config.TenMBL1(config.V100())
+	case name == "allhit":
+		c = config.AllHit(config.V100())
+	case name == "3070":
+		c = config.RTX3070()
+	case name == "3070cars":
+		c = config.WithCARS(config.RTX3070())
+	case name == "lto":
+		c = config.V100()
+		lto = true
+	case strings.HasPrefix(name, "swl"):
+		n, err := strconv.Atoi(name[3:])
+		if err != nil || n <= 0 {
+			return c, false, fmt.Errorf("bad SWL limit in %q", name)
+		}
+		c = config.SWL(config.V100(), n)
+		c.Name = "SWL" + name[3:]
+	default:
+		return c, false, fmt.Errorf("unknown config %q", name)
+	}
+	return c, lto, nil
+}
+
+func main() {
+	wname := flag.String("w", "", "workload name (see -list)")
+	cname := flag.String("config", "base", "configuration")
+	list := flag.Bool("list", false, "list workloads and exit")
+	verbose := flag.Bool("v", false, "print per-launch stats")
+	occupancy := flag.Bool("occupancy", false, "print the occupancy calculation per launch and exit")
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-13s %-10s depth=%-2d cpki=%-6.2f %s\n",
+				w.Name, w.Suite, w.PaperCallDepth, w.PaperCPKI, w.SpeedupFactor)
+		}
+		return
+	}
+	if *wname == "" {
+		fmt.Fprintln(os.Stderr, "carsim: -w <workload> required (-list to enumerate)")
+		os.Exit(2)
+	}
+	w, err := carsgo.Workload(*wname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	cfg, lto, err := pickConfig(*cname)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	if *occupancy {
+		printOccupancy(w, cfg)
+		return
+	}
+	var res *carsgo.Result
+	if lto {
+		res, err = carsgo.RunLTO(cfg, w)
+	} else {
+		res, err = carsgo.Run(cfg, w)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	printStats(w, cfg, &res.Stats, res.EnergyNJ)
+	if *verbose {
+		for _, st := range res.PerLaunch {
+			fmt.Printf("\n-- launch %s --\n", st.Name)
+			printStats(w, cfg, st, 0)
+		}
+	}
+}
+
+// printOccupancy shows the §II occupancy factors for every launch of
+// the workload — at the baseline allocation and, for CARS configs, at
+// each watermark ladder point.
+func printOccupancy(w *workloads.Workload, cfg carsgo.Config) {
+	prog, err := carsgo.Compile(cfg, w.Modules(), false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	gpu, err := carsgo.NewGPU(cfg, prog)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	launches, err := w.Setup(gpu)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	seen := map[string]bool{}
+	for _, l := range launches {
+		if seen[l.Kernel] {
+			continue
+		}
+		seen[l.Kernel] = true
+		o, err := gpu.OccupancyFor(l, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: grid %d x %d threads, %d warps/block\n",
+			l.Kernel, l.Dim.Grid, l.Dim.Block, o.WarpsPerBlock)
+		fmt.Printf("  baseline %3d regs/warp: blocks by threads %d, slots %d, smem %s, regs %d -> %d blocks (%d warps), limited by %s\n",
+			o.RegsPerWarp, o.BlocksByThreads, o.BlocksBySlots,
+			smemStr(o.BlocksBySmem), o.BlocksByRegs, o.Blocks, o.Warps, o.LimitedBy())
+	}
+}
+
+func smemStr(v int) string {
+	if v < 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%d", v)
+}
+
+func printStats(w *workloads.Workload, cfg carsgo.Config, st *stats.Kernel, energyNJ float64) {
+	fmt.Printf("%s on %s\n", w.Name, cfg.Name)
+	fmt.Printf("  cycles:            %d\n", st.Cycles)
+	fmt.Printf("  warp instructions: %d (CPKI %.2f, paper %.2f)\n",
+		st.TotalInstructions(), st.CPKI(), w.PaperCPKI)
+	fmt.Printf("  max call depth:    %d (paper %d)\n", st.MaxCallDepth, w.PaperCallDepth)
+	t := st.L1D.TotalAccesses()
+	if t > 0 {
+		fmt.Printf("  L1D accesses:      %d (%.1f%% spill/fill, %.1f%% global, %.1f%% other local)\n",
+			t,
+			100*float64(st.L1D.Accesses[mem.ClassLocalSpill])/float64(t),
+			100*float64(st.L1D.Accesses[mem.ClassGlobal])/float64(t),
+			100*float64(st.L1D.Accesses[mem.ClassLocalOther])/float64(t))
+	}
+	fmt.Printf("  L1D MPKI:          %.2f\n", st.MPKI())
+	fmt.Printf("  DRAM sectors:      %d\n", st.DRAMSectors)
+	if st.TrapCalls > 0 || st.ContextSwitches > 0 {
+		fmt.Printf("  CARS traps:        %d calls (%.3f%%), %d slots spilled, %d filled\n",
+			st.TrapCalls, 100*float64(st.TrapCalls)/float64(st.Calls),
+			st.TrapSpillSlots, st.TrapFillSlots)
+		fmt.Printf("  context switches:  %d (%d slots)\n", st.ContextSwitches, st.CtxSwitchSlots)
+	}
+	if len(st.CARSLevels) > 0 {
+		fmt.Printf("  allocation levels: %v\n", st.CARSLevels)
+	}
+	if energyNJ > 0 {
+		fmt.Printf("  energy:            %.1f µJ\n", energyNJ/1000)
+	}
+}

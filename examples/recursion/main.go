@@ -1,0 +1,92 @@
+// recursion: the cyclic-call-graph case (§III-C, §VI-C). Naive
+// recursive Fibonacci runs under CARS at increasing input sizes; the
+// static analysis can only assume one iteration of the cycle, so deeper
+// inputs exhaust the register stack and fall back to software traps —
+// exactly the paper's observation that FIB spills only when the input
+// drives the dynamic call depth past the allocation.
+//
+//	go run ./examples/recursion
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"carsgo"
+	"carsgo/internal/abi"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+)
+
+func fibModule() *kir.Module {
+	m := &kir.Module{Name: "fib"}
+	fib := kir.NewFunc("fib").SetCalleeSaved(2)
+	fib.Mov(16, 4).
+		MovI(17, 0).
+		SetPI(0, isa.CmpGE, 4, 2).
+		If(0, func(b *kir.Builder) {
+			b.IAddI(4, 16, -1).
+				Call("fib").
+				Mov(17, 4).
+				IAddI(4, 16, -2).
+				Call("fib").
+				IAdd(4, 4, 17)
+		}, nil).
+		Ret()
+	m.AddFunc(fib.MustBuild())
+
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		ShlI(12, 8, 2).
+		IAdd(19, 4, 12).
+		Mov(4, 5). // n comes in as the second kernel parameter
+		Call("fib").
+		StG(19, 0, 4).
+		Exit()
+	m.AddFunc(k.MustBuild())
+	return m
+}
+
+func fibRef(n int) uint32 {
+	a, b := uint32(0), uint32(1)
+	if n < 2 {
+		return uint32(n)
+	}
+	for i := 2; i <= n; i++ {
+		a, b = b, a+b
+	}
+	return b
+}
+
+func main() {
+	prog, err := abi.Link(abi.CARS, fibModule())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Recursive fib(n) under CARS: traps appear once dynamic depth")
+	fmt.Println("exceeds the one-iteration static bound (§III-C).")
+	fmt.Printf("  %3s %12s %8s %14s\n", "n", "fib(n)", "cycles", "trap spills")
+
+	for _, n := range []int{4, 8, 12, 16, 20} {
+		gpu, err := carsgo.NewGPU(carsgo.CARS(), prog)
+		if err != nil {
+			log.Fatal(err)
+		}
+		out := gpu.Alloc(64)
+		st, err := gpu.Run(isa.Launch{
+			Kernel: "main",
+			Dim:    isa.Dim3{Grid: 1, Block: 64},
+			Params: []uint32{out, uint32(n)},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		got := gpu.Global()[out/4]
+		if got != fibRef(n) {
+			log.Fatalf("fib(%d) = %d, want %d", n, got, fibRef(n))
+		}
+		fmt.Printf("  %3d %12d %8d %14d\n", n, got, st.Cycles, st.TrapSpillSlots)
+	}
+	fmt.Println("\nResults stay bit-exact through the circular-stack spill path —")
+	fmt.Println("the hardware stack degrades gracefully into the baseline ABI.")
+}

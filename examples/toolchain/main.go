@@ -1,0 +1,135 @@
+// toolchain: the paper's full methodology pipeline (§V) on one program:
+//
+//  1. author a kernel + device library with the kir builder,
+//  2. link it twice (baseline spill/fill ABI and CARS push/pop),
+//  3. write the CARS binary to an ELF-like image and reload it — the
+//     paper's "dump the ELF files ... parse the symbol tables" step,
+//  4. run the reloaded binary while capturing an NVBit-style trace,
+//  5. recompute workload characteristics from the trace alone and show
+//     the call-graph analysis and watermark ladder (Fig. 4 / §III-B).
+//
+// go run ./examples/toolchain
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"carsgo"
+	"carsgo/internal/abi"
+	"carsgo/internal/binfmt"
+	"carsgo/internal/callgraph"
+	"carsgo/internal/cars"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/trace"
+)
+
+func buildModules() []*kir.Module {
+	lib := &kir.Module{Name: "lib"}
+
+	norm := kir.NewFunc("normalize").SetCalleeSaved(2)
+	norm.Mov(16, 4).
+		IMulI(17, 16, 7).
+		Call("clamp").
+		IAdd(4, 4, 17).
+		Ret()
+	lib.AddFunc(norm.MustBuild())
+
+	clamp := kir.NewFunc("clamp").SetCalleeSaved(1)
+	clamp.Mov(16, 4).
+		AndI(4, 16, 0xFFFF).
+		Ret()
+	lib.AddFunc(clamp.MustBuild())
+
+	main := &kir.Module{Name: "main"}
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		S2R(9, isa.SrCTAID).
+		S2R(10, isa.SrNTID).
+		IMad(17, 9, 10, 8).
+		ShlI(12, 17, 2).
+		IAdd(19, 4, 12).
+		Mov(4, 17)
+	k.ForN(20, 21, 4, func(b *kir.Builder) {
+		b.Call("normalize")
+	})
+	k.StG(19, 0, 4).Exit()
+	main.AddFunc(k.MustBuild())
+	return []*kir.Module{main, lib}
+}
+
+func main() {
+	modules := buildModules()
+
+	// Separate compilation + link, both ABIs.
+	baseProg, err := abi.Link(abi.Baseline, modules...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	carsProg, err := abi.Link(abi.CARS, modules...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("linked: %d functions, baseline warp allocation %d regs\n",
+		len(baseProg.Funcs), baseProg.StaticRegsPerWarp)
+
+	// Binary image round trip (the ELF dump/parse step).
+	var image bytes.Buffer
+	if err := binfmt.Write(&image, carsProg); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("binary image: %d bytes\n", image.Len())
+	reloaded, err := binfmt.Read(&image)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Static analysis on the reloaded binary: Fig. 4's call graph.
+	an, err := callgraph.Analyze(reloaded, "main")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print("\n", an.String())
+	plan := cars.NewPlan(an, 64, 2048)
+	fmt.Println("watermark ladder:")
+	for i, l := range plan.Levels {
+		fmt.Printf("  [%d] %-6s stack %2d slots (%d regs/warp)\n",
+			i, l.Name(), l.StackSlots, plan.RegsPerWarp(i))
+	}
+
+	// Run under CARS with trace capture (the NVBit step).
+	gpu, err := carsgo.NewGPU(carsgo.CARS(), reloaded)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rec := &trace.Recorder{}
+	gpu.Trace = rec
+	const grid, block = 8, 128
+	out := gpu.Alloc(grid * block)
+	st, err := gpu.Run(isa.Launch{
+		Kernel: "main", Dim: isa.Dim3{Grid: grid, Block: block},
+		Params: []uint32{out},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Trace analysis cross-checked against the simulator's counters.
+	sum := trace.Summarize(rec.Events, reloaded)
+	fmt.Printf("\nrun: %d cycles; trace captured %d events\n", st.Cycles, len(rec.Events))
+	fmt.Printf("  CPKI from trace %.2f, from simulator %.2f\n", sum.CPKI, st.CPKI())
+	fmt.Printf("  max call depth: trace %d, simulator %d\n", sum.MaxCallDepth, st.MaxCallDepth)
+	var serialized bytes.Buffer
+	if err := trace.Write(&serialized, rec.Events); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  serialized trace: %.2f bytes/event\n",
+		float64(serialized.Len())/float64(len(rec.Events)))
+	if sum.WarpInstructions != st.TotalInstructions() {
+		log.Fatalf("trace/simulator disagree: %d vs %d",
+			sum.WarpInstructions, st.TotalInstructions())
+	}
+	fmt.Println("\ntrace and simulator agree instruction-for-instruction.")
+}

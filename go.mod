@@ -1,0 +1,3 @@
+module carsgo
+
+go 1.24

@@ -1,0 +1,268 @@
+package abi
+
+import (
+	"testing"
+
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+)
+
+func twoFuncModule() *kir.Module {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.MovI(4, 7).Call("f").StG(4, 0, 4).Exit()
+	m.AddFunc(k.MustBuild())
+
+	f := kir.NewFunc("f").SetCalleeSaved(2)
+	f.Mov(16, 4).IAddI(17, 16, 1).Call("g").IAdd(4, 4, 16).Ret()
+	m.AddFunc(f.MustBuild())
+
+	g := kir.NewFunc("g")
+	g.IMulI(4, 4, 3).Ret()
+	m.AddFunc(g.MustBuild())
+	return m
+}
+
+func countOps(f *isa.Function, op isa.Op) int {
+	n := 0
+	for i := range f.Code {
+		if f.Code[i].Op == op {
+			n++
+		}
+	}
+	return n
+}
+
+func TestBaselineLoweringSpills(t *testing.T) {
+	prog, err := Link(Baseline, twoFuncModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncByName("f")
+	if got := countOps(f, isa.OpStL); got != 2 {
+		t.Errorf("prologue spills = %d, want 2", got)
+	}
+	if got := countOps(f, isa.OpLdL); got != 2 {
+		t.Errorf("epilogue fills = %d, want 2", got)
+	}
+	for i := range f.Code {
+		if f.Code[i].Op.IsLocal() && !f.Code[i].Spill {
+			t.Errorf("ABI local op %d not marked Spill", i)
+		}
+	}
+	if got := countOps(f, isa.OpPushRFP) + countOps(f, isa.OpPush) + countOps(f, isa.OpPop); got != 0 {
+		t.Errorf("baseline lowering emitted %d CARS ops", got)
+	}
+	// A function with no callee-saved registers spills nothing.
+	g := prog.FuncByName("g")
+	if got := countOps(g, isa.OpStL) + countOps(g, isa.OpLdL); got != 0 {
+		t.Errorf("leaf with no saved regs spills %d ops", got)
+	}
+}
+
+func TestCARSLowering(t *testing.T) {
+	prog, err := Link(CARS, twoFuncModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := prog.FuncByName("f")
+	if got := countOps(f, isa.OpStL) + countOps(f, isa.OpLdL); got != 0 {
+		t.Errorf("CARS lowering kept %d spill ops", got)
+	}
+	if got := countOps(f, isa.OpPush); got != 1 {
+		t.Errorf("PUSH count = %d", got)
+	}
+	if got := countOps(f, isa.OpPop); got != 1 {
+		t.Errorf("POP count = %d", got)
+	}
+	// Every call site is preceded by PUSHRFP (§IV-A).
+	for _, fn := range prog.Funcs {
+		for i := range fn.Code {
+			if fn.Code[i].Op.IsCall() {
+				if i == 0 || fn.Code[i-1].Op != isa.OpPushRFP {
+					t.Errorf("%s[%d]: call not preceded by PUSHRFP", fn.Name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFRUEmbedding(t *testing.T) {
+	prog, err := Link(CARS, twoFuncModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.FuncByName("main")
+	f := prog.FuncByName("f")
+	g := prog.FuncByName("g")
+	// main calls f (2 saved): FRU 3. f calls g (0 saved): FRU 1.
+	for i := range k.Code {
+		if k.Code[i].Op == isa.OpCall && k.Code[i].FRU != f.FRU() {
+			t.Errorf("main's call FRU = %d, want %d", k.Code[i].FRU, f.FRU())
+		}
+	}
+	for i := range f.Code {
+		if f.Code[i].Op == isa.OpCall && f.Code[i].FRU != g.FRU() {
+			t.Errorf("f's call FRU = %d, want %d", f.Code[i].FRU, g.FRU())
+		}
+		if f.Code[i].Op == isa.OpRet && f.Code[i].FRU != f.FRU() {
+			t.Errorf("f's ret FRU = %d, want %d", f.Code[i].FRU, f.FRU())
+		}
+	}
+	if f.FRU() != 3 || g.FRU() != 1 {
+		t.Errorf("FRUs: f=%d g=%d", f.FRU(), g.FRU())
+	}
+}
+
+func TestLinkErrors(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.Call("missing").Exit()
+	m.AddFunc(k.MustBuild())
+	if _, err := Link(Baseline, m); err == nil {
+		t.Error("undefined call target linked")
+	}
+
+	m2 := &kir.Module{Name: "m2"}
+	a := kir.NewKernel("dup")
+	a.Exit()
+	b := kir.NewKernel("dup")
+	b.Exit()
+	m2.AddFunc(a.MustBuild())
+	m2.AddFunc(b.MustBuild())
+	if _, err := Link(Baseline, m2); err == nil {
+		t.Error("duplicate symbol linked")
+	}
+
+	if _, err := Link(Baseline); err == nil {
+		t.Error("empty link succeeded")
+	}
+}
+
+func TestSeparateCompilation(t *testing.T) {
+	// Kernel in one module, device function in another: cross-module
+	// resolution (the paper's -dc separate compilation).
+	mMain := &kir.Module{Name: "main"}
+	k := kir.NewKernel("main")
+	k.MovI(4, 1).Call("libfn").Exit()
+	mMain.AddFunc(k.MustBuild())
+	mLib := &kir.Module{Name: "lib"}
+	f := kir.NewFunc("libfn").SetCalleeSaved(1)
+	f.Mov(16, 4).Ret()
+	mLib.AddFunc(f.MustBuild())
+
+	prog, err := Link(Baseline, mMain, mLib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.FuncByName("libfn") == nil {
+		t.Fatal("library function missing")
+	}
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStaticRegsPerWarpWorstCase(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.Call("big").Exit()
+	m.AddFunc(k.MustBuild())
+	big := kir.NewFunc("big").SetCalleeSaved(30) // uses up to R45
+	big.Mov(16, 4).Ret()
+	m.AddFunc(big.MustBuild())
+	prog, err := Link(Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.StaticRegsPerWarp != 46 {
+		t.Errorf("StaticRegsPerWarp = %d, want 46", prog.StaticRegsPerWarp)
+	}
+}
+
+func TestIndirectCallLinking(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.MovFuncIdx(8, "va").CallIndirect(8, "va", "vb").Exit()
+	m.AddFunc(k.MustBuild())
+	va := kir.NewFunc("va").SetCalleeSaved(1)
+	va.Mov(16, 4).Ret()
+	m.AddFunc(va.MustBuild())
+	vb := kir.NewFunc("vb").SetCalleeSaved(5)
+	vb.Mov(16, 4).IAddI(17, 16, 1).IAddI(18, 17, 1).IAddI(19, 18, 1).IAddI(20, 19, 1).Ret()
+	m.AddFunc(vb.MustBuild())
+
+	prog, err := Link(CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := prog.FuncByName("main")
+	vbIdx := -1
+	for i, f := range prog.Funcs {
+		if f.Name == "vb" {
+			vbIdx = i
+		}
+	}
+	for i := range km.Code {
+		in := &km.Code[i]
+		if in.Op == isa.OpCallI {
+			// Indirect FRU is the max over candidates (§III-C): vb's 6.
+			if in.FRU != prog.Funcs[vbIdx].FRU() {
+				t.Errorf("indirect FRU = %d, want %d", in.FRU, prog.Funcs[vbIdx].FRU())
+			}
+		}
+		if in.Op == isa.OpMovI && in.Dst == 8 {
+			// MovFuncIdx resolved to va's linked index.
+			va := prog.FuncByName("va")
+			if prog.Funcs[in.Imm].Name != va.Name {
+				t.Errorf("MovFuncIdx resolved to %s", prog.Funcs[in.Imm].Name)
+			}
+		}
+	}
+	if len(km.IndirectTargets) != 1 || len(km.IndirectTargets[0]) != 2 {
+		t.Errorf("indirect targets = %v", km.IndirectTargets)
+	}
+}
+
+func TestBranchTargetsSurviveLowering(t *testing.T) {
+	// A loop spanning a call site: CARS lowering inserts PUSHRFP before
+	// the call, which must not break the loop's branch targets.
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.MovI(8, 4)
+	k.For(9, 8, func(b *kir.Builder) {
+		b.MovI(4, 1)
+		b.Call("f")
+	})
+	k.Exit()
+	m.AddFunc(k.MustBuild())
+	f := kir.NewFunc("f").SetCalleeSaved(1)
+	f.Mov(16, 4).Ret()
+	m.AddFunc(f.MustBuild())
+
+	for _, mode := range []Mode{Baseline, CARS} {
+		prog, err := Link(mode, twoCopies(m))
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		km := prog.FuncByName("main")
+		for i := range km.Code {
+			in := &km.Code[i]
+			if in.Op == isa.OpBra {
+				if in.Target < 0 || in.Target > len(km.Code) {
+					t.Errorf("%v: branch target %d out of range", mode, in.Target)
+				}
+				if in.Target > 0 && in.Target < len(km.Code) {
+					// A backward branch must land on the loop body, not
+					// inside an injected micro-op sequence boundary error.
+					tgt := km.Code[in.Target].Op
+					if tgt == isa.OpRet {
+						t.Errorf("%v: branch lands on RET", mode)
+					}
+				}
+			}
+		}
+	}
+}
+
+func twoCopies(m *kir.Module) *kir.Module { return m }

@@ -1,0 +1,189 @@
+package abi
+
+import (
+	"testing"
+
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+)
+
+func countCalls(f *isa.Function) int {
+	n := 0
+	for i := range f.Code {
+		if f.Code[i].Op.IsCall() {
+			n++
+		}
+	}
+	return n
+}
+
+func TestInlineRemovesDirectCalls(t *testing.T) {
+	flat, err := InlineAll(twoFuncModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Link(Baseline, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.FuncByName("main")
+	if countCalls(k) != 0 {
+		t.Fatalf("inlined kernel still calls: %s", k.Disassemble())
+	}
+	// No spills remain anywhere reachable.
+	for i := range k.Code {
+		if k.Code[i].Spill {
+			t.Fatal("inlined kernel still spills")
+		}
+	}
+}
+
+func TestInlineGrowsRegisterDemand(t *testing.T) {
+	flatMod, err := InlineAll(twoFuncModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := Link(Baseline, flatMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sep, err := Link(Baseline, twoFuncModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.FuncByName("main").RegsUsed <= sep.FuncByName("main").RegsUsed {
+		t.Errorf("inlining did not grow kernel registers: %d vs %d",
+			flat.FuncByName("main").RegsUsed, sep.FuncByName("main").RegsUsed)
+	}
+}
+
+func TestInlineKeepsRecursion(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.MovI(4, 5).Call("fib").Exit()
+	m.AddFunc(k.MustBuild())
+	fib := kir.NewFunc("fib").SetCalleeSaved(2)
+	fib.Mov(16, 4).
+		MovI(17, 0).
+		SetPI(0, isa.CmpGE, 4, 2).
+		If(0, func(b *kir.Builder) {
+			b.IAddI(4, 16, -1).Call("fib").Mov(17, 4).
+				IAddI(4, 16, -2).Call("fib").IAdd(4, 4, 17)
+		}, nil).
+		Ret()
+	m.AddFunc(fib.MustBuild())
+
+	flatMod, err := InlineAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Link(Baseline, flatMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The kernel inlined one level of fib; the recursion survives as a
+	// real function with real calls.
+	fibFlat := prog.FuncByName("fib")
+	if fibFlat == nil {
+		t.Fatal("recursive function dropped")
+	}
+	if countCalls(fibFlat) == 0 {
+		t.Fatal("recursive call sites disappeared")
+	}
+}
+
+// TestInlineKeptFunctionPreservesRegisters is the regression test for
+// the inliner ABI bug: a kept function whose body absorbed inlined
+// children must extend its callee-saved set to cover the registers the
+// splice remapped onto it, or callers lose live state across the call.
+func TestInlineKeptFunctionPreservesRegisters(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.Call("rec").Exit()
+	m.AddFunc(k.MustBuild())
+	// rec calls helper (inlined into rec) and itself (kept).
+	rec := kir.NewFunc("rec").SetCalleeSaved(1)
+	rec.Mov(16, 4).
+		Call("helper").
+		SetPI(0, isa.CmpGT, 16, 4).
+		If(0, func(b *kir.Builder) {
+			b.ShrI(4, 16, 1).Call("rec")
+		}, nil).
+		Ret()
+	m.AddFunc(rec.MustBuild())
+	helper := kir.NewFunc("helper").SetCalleeSaved(4)
+	helper.Mov(16, 4).IAddI(17, 16, 1).IAddI(18, 17, 1).IAddI(19, 18, 1).Ret()
+	m.AddFunc(helper.MustBuild())
+
+	flatMod, err := InlineAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recFlat *kir.Func
+	for _, f := range flatMod.Funcs {
+		if f.Name == "rec" {
+			recFlat = f
+		}
+	}
+	if recFlat == nil {
+		t.Fatal("rec dropped")
+	}
+	if want := recFlat.RegsUsed - isa.FirstCalleeSaved; recFlat.CalleeSaved < want {
+		t.Fatalf("kept function saves %d regs but uses %d above R16",
+			recFlat.CalleeSaved, want)
+	}
+}
+
+func TestInlineIndirectKept(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.MovFuncIdx(8, "va").CallIndirect(8, "va", "vb").Exit()
+	m.AddFunc(k.MustBuild())
+	for _, n := range []string{"va", "vb"} {
+		f := kir.NewFunc(n).SetCalleeSaved(1)
+		f.Mov(16, 4).Ret()
+		m.AddFunc(f.MustBuild())
+	}
+	flatMod, err := InlineAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Link(Baseline, flatMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	km := prog.FuncByName("main")
+	if countCalls(km) != 1 {
+		t.Fatalf("indirect call must survive inlining, got %d calls", countCalls(km))
+	}
+	if prog.FuncByName("va") == nil || prog.FuncByName("vb") == nil {
+		t.Fatal("indirect candidates dropped")
+	}
+}
+
+func TestInlineExtraLocalOffsetsShift(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.Call("f").Exit()
+	m.AddFunc(k.MustBuild())
+	f := kir.NewFunc("f").SetCalleeSaved(1).SetExtraLocalBytes(8)
+	f.Mov(16, 4).
+		StL(1, 0, 16).
+		LdL(4, 1, 4).
+		Ret()
+	m.AddFunc(f.MustBuild())
+
+	flatMod, err := InlineAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var km *kir.Func
+	for _, fn := range flatMod.Funcs {
+		if fn.IsKernel {
+			km = fn
+		}
+	}
+	if km.ExtraLocalBytes != 8 {
+		t.Fatalf("extra locals not accumulated: %d", km.ExtraLocalBytes)
+	}
+}

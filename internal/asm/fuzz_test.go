@@ -1,0 +1,27 @@
+package asm_test
+
+import (
+	"testing"
+
+	"carsgo/internal/asm"
+)
+
+// FuzzParse drives the assembler with arbitrary text: it must never
+// panic, and anything it accepts must survive Format -> Parse.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleSrc)
+	f.Add(".kernel k\nEXIT\n")
+	f.Add(".func f\n@!P3 IADDI R4, R4, 1\nRET\n")
+	f.Add(".kernel k\nloop:\nBRA loop\nEXIT\n")
+	f.Add(".kernel k\nCALLI [R8], a, b\nEXIT\n.func a\nRET\n.func b\nRET\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := asm.ParseString(src)
+		if err != nil {
+			return
+		}
+		text := asm.Format(m)
+		if _, err := asm.ParseString(text); err != nil {
+			t.Fatalf("accepted source did not round trip: %v\ninput: %q\nformatted: %q", err, src, text)
+		}
+	})
+}

@@ -1,0 +1,283 @@
+// Package callgraph implements the lightweight link-time call-graph
+// analysis CARS uses to size register stacks (§III-B, Fig. 4).
+//
+// For each function the analysis computes the Function Register Usage
+// (FRU: callee-saved registers pushed plus the saved RFP slot) and the
+// MaxStackDepth: the maximum register-stack demand of any path from the
+// function to a leaf. For a kernel (root) node, the FRU is its base
+// register demand — all the temporary and global registers available to
+// every function.
+//
+// The analysis yields the watermark allocation points:
+//
+//   - Low-watermark:  base + the largest single FRU (room for ≥1 call)
+//   - High-watermark: the root's MaxStackDepth (no spills, acyclic graphs)
+//   - NxLow:          base + N × the largest single FRU
+//
+// Recursive (cyclic) graphs are handled by assuming one iteration of the
+// recursive components (§III-C); High-watermark then no longer guarantees
+// zero spills/fills.
+package callgraph
+
+import (
+	"fmt"
+	"strings"
+
+	"carsgo/internal/isa"
+)
+
+// Node is the analysis result for one function.
+type Node struct {
+	Func *isa.Function
+
+	// FRU is the node's Function Register Usage. For device functions it
+	// is CalleeSaved+1 (the +1 is the saved RFP); for kernels it is the
+	// base register demand.
+	FRU int
+
+	// MaxStackDepth is the maximum cumulative register demand on any
+	// acyclic path from this node to a leaf, including this node's FRU.
+	MaxStackDepth int
+
+	// Callees lists unique outgoing edges (direct and indirect candidates).
+	Callees []int
+
+	// OnCycle marks functions that participate in recursion.
+	OnCycle bool
+}
+
+// Analysis is the call-graph analysis of one kernel.
+type Analysis struct {
+	Program *isa.Program
+	Root    int // kernel function index
+	Nodes   map[int]*Node
+
+	// KernelBase is the root's base per-thread register demand.
+	KernelBase int
+
+	// MaxFRU is the largest single FRU among reachable device functions.
+	MaxFRU int
+
+	// Cyclic reports whether any reachable function recurses.
+	Cyclic bool
+
+	// MaxCallDepth is the deepest call nesting on any acyclic path
+	// (kernel calling a leaf directly = 1).
+	MaxCallDepth int
+
+	// MaxRegs is the worst-case architectural register usage at any
+	// point in the reachable call graph: the baseline linker allocates
+	// each warp this many registers (§II).
+	MaxRegs int
+}
+
+// Analyze runs the call-graph analysis for the named kernel.
+func Analyze(p *isa.Program, kernel string) (*Analysis, error) {
+	root, err := p.Kernel(kernel)
+	if err != nil {
+		return nil, err
+	}
+	a := &Analysis{Program: p, Root: root, Nodes: map[int]*Node{}}
+	a.build(root)
+	a.findCycles()
+	a.computeDepths()
+
+	rootNode := a.Nodes[root]
+	a.KernelBase = rootNode.FRU
+	for fi, n := range a.Nodes {
+		if n.Func.RegsUsed > a.MaxRegs {
+			a.MaxRegs = n.Func.RegsUsed
+		}
+		if fi == root {
+			continue
+		}
+		if n.FRU > a.MaxFRU {
+			a.MaxFRU = n.FRU
+		}
+		if n.OnCycle {
+			a.Cyclic = true
+		}
+	}
+	return a, nil
+}
+
+func (a *Analysis) build(fi int) *Node {
+	if n, ok := a.Nodes[fi]; ok {
+		return n
+	}
+	f := a.Program.Funcs[fi]
+	n := &Node{Func: f}
+	if f.IsKernel {
+		n.FRU = f.RegsUsed
+	} else {
+		n.FRU = f.FRU()
+	}
+	a.Nodes[fi] = n
+
+	seen := map[int]bool{}
+	add := func(ti int) {
+		if !seen[ti] {
+			seen[ti] = true
+			n.Callees = append(n.Callees, ti)
+		}
+	}
+	for _, ti := range f.Callees {
+		add(ti)
+	}
+	for _, cands := range f.IndirectTargets {
+		for _, ti := range cands {
+			add(ti)
+		}
+	}
+	for _, ti := range n.Callees {
+		a.build(ti)
+	}
+	return n
+}
+
+// findCycles marks nodes on cycles using an iterative DFS with colour
+// marking (white/grey/black); a back edge to a grey node closes a cycle,
+// and every node on the current stack segment from that node is cyclic.
+func (a *Analysis) findCycles() {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	colour := map[int]int{}
+	var stack []int
+	var dfs func(fi int)
+	dfs = func(fi int) {
+		colour[fi] = grey
+		stack = append(stack, fi)
+		for _, ti := range a.Nodes[fi].Callees {
+			switch colour[ti] {
+			case white:
+				dfs(ti)
+			case grey:
+				// Mark the cycle segment.
+				for i := len(stack) - 1; i >= 0; i-- {
+					a.Nodes[stack[i]].OnCycle = true
+					if stack[i] == ti {
+						break
+					}
+				}
+			}
+		}
+		stack = stack[:len(stack)-1]
+		colour[fi] = black
+	}
+	dfs(a.Root)
+}
+
+// computeDepths computes MaxStackDepth per node. On cyclic graphs we
+// assume one iteration of the recursive components (§III-C): an edge to
+// a node already on the current DFS path contributes nothing further.
+func (a *Analysis) computeDepths() {
+	onPath := map[int]bool{}
+	memo := map[int]int{} // valid only for nodes not on cycles
+	var depth func(fi int) int
+	var callDepth func(fi int) int
+
+	depth = func(fi int) int {
+		if d, ok := memo[fi]; ok {
+			return d
+		}
+		n := a.Nodes[fi]
+		onPath[fi] = true
+		maxChild := 0
+		for _, ti := range n.Callees {
+			if onPath[ti] {
+				continue // one iteration of the recursive component
+			}
+			if d := depth(ti); d > maxChild {
+				maxChild = d
+			}
+		}
+		onPath[fi] = false
+		d := n.FRU + maxChild
+		n.MaxStackDepth = d
+		if !n.OnCycle {
+			memo[fi] = d
+		}
+		return d
+	}
+	callDepth = func(fi int) int {
+		n := a.Nodes[fi]
+		onPath[fi] = true
+		maxChild := 0
+		for _, ti := range n.Callees {
+			if onPath[ti] {
+				continue
+			}
+			if d := callDepth(ti) + 1; d > maxChild {
+				maxChild = d
+			}
+		}
+		onPath[fi] = false
+		return maxChild
+	}
+	depth(a.Root)
+	a.MaxCallDepth = callDepth(a.Root)
+}
+
+// HasCalls reports whether the kernel performs any function calls.
+func (a *Analysis) HasCalls() bool { return len(a.Nodes[a.Root].Callees) > 0 }
+
+// LowWatermark returns the per-warp per-thread register demand of the
+// Low-watermark design point: the kernel base plus room for at least one
+// function call (the largest single FRU). §III-B(1).
+func (a *Analysis) LowWatermark() int { return a.KernelBase + a.MaxFRU }
+
+// HighWatermark returns the per-warp per-thread register demand that
+// prevents all spills/fills on an acyclic call graph: the root's
+// MaxStackDepth. §III-B(2).
+func (a *Analysis) HighWatermark() int { return a.Nodes[a.Root].MaxStackDepth }
+
+// NxLowWatermark returns the demand of the NxLow design point: N times
+// the Low-watermark stack on top of the kernel base. §III-B(3).
+func (a *Analysis) NxLowWatermark(n int) int {
+	w := a.KernelBase + n*a.MaxFRU
+	if h := a.HighWatermark(); w > h && !a.Cyclic {
+		return h // never allocate beyond what High needs
+	}
+	return w
+}
+
+// StackSlots converts a watermark register demand into register-stack
+// slots beyond the kernel base.
+func (a *Analysis) StackSlots(watermark int) int {
+	s := watermark - a.KernelBase
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// String renders the analysis like the paper's Fig. 4 annotation.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "callgraph of %s: base=%d maxFRU=%d low=%d high=%d cyclic=%v depth=%d\n",
+		a.Program.Funcs[a.Root].Name, a.KernelBase, a.MaxFRU,
+		a.LowWatermark(), a.HighWatermark(), a.Cyclic, a.MaxCallDepth)
+	var walk func(fi, indent int, onPath map[int]bool)
+	walk = func(fi, indent int, onPath map[int]bool) {
+		n := a.Nodes[fi]
+		fmt.Fprintf(&b, "%s%s FRU=%d MaxStackDepth=%d", strings.Repeat("  ", indent), n.Func.Name, n.FRU, n.MaxStackDepth)
+		if n.OnCycle {
+			b.WriteString(" (cyclic)")
+		}
+		b.WriteByte('\n')
+		onPath[fi] = true
+		for _, ti := range n.Callees {
+			if onPath[ti] {
+				fmt.Fprintf(&b, "%s%s (back edge)\n", strings.Repeat("  ", indent+1), a.Nodes[ti].Func.Name)
+				continue
+			}
+			walk(ti, indent+1, onPath)
+		}
+		delete(onPath, fi)
+	}
+	walk(a.Root, 0, map[int]bool{})
+	return b.String()
+}

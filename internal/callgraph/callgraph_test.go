@@ -1,0 +1,196 @@
+package callgraph_test
+
+import (
+	"strings"
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/callgraph"
+	"carsgo/internal/kir"
+)
+
+// paperFig4 builds a call graph shaped like the paper's Fig. 4 example:
+// a kernel with base demand 20 whose deepest path needs 56 registers.
+//
+//	kernel (FRU 20)
+//	├── a (FRU 10) ── c (FRU 8) ── d (FRU 6)
+//	└── b (FRU 6)  ── d (FRU 6)
+func paperFig4(t *testing.T) *callgraph.Analysis {
+	t.Helper()
+	m := &kir.Module{Name: "m"}
+
+	k := kir.NewKernel("kernel")
+	// Inflate kernel base to exactly 20 registers (R0..R19).
+	for r := 5; r < 20; r++ {
+		k.MovI(uint8(r), int32(r))
+	}
+	k.Call("a").Call("b").Exit()
+	m.AddFunc(k.MustBuild())
+
+	mk := func(name string, saved int, callees ...string) {
+		b := kir.NewFunc(name).SetCalleeSaved(saved)
+		b.Mov(16, 4)
+		for _, c := range callees {
+			b.Call(c)
+		}
+		b.Ret()
+		m.AddFunc(b.MustBuild())
+	}
+	mk("a", 9, "c") // FRU 10
+	mk("b", 5, "d") // FRU 6
+	mk("c", 7, "d") // FRU 8
+	mk("d", 5)      // FRU 6
+
+	prog, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := callgraph.Analyze(prog, "kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestFig4Watermarks(t *testing.T) {
+	a := paperFig4(t)
+	if a.KernelBase != 20 {
+		t.Fatalf("kernel base = %d, want 20", a.KernelBase)
+	}
+	if a.MaxFRU != 10 {
+		t.Fatalf("max FRU = %d, want 10 (function a)", a.MaxFRU)
+	}
+	// Low-watermark: base + largest FRU = 30 (the paper's example).
+	if got := a.LowWatermark(); got != 30 {
+		t.Fatalf("low watermark = %d, want 30", got)
+	}
+	// High-watermark: the bold path kernel→a→c→d = 20+10+8+6 = 44.
+	if got := a.HighWatermark(); got != 44 {
+		t.Fatalf("high watermark = %d, want 44", got)
+	}
+	if a.Cyclic {
+		t.Fatal("acyclic graph marked cyclic")
+	}
+	if a.MaxCallDepth != 3 {
+		t.Fatalf("call depth = %d, want 3", a.MaxCallDepth)
+	}
+	// NxLow clamps at High for acyclic graphs.
+	if got := a.NxLowWatermark(2); got != 40 {
+		t.Fatalf("2xLow = %d, want 40", got)
+	}
+	if got := a.NxLowWatermark(8); got != 44 {
+		t.Fatalf("8xLow should clamp at High, got %d", got)
+	}
+	if !a.HasCalls() {
+		t.Fatal("HasCalls false")
+	}
+}
+
+func TestDiamondSharedCallee(t *testing.T) {
+	// d is reachable via two paths; MaxStackDepth must take the max
+	// path, not double-count.
+	a := paperFig4(t)
+	var d *callgraph.Node
+	for _, n := range a.Nodes {
+		if n.Func.Name == "d" {
+			d = n
+		}
+	}
+	if d == nil {
+		t.Fatal("d not analysed")
+	}
+	if d.MaxStackDepth != 6 {
+		t.Fatalf("d depth = %d", d.MaxStackDepth)
+	}
+}
+
+func TestRecursionOneIteration(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("k")
+	k.Call("even").Exit()
+	m.AddFunc(k.MustBuild())
+	// Mutual recursion: even -> odd -> even.
+	even := kir.NewFunc("even").SetCalleeSaved(2)
+	even.Mov(16, 4).MovI(17, 0).Call("odd").Ret()
+	m.AddFunc(even.MustBuild())
+	odd := kir.NewFunc("odd").SetCalleeSaved(3)
+	odd.Mov(16, 4).MovI(17, 0).MovI(18, 0).Call("even").Ret()
+	m.AddFunc(odd.MustBuild())
+
+	prog, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := callgraph.Analyze(prog, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cyclic {
+		t.Fatal("mutual recursion not detected")
+	}
+	for _, n := range a.Nodes {
+		if (n.Func.Name == "even" || n.Func.Name == "odd") && !n.OnCycle {
+			t.Errorf("%s not marked on cycle", n.Func.Name)
+		}
+	}
+	// One iteration: kernel + even(3) + odd(4), no second lap.
+	want := a.KernelBase + 3 + 4
+	if got := a.HighWatermark(); got != want {
+		t.Fatalf("cyclic high = %d, want %d", got, want)
+	}
+}
+
+func TestIndirectEdgesInGraph(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("k")
+	k.MovFuncIdx(8, "va").CallIndirect(8, "va", "vb").Exit()
+	m.AddFunc(k.MustBuild())
+	for _, n := range []string{"va", "vb"} {
+		f := kir.NewFunc(n).SetCalleeSaved(2)
+		f.Mov(16, 4).MovI(17, 0).Ret()
+		m.AddFunc(f.MustBuild())
+	}
+	prog, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := callgraph.Analyze(prog, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := a.Nodes[a.Root]
+	if len(root.Callees) != 2 {
+		t.Fatalf("indirect candidates not in graph: %v", root.Callees)
+	}
+}
+
+func TestFunctionFreeKernel(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("k")
+	k.MovI(4, 1).Exit()
+	m.AddFunc(k.MustBuild())
+	prog, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := callgraph.Analyze(prog, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.HasCalls() || a.MaxFRU != 0 || a.MaxCallDepth != 0 {
+		t.Fatalf("function-free analysis wrong: %+v", a)
+	}
+	if a.LowWatermark() != a.KernelBase || a.HighWatermark() != a.KernelBase {
+		t.Fatal("watermarks should equal base for call-free kernels")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := paperFig4(t)
+	s := a.String()
+	for _, want := range []string{"kernel", "FRU=10", "MaxStackDepth=44", "low=30", "high=44"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("analysis rendering missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package callgraph_test
+
+import (
+	"fmt"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/callgraph"
+	"carsgo/internal/kir"
+)
+
+// Example reproduces the paper's Fig. 4 flavour of analysis: per-node
+// FRU and MaxStackDepth yield the Low- and High-watermark register
+// demands that drive CARS' allocation (§III-B).
+func ExampleAnalyze() {
+	m := &kir.Module{Name: "m"}
+
+	leaf := kir.NewFunc("leaf").SetCalleeSaved(4)
+	leaf.Mov(16, 4).MovI(17, 0).MovI(18, 0).MovI(19, 0).Ret()
+	m.AddFunc(leaf.MustBuild())
+
+	mid := kir.NewFunc("mid").SetCalleeSaved(9)
+	mid.Mov(16, 4)
+	for r := 17; r < 25; r++ {
+		mid.MovI(uint8(r), 0)
+	}
+	mid.Call("leaf").Ret()
+	m.AddFunc(mid.MustBuild())
+
+	k := kir.NewKernel("main")
+	// A kernel base of 20 architectural registers.
+	for r := 5; r < 20; r++ {
+		k.MovI(uint8(r), 0)
+	}
+	k.Call("mid").Exit()
+	m.AddFunc(k.MustBuild())
+
+	prog, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	a, err := callgraph.Analyze(prog, "main")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("base %d, max FRU %d\n", a.KernelBase, a.MaxFRU)
+	fmt.Printf("low watermark %d, high watermark %d, depth %d\n",
+		a.LowWatermark(), a.HighWatermark(), a.MaxCallDepth)
+	// Output:
+	// base 20, max FRU 10
+	// low watermark 30, high watermark 35, depth 2
+}

@@ -1,0 +1,359 @@
+package cars
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/callgraph"
+	"carsgo/internal/kir"
+)
+
+// buildChain links a kernel calling a linear chain of depth functions,
+// each saving the given register counts, and returns its analysis.
+func buildChain(t *testing.T, saved ...int) *callgraph.Analysis {
+	t.Helper()
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("k")
+	k.MovI(4, 1)
+	if len(saved) > 0 {
+		k.Call(fname(0))
+	}
+	k.Exit()
+	m.AddFunc(k.MustBuild())
+	for i, c := range saved {
+		b := kir.NewFunc(fname(i)).SetCalleeSaved(c)
+		b.Mov(16, 4)
+		if i+1 < len(saved) {
+			b.Call(fname(i + 1))
+		}
+		b.Ret()
+		m.AddFunc(b.MustBuild())
+	}
+	prog, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := callgraph.Analyze(prog, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func fname(i int) string {
+	return string(rune('a'+i)) + "fn"
+}
+
+func TestPlanLadder(t *testing.T) {
+	a := buildChain(t, 9, 5, 3) // FRUs 10, 6, 4
+	p := NewPlan(a, 64, 2048)
+	if p.MaxFRU != 10 {
+		t.Fatalf("MaxFRU = %d", p.MaxFRU)
+	}
+	if got := p.LowLevel().StackSlots; got != 10 {
+		t.Fatalf("Low stack = %d", got)
+	}
+	if got := p.HighLevel().StackSlots; got != 20 {
+		t.Fatalf("High stack = %d (want 10+6+4)", got)
+	}
+	// Ladder ascends and ends at High.
+	prev := -1
+	for _, l := range p.Levels {
+		if l.StackSlots < prev {
+			t.Fatalf("ladder not ascending: %+v", p.Levels)
+		}
+		prev = l.StackSlots
+	}
+	if p.Levels[len(p.Levels)-1].Kind != KindHigh {
+		t.Fatal("ladder must end at High")
+	}
+}
+
+func TestPlanHighFree(t *testing.T) {
+	a := buildChain(t, 3, 2)
+	// Other limits allow only 8 warps; 2048/8 = 256 regs per warp, far
+	// above the High demand: High is free.
+	p := NewPlan(a, 8, 2048)
+	if !p.HighFree {
+		t.Fatal("HighFree should hold with register space to spare")
+	}
+	// With 64 warps the math tightens: 2048/64 = 32 < base+high.
+	a2 := buildChain(t, 40, 40)
+	p2 := NewPlan(a2, 64, 2048)
+	if p2.HighFree {
+		t.Fatal("HighFree should not hold")
+	}
+}
+
+func TestNearestLevel(t *testing.T) {
+	a := buildChain(t, 4, 4, 4, 4, 4, 4) // deep chain: ladder has NxLows
+	p := NewPlan(a, 64, 2048)
+	if got := p.NearestLevel(Level{Kind: KindHigh}); got != len(p.Levels)-1 {
+		t.Fatalf("NearestLevel(High) = %d", got)
+	}
+	if got := p.NearestLevel(Level{Kind: KindLow, N: 1}); got != 0 {
+		t.Fatalf("NearestLevel(Low) = %d", got)
+	}
+	// A multiplier that merged away resolves to the closest stack size.
+	got := p.NearestLevel(Level{Kind: KindNxLow, N: 16})
+	want := p.NearestLevel(Level{Kind: KindHigh})
+	if p.Levels[got].StackSlots > p.Levels[want].StackSlots {
+		t.Fatalf("NearestLevel(16xLow) = %d beyond High", got)
+	}
+}
+
+func TestControllerSplitsAndConverges(t *testing.T) {
+	a := buildChain(t, 40, 40, 40)
+	p := NewPlan(a, 64, 2048)
+	ctl := NewController()
+	ks := ctl.Launch("k", p)
+	pol := AdaptivePolicy()
+
+	hi := len(p.Levels) - 1
+	if ks.InitialLevel(0, pol) != 0 || ks.InitialLevel(1, pol) != hi {
+		t.Fatal("first launch must split SMs between Low and High")
+	}
+	// High blocks complete faster per unit of concurrency.
+	for i := 0; i < 4; i++ {
+		ks.Record(0, 10000, 4) // Low: cost 2500
+		ks.Record(hi, 3000, 2) // High: cost 1500
+	}
+	// A Low SM should now walk upward.
+	if next := ks.NextLevel(0, pol); next != 1 {
+		t.Fatalf("Low SM next level = %d, want 1 (one step up)", next)
+	}
+	// A High SM holds.
+	if next := ks.NextLevel(hi, pol); next != hi {
+		t.Fatalf("High SM next level = %d, want %d", next, hi)
+	}
+	ks.FinishLaunch()
+	ks2 := ctl.Launch("k", p)
+	if ks2.InitialLevel(0, pol) != hi {
+		t.Fatal("second launch should start from the remembered best level")
+	}
+}
+
+func TestControllerPrefersLow(t *testing.T) {
+	a := buildChain(t, 40, 40, 40)
+	p := NewPlan(a, 64, 2048)
+	ks := NewController().Launch("k", p)
+	pol := AdaptivePolicy()
+	hi := len(p.Levels) - 1
+	for i := 0; i < 4; i++ {
+		ks.Record(0, 2000, 8)  // Low: cost 250
+		ks.Record(hi, 3000, 2) // High: cost 1500
+	}
+	if next := ks.NextLevel(hi, pol); next != hi-1 {
+		t.Fatalf("High SM should step down, got %d", next)
+	}
+	if next := ks.NextLevel(0, pol); next != 0 {
+		t.Fatalf("Low SM should hold, got %d", next)
+	}
+}
+
+func TestForcedPolicyPins(t *testing.T) {
+	a := buildChain(t, 40, 40, 40)
+	p := NewPlan(a, 64, 2048)
+	ks := NewController().Launch("k", p)
+	pol := ForcedPolicy(Level{Kind: KindHigh})
+	hi := len(p.Levels) - 1
+	if ks.InitialLevel(3, pol) != hi {
+		t.Fatal("forced High ignored")
+	}
+	ks.Record(0, 1, 1)
+	ks.Record(hi, 1e6, 1)
+	if ks.NextLevel(hi, pol) != hi {
+		t.Fatal("forced policy must not adapt")
+	}
+}
+
+func TestHighFreeAlwaysHigh(t *testing.T) {
+	a := buildChain(t, 2, 2)
+	p := NewPlan(a, 4, 2048)
+	if !p.HighFree {
+		t.Skip("plan unexpectedly tight")
+	}
+	ks := NewController().Launch("k", p)
+	pol := AdaptivePolicy()
+	for sm := 0; sm < 8; sm++ {
+		if got := ks.InitialLevel(sm, pol); got != len(p.Levels)-1 {
+			t.Fatalf("SM %d initial level %d, want High", sm, got)
+		}
+	}
+}
+
+func TestCyclicPlan(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("k")
+	k.MovI(4, 3).Call("rec").Exit()
+	m.AddFunc(k.MustBuild())
+	rec := kir.NewFunc("rec").SetCalleeSaved(2)
+	rec.Mov(16, 4).MovI(17, 0).Call("rec").Ret()
+	m.AddFunc(rec.MustBuild())
+	prog, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := callgraph.Analyze(prog, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cyclic {
+		t.Fatal("recursion not detected")
+	}
+	p := NewPlan(a, 64, 2048)
+	if !p.Cyclic {
+		t.Fatal("plan must mark cyclic graphs")
+	}
+	// One iteration assumed: High = one frame of the recursive function.
+	if got := p.HighLevel().StackSlots; got != 3 {
+		t.Fatalf("cyclic High stack = %d, want 3", got)
+	}
+}
+
+func TestLevelNames(t *testing.T) {
+	if (Level{Kind: KindLow, N: 1}).Name() != "Low" {
+		t.Error("Low name")
+	}
+	if (Level{Kind: KindNxLow, N: 4}).Name() != "4xLow" {
+		t.Error("NxLow name")
+	}
+	if (Level{Kind: KindHigh}).Name() != "High" {
+		t.Error("High name")
+	}
+}
+
+func TestBestLevelAndBlocks(t *testing.T) {
+	a := buildChain(t, 40, 40, 40)
+	p := NewPlan(a, 64, 2048)
+	ks := NewController().Launch("k", p)
+	if ks.BestLevel() != -1 {
+		t.Error("best level before any measurement")
+	}
+	ks.Record(1, 500, 2)
+	ks.Record(0, 900, 2)
+	if ks.BestLevel() != 1 {
+		t.Errorf("best level = %d", ks.BestLevel())
+	}
+	if ks.Blocks(1) != 1 || ks.Blocks(0) != 1 || ks.Blocks(2) != 0 {
+		t.Error("block counts wrong")
+	}
+	if ks.Plan() != p {
+		t.Error("plan accessor")
+	}
+}
+
+func TestControllerReusesStateAcrossLaunches(t *testing.T) {
+	a := buildChain(t, 40, 40, 40)
+	p := NewPlan(a, 64, 2048)
+	ctl := NewController()
+	ks1 := ctl.Launch("k", p)
+	ks1.Record(0, 100, 1)
+	ks2 := ctl.Launch("k", p)
+	if ks2 != ks1 {
+		t.Error("same kernel should reuse its state machine")
+	}
+	if ks2.Blocks(0) != 1 {
+		t.Error("measurements lost across launches")
+	}
+	// A different kernel gets fresh state.
+	if ctl.Launch("other", p) == ks1 {
+		t.Error("kernels must not share state")
+	}
+}
+
+func TestRegsPerWarpLadder(t *testing.T) {
+	a := buildChain(t, 9, 5, 3)
+	p := NewPlan(a, 64, 2048)
+	for i := range p.Levels {
+		want := p.Base + p.Levels[i].StackSlots
+		if got := p.RegsPerWarp(i); got != want {
+			t.Errorf("level %d: regs %d, want %d", i, got, want)
+		}
+	}
+	if p.LevelIndex(Level{Kind: KindNxLow, N: 99}) != -1 {
+		t.Error("phantom level found")
+	}
+}
+
+func TestWalkProbesUnexploredTowardBest(t *testing.T) {
+	a := buildChain(t, 40, 40, 40, 40, 40)
+	p := NewPlan(a, 64, 2048)
+	if len(p.Levels) < 4 {
+		t.Skip("ladder too short for probe test")
+	}
+	ks := NewController().Launch("k", p)
+	pol := AdaptivePolicy()
+	hi := len(p.Levels) - 1
+	ks.Record(0, 10_000, 1)
+	ks.Record(hi, 1_000, 1)
+	// A low SM with unexplored neighbours probes one step toward High.
+	if next := ks.NextLevel(0, pol); next != 1 {
+		t.Errorf("probe step = %d, want 1", next)
+	}
+	// And the reverse direction.
+	ks2 := NewController().Launch("k2", p)
+	ks2.Record(0, 1_000, 1)
+	ks2.Record(hi, 10_000, 1)
+	if next := ks2.NextLevel(hi, pol); next != hi-1 {
+		t.Errorf("downward probe = %d, want %d", next, hi-1)
+	}
+}
+
+func TestStackAccessors(t *testing.T) {
+	var s Stack
+	s.Reset(16)
+	if s.TopFrame() != nil {
+		t.Error("top frame on empty stack")
+	}
+	s.Call()
+	s.Push(2)
+	f := s.TopFrame()
+	if f == nil || f.Slots() != 3 {
+		t.Fatalf("frame = %+v", f)
+	}
+	if got := SpillAddrSlot(SpillWindowSlots + 5); got != 5 {
+		t.Errorf("spill addr wrap = %d", got)
+	}
+	if _, err := s.Ret(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ret(); err == nil {
+		t.Error("ret on empty frame list accepted")
+	}
+	if err := s.Push(1); err == nil {
+		t.Error("push outside frame accepted")
+	}
+}
+
+func TestPopBelowFrameRejected(t *testing.T) {
+	var s Stack
+	s.Reset(8)
+	s.Call()
+	s.Push(2)
+	if err := s.Pop(3); err == nil {
+		t.Error("pop below RFP accepted")
+	}
+}
+
+func TestCallWindowGeometry(t *testing.T) {
+	var s Stack
+	s.Reset(32)
+	s.CallWindow(10)
+	if s.RenameLen() != 9 {
+		t.Errorf("window rename len = %d, want size-1", s.RenameLen())
+	}
+	f := s.TopFrame()
+	if f.Slots() != 10 {
+		t.Errorf("window frame slots = %d", f.Slots())
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Ret(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RSP != 0 || s.Depth() != 0 {
+		t.Error("window frame not fully released")
+	}
+}

@@ -1,0 +1,228 @@
+package cars
+
+import "fmt"
+
+// SpillWindowSlots bounds the local-memory addresses trap spills use:
+// absolute stack slot s spills to local word (s mod SpillWindowSlots),
+// so repeated call/return cycles at the same depth reuse the same
+// addresses (and cache lines), as a real software stack would. The
+// window comfortably exceeds any stack extent our workloads reach;
+// EnsureSpace reports an error if a live stack would alias itself.
+const SpillWindowSlots = 4096
+
+// Frame is one function's register frame on a warp's register stack:
+// the saved-RFP slot followed by the renamed callee-saved registers.
+type Frame struct {
+	Start    int // absolute slot of the saved-RFP
+	End      int // one past the last slot (grows with PUSH)
+	SavedRFP int // caller's RFP value
+	Spilled  bool
+}
+
+// Slots returns the frame's size in warp-register slots.
+func (f Frame) Slots() int { return f.End - f.Start }
+
+// SpillOp describes trap-injected memory traffic the core must perform:
+// a contiguous run of register-stack slots moving to or from the local
+// memory spill window.
+type SpillOp struct {
+	Fill      bool // false = spill (store), true = fill (load)
+	StartSlot int  // absolute slot index of the first slot
+	Count     int  // number of slots (each one warp-wide register)
+}
+
+// Stack is the per-warp CARS register stack state: the RFP and RSP
+// pointers (§III-A), the live frame list, and the circular spill window
+// (Fig. 6). Pointer values are absolute (monotonic within a call tree);
+// physical register-stack indices are absolute mod Slots.
+type Stack struct {
+	Slots  int // hardware register-stack capacity (slots)
+	RSP    int // absolute top of stack
+	RFP    int // absolute current frame pointer
+	Bottom int // lowest register-resident absolute slot
+
+	frames []Frame
+}
+
+// Reset prepares the stack for a fresh warp with the given capacity.
+func (s *Stack) Reset(slots int) {
+	s.Slots = slots
+	s.RSP, s.RFP, s.Bottom = 0, 0, 0
+	s.frames = s.frames[:0]
+}
+
+// Free returns the register-resident capacity still available.
+func (s *Stack) Free() int { return s.Slots - (s.RSP - s.Bottom) }
+
+// Depth returns the live frame count.
+func (s *Stack) Depth() int { return len(s.frames) }
+
+// RenameLen returns RSP-RFP: how many callee-saved registers are
+// currently renamed. An architectural register R(16+k) with
+// k < RenameLen resolves to stack slot RFP+k (§III-A).
+func (s *Stack) RenameLen() int { return s.RSP - s.RFP }
+
+// SlotFor returns the physical register-stack index for architectural
+// callee-saved offset k (R16 has k=0), valid when k < RenameLen().
+func (s *Stack) SlotFor(k int) int { return (s.RFP + k) % s.Slots }
+
+// PhysSlot maps an absolute slot index to its physical position.
+func (s *Stack) PhysSlot(abs int) int { return abs % s.Slots }
+
+// SpillAddrSlot maps an absolute slot to its local-memory spill-window
+// word index.
+func SpillAddrSlot(abs int) int { return abs % SpillWindowSlots }
+
+// EnsureSpace makes room for a call frame of fru slots, spilling bottom
+// frames in wrap-around fashion if needed (Fig. 6). It returns the
+// spill operations the core must perform (possibly none). The returned
+// ops move whole frames; the trap handler translates them to local
+// stores.
+func (s *Stack) EnsureSpace(fru int) ([]SpillOp, error) {
+	if fru > s.Slots {
+		return nil, fmt.Errorf("cars: frame of %d slots exceeds stack capacity %d", fru, s.Slots)
+	}
+	var ops []SpillOp
+	for s.Free() < fru {
+		// Spill the oldest register-resident frame.
+		var victim *Frame
+		for i := range s.frames {
+			if !s.frames[i].Spilled {
+				victim = &s.frames[i]
+				break
+			}
+		}
+		if victim == nil {
+			return nil, fmt.Errorf("cars: no frame to spill (free=%d, need=%d)", s.Free(), fru)
+		}
+		if s.RSP-victim.Start > SpillWindowSlots {
+			return nil, fmt.Errorf("cars: stack extent %d exceeds spill window", s.RSP-victim.Start)
+		}
+		victim.Spilled = true
+		ops = append(ops, SpillOp{StartSlot: victim.Start, Count: victim.Slots()})
+		s.Bottom = victim.End
+	}
+	return ops, nil
+}
+
+// Call performs the register-stack side of PUSHRFP + CALL: push the
+// caller's RFP and open a new frame. Space for the full FRU must have
+// been ensured beforehand.
+func (s *Stack) Call() {
+	s.frames = append(s.frames, Frame{Start: s.RSP, End: s.RSP + 1, SavedRFP: s.RFP})
+	s.RSP++
+	s.RFP = s.RSP
+}
+
+// Push allocates-and-renames n callee-saved registers in the current
+// frame (the callee's PUSH micro-op).
+func (s *Stack) Push(n int) error {
+	if len(s.frames) == 0 {
+		return fmt.Errorf("cars: PUSH outside any frame")
+	}
+	if s.Free() < n {
+		return fmt.Errorf("cars: PUSH %d with only %d free (space not ensured)", n, s.Free())
+	}
+	s.RSP += n
+	s.frames[len(s.frames)-1].End = s.RSP
+	return nil
+}
+
+// Pop releases n renamed registers (the callee's POP micro-op).
+func (s *Stack) Pop(n int) error {
+	if s.RSP-n < s.RFP {
+		return fmt.Errorf("cars: POP %d below frame pointer", n)
+	}
+	s.RSP -= n
+	return nil
+}
+
+// Ret performs the register-stack side of a full return: RSP returns to
+// the frame pointer, the caller's RFP is restored from the saved slot,
+// and the frame is released. If the newly exposed caller frame was
+// spilled, Ret returns the fill operation required to restore it.
+func (s *Stack) Ret() (fill *SpillOp, err error) {
+	if len(s.frames) == 0 {
+		return nil, fmt.Errorf("cars: RET with no frame")
+	}
+	f := s.frames[len(s.frames)-1]
+	s.frames = s.frames[:len(s.frames)-1]
+	s.RSP = s.RFP
+	s.RFP = f.SavedRFP
+	s.RSP = f.Start // release the saved-RFP slot too
+	if s.Bottom > s.RSP {
+		s.Bottom = s.RSP
+	}
+	if len(s.frames) == 0 {
+		return nil, nil
+	}
+	top := &s.frames[len(s.frames)-1]
+	if !top.Spilled {
+		return nil, nil
+	}
+	// Returning into a spilled frame: every deeper frame is spilled too
+	// (eviction is bottom-up), so the live region is empty and the frame
+	// always fits. Fill it back (the paper's "filled back when the
+	// corresponding function is back in control").
+	top.Spilled = false
+	s.Bottom = top.Start
+	return &SpillOp{Fill: true, StartSlot: top.Start, Count: top.Slots()}, nil
+}
+
+// TopFrame returns the innermost live frame, or nil.
+func (s *Stack) TopFrame() *Frame {
+	if len(s.frames) == 0 {
+		return nil
+	}
+	return &s.frames[len(s.frames)-1]
+}
+
+// CheckInvariants validates structural invariants; tests call this
+// after every operation.
+func (s *Stack) CheckInvariants() error {
+	if s.RSP < s.RFP {
+		return fmt.Errorf("cars: RSP %d < RFP %d", s.RSP, s.RFP)
+	}
+	if s.Bottom > s.RSP {
+		return fmt.Errorf("cars: Bottom %d > RSP %d", s.Bottom, s.RSP)
+	}
+	if s.RSP-s.Bottom > s.Slots {
+		return fmt.Errorf("cars: resident %d exceeds capacity %d", s.RSP-s.Bottom, s.Slots)
+	}
+	prevEnd := -1
+	seenResident := false
+	for i, f := range s.frames {
+		if f.Start >= f.End {
+			return fmt.Errorf("cars: frame %d empty [%d,%d)", i, f.Start, f.End)
+		}
+		if prevEnd >= 0 && f.Start != prevEnd {
+			return fmt.Errorf("cars: frame %d not contiguous (start %d, prev end %d)", i, f.Start, prevEnd)
+		}
+		prevEnd = f.End
+		if f.Spilled && seenResident {
+			return fmt.Errorf("cars: spilled frame %d above a resident frame", i)
+		}
+		if !f.Spilled {
+			seenResident = true
+			if f.Start < s.Bottom {
+				return fmt.Errorf("cars: resident frame %d starts below Bottom", i)
+			}
+		}
+	}
+	return nil
+}
+
+// CallWindow opens a fixed-size register window for a call, the classic
+// SPARC-style alternative to CARS the paper's related work discusses
+// (§VII). Every frame consumes exactly size slots regardless of the
+// callee's actual register usage — the "wasted registers" that made
+// register windows unattractive on GPUs, measurable here against CARS'
+// exact-FRU frames. The saved-RFP slot is included in the window and
+// all size-1 register slots are renamed immediately (the callee's
+// PUSH/POP micro-ops become no-ops under windows).
+func (s *Stack) CallWindow(size int) {
+	s.frames = append(s.frames, Frame{Start: s.RSP, End: s.RSP + size, SavedRFP: s.RFP})
+	s.RSP++
+	s.RFP = s.RSP
+	s.RSP = s.RFP + size - 1
+}

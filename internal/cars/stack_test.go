@@ -1,0 +1,215 @@
+package cars
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustOps(t *testing.T, s *Stack, fru int) []SpillOp {
+	t.Helper()
+	ops, err := s.EnsureSpace(fru)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ops
+}
+
+func TestCallPushPopRet(t *testing.T) {
+	var s Stack
+	s.Reset(16)
+	// Kernel calls f1 with 3 callee-saved regs: FRU = 4.
+	mustOps(t, &s, 4)
+	s.Call()
+	if s.RFP != 1 || s.RSP != 1 {
+		t.Fatalf("after call: RFP=%d RSP=%d", s.RFP, s.RSP)
+	}
+	if err := s.Push(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.RenameLen() != 3 {
+		t.Fatalf("rename len = %d", s.RenameLen())
+	}
+	// R16 -> slot RFP+0 = 1, R18 -> 3.
+	if s.SlotFor(0) != 1 || s.SlotFor(2) != 3 {
+		t.Fatalf("slots: %d %d", s.SlotFor(0), s.SlotFor(2))
+	}
+	if err := s.Pop(3); err != nil {
+		t.Fatal(err)
+	}
+	fill, err := s.Ret()
+	if err != nil || fill != nil {
+		t.Fatalf("ret: fill=%v err=%v", fill, err)
+	}
+	if s.RFP != 0 || s.RSP != 0 || s.Depth() != 0 {
+		t.Fatalf("after ret: %+v", s)
+	}
+}
+
+func TestNestedRenaming(t *testing.T) {
+	var s Stack
+	s.Reset(32)
+	// f1 pushes 3, f2 pushes 2: R16/R17 in f2 must map to f2's frame.
+	s.EnsureSpace(4)
+	s.Call()
+	s.Push(3)
+	f1r16 := s.SlotFor(0)
+	s.EnsureSpace(3)
+	s.Call()
+	s.Push(2)
+	if s.RenameLen() != 2 {
+		t.Fatalf("f2 rename len = %d", s.RenameLen())
+	}
+	f2r16 := s.SlotFor(0)
+	if f2r16 == f1r16 {
+		t.Fatal("f2's R16 aliases f1's")
+	}
+	s.Pop(2)
+	if _, err := s.Ret(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RenameLen() != 3 || s.SlotFor(0) != f1r16 {
+		t.Fatalf("f1 renaming not restored: len=%d slot=%d", s.RenameLen(), s.SlotFor(0))
+	}
+}
+
+func TestTrapSpillAndFill(t *testing.T) {
+	var s Stack
+	s.Reset(8)
+	// Frame A: FRU 5 (4 saved + RFP).
+	if ops := mustOps(t, &s, 5); len(ops) != 0 {
+		t.Fatal("no spill expected for first frame")
+	}
+	s.Call()
+	s.Push(4)
+	// Frame B: FRU 5 again; only 3 slots free -> A spills (Fig. 6).
+	ops, err2 := s.EnsureSpace(5)
+	if err2 != nil {
+		t.Fatal(err2)
+	}
+	if len(ops) != 1 || ops[0].Fill || ops[0].StartSlot != 0 || ops[0].Count != 5 {
+		t.Fatalf("spill ops = %+v", ops)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	s.Call()
+	s.Push(4)
+	if s.Free() != 3 {
+		t.Fatalf("free = %d", s.Free())
+	}
+	// Return from B: A fills back.
+	s.Pop(4)
+	fill, err := s.Ret()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fill == nil || !fill.Fill || fill.StartSlot != 0 || fill.Count != 5 {
+		t.Fatalf("fill = %+v", fill)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RenameLen() != 4 {
+		t.Fatalf("A's renaming not restored: %d", s.RenameLen())
+	}
+}
+
+func TestFrameLargerThanStack(t *testing.T) {
+	var s Stack
+	s.Reset(4)
+	if _, err := s.EnsureSpace(5); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestCircularWrapAround(t *testing.T) {
+	var s Stack
+	s.Reset(8)
+	// Deep recursion with FRU 3: frames wrap around the 8-slot stack.
+	for depth := 0; depth < 20; depth++ {
+		mustOps(t, &s, 3)
+		s.Call()
+		if err := s.Push(2); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if s.RSP-s.Bottom > 8 {
+			t.Fatalf("depth %d: resident %d overflows", depth, s.RSP-s.Bottom)
+		}
+	}
+	for depth := 19; depth >= 0; depth-- {
+		s.Pop(2)
+		if _, err := s.Ret(); err != nil {
+			t.Fatalf("unwind %d: %v", depth, err)
+		}
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("unwind %d: %v", depth, err)
+		}
+	}
+	if s.RSP != 0 || s.Depth() != 0 {
+		t.Fatalf("not fully unwound: %+v", s)
+	}
+}
+
+// TestStackRandomised drives random call trees through a small stack
+// and checks every invariant after every operation, plus the value
+// round-trip through a simulated spill area.
+func TestStackRandomised(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 100; trial++ {
+		var s Stack
+		slots := 4 + rng.Intn(20)
+		s.Reset(slots)
+		var frames []stackFrame
+		for step := 0; step < 400; step++ {
+			if err := s.CheckInvariants(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			call := rng.Intn(2) == 0 && len(frames) < 30
+			if len(frames) == 0 {
+				call = true
+			}
+			if call {
+				pushed := rng.Intn(minInt(slots-1, 6))
+				if _, err := s.EnsureSpace(pushed + 1); err != nil {
+					t.Fatalf("trial %d: ensure: %v", trial, err)
+				}
+				s.Call()
+				if err := s.Push(pushed); err != nil {
+					t.Fatalf("trial %d: push: %v", trial, err)
+				}
+				frames = append(frames, stackFrame{pushed})
+			} else {
+				f := frames[len(frames)-1]
+				frames = frames[:len(frames)-1]
+				if err := s.Pop(f.pushed); err != nil {
+					t.Fatalf("trial %d: pop: %v", trial, err)
+				}
+				if _, err := s.Ret(); err != nil {
+					t.Fatalf("trial %d: ret: %v", trial, err)
+				}
+				if s.RenameLen() != pushedOf(frames) {
+					t.Fatalf("trial %d: rename len %d, want %d", trial, s.RenameLen(), pushedOf(frames))
+				}
+			}
+		}
+	}
+}
+
+type stackFrame struct{ pushed int }
+
+func pushedOf(frames []stackFrame) int {
+	if len(frames) == 0 {
+		return 0
+	}
+	return frames[len(frames)-1].pushed
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

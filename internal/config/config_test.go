@@ -1,0 +1,87 @@
+package config
+
+import (
+	"testing"
+
+	"carsgo/internal/cars"
+)
+
+func TestV100Defaults(t *testing.T) {
+	c := V100()
+	if c.RegFileSlots != 2048 {
+		t.Errorf("regfile slots = %d (256KB / 128B)", c.RegFileSlots)
+	}
+	if c.MaxWarpsPerSM != 64 || c.SchedulersPerSM != 4 {
+		t.Error("V100 warp geometry wrong")
+	}
+	if c.L1D.Cache.Bytes != 128*1024 || c.L1D.Cache.SectorBytes != 32 {
+		t.Error("V100 L1D geometry wrong")
+	}
+	if c.CARSEnabled {
+		t.Error("baseline must not enable CARS")
+	}
+}
+
+func TestVariantsAreDistinctAndNonDestructive(t *testing.T) {
+	base := V100()
+	cars1 := WithCARS(V100())
+	if !cars1.CARSEnabled || cars1.Name == base.Name {
+		t.Error("WithCARS wrong")
+	}
+	if base.CARSEnabled {
+		t.Error("WithCARS mutated its argument's source")
+	}
+	ten := TenMBL1(V100())
+	if ten.L1D.Cache.Bytes != 10*1024*1024 {
+		t.Error("10MB L1 wrong")
+	}
+	ideal := IdealizedVirtualWarps(V100())
+	if !ideal.UnlimitedRegs || !ideal.UnlimitedSmem || !ideal.UnlimitedBlocks {
+		t.Error("IdealVW must lift registers, smem, and block slots")
+	}
+	ah := AllHit(V100())
+	if !ah.L1D.AllHitSpills {
+		t.Error("ALL-HIT flag unset")
+	}
+	swl := SWL(V100(), 4)
+	if swl.SWLLimit != 4 {
+		t.Error("SWL limit unset")
+	}
+	scaled := ScaleL1Ports(V100(), 4)
+	if scaled.L1DSectorsPerCycle != base.L1DSectorsPerCycle*4 {
+		t.Error("port scaling wrong")
+	}
+	tl := WithTimeline(V100(), 512)
+	if tl.TimelineWindow != 512 {
+		t.Error("timeline window unset")
+	}
+}
+
+func TestRTX3070Differs(t *testing.T) {
+	a := RTX3070()
+	if a.MaxWarpsPerSM >= V100().MaxWarpsPerSM {
+		t.Error("Ampere warp limit should be lower (48 vs 64)")
+	}
+	if a.MaxThreadsPerSM != 1536 {
+		t.Errorf("Ampere threads = %d", a.MaxThreadsPerSM)
+	}
+}
+
+func TestForcedPolicyConfig(t *testing.T) {
+	c := WithCARSPolicy(V100(), cars.ForcedPolicy(cars.Level{Kind: cars.KindHigh}))
+	if !c.CARSEnabled || c.CARSPolicy.Adaptive {
+		t.Error("forced policy config wrong")
+	}
+}
+
+func TestBestSWLCounts(t *testing.T) {
+	want := []int{1, 2, 3, 4, 8, 16}
+	if len(BestSWLCounts) != len(want) {
+		t.Fatal("SWL sweep changed")
+	}
+	for i, n := range want {
+		if BestSWLCounts[i] != n {
+			t.Errorf("sweep[%d] = %d, want %d (§V-D)", i, BestSWLCounts[i], n)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import "fmt"
+
+// experimentFns enumerates every regenerable experiment in paper order.
+func (r *Runner) experimentFns() []struct {
+	ID  string
+	Run func() (*Table, error)
+} {
+	return []struct {
+		ID  string
+		Run func() (*Table, error)
+	}{
+		{"fig1", r.Fig1},
+		{"fig2", r.Fig2},
+		{"tab1", r.Table1},
+		{"fig8", r.Fig8},
+		{"fig9", r.Fig9},
+		{"fig10", r.Fig10},
+		{"fig11", r.Fig11},
+		{"fig12", r.Fig12},
+		{"fig13", r.Fig13},
+		{"tab2", r.Table2},
+		{"fig14", r.Fig14},
+		{"tab3", r.Table3},
+		{"fig15", r.Fig15},
+		{"fig16", r.Fig16},
+		{"fig17", r.Fig17},
+		{"fig18", r.Fig18},
+	}
+}
+
+// IDs lists the experiment identifiers in order.
+func (r *Runner) IDs() []string {
+	var out []string
+	for _, e := range r.experimentFns() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// Run regenerates one experiment by ID.
+func (r *Runner) Run(id string) (*Table, error) {
+	for _, e := range r.experimentFns() {
+		if e.ID == id {
+			return e.Run()
+		}
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, r.IDs())
+}
+
+// All regenerates every experiment in paper order.
+func (r *Runner) All() ([]*Table, error) {
+	var out []*Table
+	for _, e := range r.experimentFns() {
+		t, err := e.Run()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}

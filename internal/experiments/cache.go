@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"carsgo"
+)
+
+// cacheEntry is one memoised simulation result on disk.
+type cacheEntry struct {
+	Config   string
+	Workload string
+	LTO      bool
+	Result   *carsgo.Result
+}
+
+// cacheFile is the on-disk format: a version header plus entries.
+type cacheFile struct {
+	Version int
+	Entries []cacheEntry
+}
+
+const cacheVersion = 1
+
+// SaveCache writes every memoised result to path as JSON, so a later
+// Runner can skip simulations that already ran. Output regions are
+// included, keeping cross-configuration equivalence checks meaningful.
+func (r *Runner) SaveCache(path string) error {
+	r.mu.Lock()
+	cf := cacheFile{Version: cacheVersion}
+	for q, res := range r.results {
+		cf.Entries = append(cf.Entries, cacheEntry{
+			Config: q.cfgName, Workload: q.workload, LTO: q.lto, Result: res,
+		})
+	}
+	r.mu.Unlock()
+	data, err := json.Marshal(&cf)
+	if err != nil {
+		return fmt.Errorf("experiments: encode cache: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// LoadCache seeds the runner with results from a prior SaveCache. A
+// missing file is not an error (first run); version mismatches are.
+// Entries whose configuration name the current process has not defined
+// yet are still usable: configurations are looked up only on a miss.
+func (r *Runner) LoadCache(path string) (int, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	var cf cacheFile
+	if err := json.Unmarshal(data, &cf); err != nil {
+		return 0, fmt.Errorf("experiments: decode cache: %w", err)
+	}
+	if cf.Version != cacheVersion {
+		return 0, fmt.Errorf("experiments: cache version %d, want %d", cf.Version, cacheVersion)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, e := range cf.Entries {
+		if e.Result == nil {
+			continue
+		}
+		q := request{cfgName: e.Config, workload: e.Workload, lto: e.LTO}
+		if _, dup := r.results[q]; !dup {
+			r.results[q] = e.Result
+			n++
+		}
+	}
+	return n, nil
+}

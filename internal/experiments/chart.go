@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Chart renders one numeric column of a Table as a horizontal ASCII bar
+// chart, the closest a terminal gets to the paper's figures. Cells that
+// do not parse as numbers (headers, dashes) are skipped.
+type Chart struct {
+	Table  *Table
+	Column int     // column index to plot
+	Ref    float64 // reference line (e.g. 1.0 for speedups); 0 disables
+	Width  int     // bar width in characters (default 40)
+}
+
+// RenderChart writes the bar chart.
+func (c *Chart) RenderChart(w io.Writer) {
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	type bar struct {
+		label string
+		val   float64
+	}
+	var bars []bar
+	maxVal := c.Ref
+	maxLabel := 0
+	for _, row := range c.Table.Rows {
+		if c.Column >= len(row) {
+			continue
+		}
+		v, err := parseCell(row[c.Column])
+		if err != nil {
+			continue
+		}
+		bars = append(bars, bar{label: row[0], val: v})
+		if v > maxVal {
+			maxVal = v
+		}
+		if len(row[0]) > maxLabel {
+			maxLabel = len(row[0])
+		}
+	}
+	if len(bars) == 0 || maxVal <= 0 {
+		return
+	}
+	fmt.Fprintf(w, "-- %s (%s) --\n", c.Table.Title, c.Table.Columns[c.Column])
+	refPos := -1
+	if c.Ref > 0 {
+		refPos = int(c.Ref / maxVal * float64(width))
+	}
+	for _, b := range bars {
+		n := int(b.val / maxVal * float64(width))
+		if n < 0 {
+			n = 0
+		}
+		line := strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+		if refPos >= 0 && refPos < width {
+			marker := byte('|')
+			if line[refPos] == '#' {
+				marker = '+'
+			}
+			line = line[:refPos] + string(marker) + line[refPos+1:]
+		}
+		fmt.Fprintf(w, "  %-*s %s %0.2f\n", maxLabel, b.label, line, b.val)
+	}
+}
+
+// parseCell parses "1.23", "45.6%", or plain integers.
+func parseCell(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if strings.HasSuffix(s, "%") {
+		s = strings.TrimSuffix(s, "%")
+	}
+	if strings.HasSuffix(s, "x") {
+		s = strings.TrimSuffix(s, "x")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// ChartableColumn suggests the column to chart for an experiment: the
+// last numeric column (typically the CARS series or the headline rate).
+func ChartableColumn(t *Table) int {
+	if len(t.Rows) == 0 {
+		return -1
+	}
+	row := t.Rows[0]
+	for i := len(row) - 1; i >= 1; i-- {
+		if _, err := parseCell(row[i]); err == nil {
+			return i
+		}
+	}
+	return -1
+}

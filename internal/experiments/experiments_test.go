@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"carsgo"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{
+		ID:      "figX",
+		Title:   "demo",
+		Columns: []string{"A", "BBBB"},
+		Rows:    [][]string{{"longcell", "1"}, {"x", "2"}},
+		Notes:   []string{"a note"},
+	}
+	var buf bytes.Buffer
+	tb.Render(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "FIGX: demo") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if !strings.Contains(out, "longcell  1") {
+		t.Errorf("column alignment broken:\n%s", out)
+	}
+	if !strings.Contains(out, "note: a note") {
+		t.Errorf("note missing:\n%s", out)
+	}
+
+	buf.Reset()
+	tb.Markdown(&buf)
+	md := buf.String()
+	if !strings.Contains(md, "| A | BBBB |") || !strings.Contains(md, "| --- | --- |") {
+		t.Errorf("markdown broken:\n%s", md)
+	}
+}
+
+func TestFig1IsStatic(t *testing.T) {
+	r := NewRunner(1)
+	tb, err := r.Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 6 {
+		t.Fatalf("survey rows = %d", len(tb.Rows))
+	}
+	// Trend: both SLOC and device functions grow monotonically enough
+	// that the last row dwarfs the first (the paper's log-scale point).
+	first, last := tb.Rows[0], tb.Rows[len(tb.Rows)-1]
+	if first[3] >= last[3] && len(first[3]) >= len(last[3]) {
+		t.Errorf("device-function growth not visible: %s -> %s", first[3], last[3])
+	}
+}
+
+func TestRunnerIDsAndUnknown(t *testing.T) {
+	r := NewRunner(1)
+	ids := r.IDs()
+	if len(ids) != 16 {
+		t.Fatalf("%d experiments, want 16 (all paper exhibits)", len(ids))
+	}
+	want := map[string]bool{"fig1": true, "fig8": true, "tab1": true, "tab2": true,
+		"tab3": true, "fig14": true, "fig18": true}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for id := range want {
+		if !seen[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if _, err := r.Run("nope"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunnerMemoises(t *testing.T) {
+	r := NewRunner(2)
+	// Fig. 1 needs no simulation; config definitions must be stable.
+	n1 := r.baseName()
+	n2 := r.baseName()
+	if n1 != n2 {
+		t.Fatal("config name not stable")
+	}
+	if _, err := r.Run("fig1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	tb := &Table{
+		ID: "figY", Title: "speedups", Columns: []string{"Workload", "CARS"},
+		Rows: [][]string{{"A", "2.00"}, {"B", "0.50"}, {"GEOMEAN", "1.00"}},
+	}
+	var buf bytes.Buffer
+	ch := &Chart{Table: tb, Column: 1, Ref: 1.0, Width: 20}
+	ch.RenderChart(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "2.00") {
+		t.Fatalf("chart missing bars:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 3 bars
+		t.Fatalf("chart lines = %d:\n%s", len(lines), out)
+	}
+	// A's bar must be longer than B's.
+	if strings.Count(lines[1], "#") <= strings.Count(lines[2], "#") {
+		t.Fatalf("bar lengths not ordered:\n%s", out)
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"1.23", 1.23, true},
+		{"45.6%", 45.6, true},
+		{"2.00x", 2.00, true},
+		{" 7 ", 7, true},
+		{"GEOMEAN", 0, false},
+		{"-", 0, false},
+	} {
+		got, err := parseCell(c.in)
+		if (err == nil) != c.ok || (c.ok && got != c.want) {
+			t.Errorf("parseCell(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+func TestChartableColumn(t *testing.T) {
+	tb := &Table{
+		Columns: []string{"W", "num", "text"},
+		Rows:    [][]string{{"A", "1.5", "note"}},
+	}
+	if got := ChartableColumn(tb); got != 1 {
+		t.Errorf("chartable column = %d", got)
+	}
+	if got := ChartableColumn(&Table{}); got != -1 {
+		t.Errorf("empty table column = %d", got)
+	}
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/cache.json"
+
+	r := NewRunner(1)
+	// Seed one synthetic result directly.
+	r.results[request{cfgName: "V100", workload: "MST"}] = &carsgo.Result{
+		Config: "V100", Workload: "MST", Output: []uint32{1, 2, 3},
+	}
+	if err := r.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(1)
+	n, err := r2.LoadCache(path)
+	if err != nil || n != 1 {
+		t.Fatalf("load: n=%d err=%v", n, err)
+	}
+	res, err := r2.result("V100", "MST", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 3 || res.Output[2] != 3 {
+		t.Fatalf("cached result corrupted: %+v", res)
+	}
+	// Missing file: fine. Corrupt file: error.
+	if n, err := NewRunner(1).LoadCache(dir + "/none.json"); n != 0 || err != nil {
+		t.Fatalf("missing cache: n=%d err=%v", n, err)
+	}
+	os.WriteFile(path, []byte("junk"), 0o644)
+	if _, err := NewRunner(1).LoadCache(path); err == nil {
+		t.Fatal("corrupt cache accepted")
+	}
+}

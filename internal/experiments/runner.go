@@ -1,0 +1,259 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§V-§VI) on the simulated GPU: the workload
+// characterisation (Table I), the motivation breakdown (Fig. 2), the
+// headline performance and energy comparisons (Figs. 8, 15), the
+// mechanism analyses (Figs. 9-14, Tables II-III), and the sensitivity
+// studies (Figs. 16-18).
+//
+// Absolute cycle counts belong to this repo's scaled simulator, not the
+// authors' testbed; the reproduction targets the shape of each result —
+// who wins, by roughly what factor, and where crossovers fall.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"carsgo"
+	"carsgo/internal/config"
+	"carsgo/internal/sim"
+	"carsgo/internal/workloads"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	ID      string // "fig8", "tab1", ...
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// Render prints the table in aligned plain text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Columns)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Markdown renders the table as GitHub-flavoured markdown.
+func (t *Table) Markdown(w io.Writer) {
+	fmt.Fprintf(w, "### %s: %s\n\n", strings.ToUpper(t.ID), t.Title)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Columns, " | "))
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n*%s*\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// request identifies one simulation run.
+type request struct {
+	cfgName  string
+	workload string
+	lto      bool
+}
+
+// Runner executes and memoises simulation runs for the experiments.
+type Runner struct {
+	// Workers bounds parallel simulations (each builds its own GPU).
+	Workers int
+	// Log receives progress lines; nil silences them.
+	Log io.Writer
+
+	mu      sync.Mutex
+	results map[request]*carsgo.Result
+	errs    map[request]error
+	configs map[string]sim.Config
+}
+
+// NewRunner builds a Runner with the given parallelism.
+func NewRunner(workers int) *Runner {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Runner{
+		Workers: workers,
+		results: map[request]*carsgo.Result{},
+		errs:    map[request]error{},
+		configs: map[string]sim.Config{},
+	}
+}
+
+// defineConfig registers a named configuration lazily.
+func (r *Runner) defineConfig(c sim.Config) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.configs[c.Name]; !ok {
+		r.configs[c.Name] = c
+	}
+	return c.Name
+}
+
+func (r *Runner) logf(format string, args ...any) {
+	if r.Log != nil {
+		fmt.Fprintf(r.Log, format+"\n", args...)
+	}
+}
+
+// prefetch runs all missing requests in parallel.
+func (r *Runner) prefetch(reqs []request) {
+	var missing []request
+	r.mu.Lock()
+	seen := map[request]bool{}
+	for _, q := range reqs {
+		if _, ok := r.results[q]; ok || r.errs[q] != nil || seen[q] {
+			continue
+		}
+		seen[q] = true
+		missing = append(missing, q)
+	}
+	r.mu.Unlock()
+	if len(missing) == 0 {
+		return
+	}
+	ch := make(chan request)
+	var wg sync.WaitGroup
+	for i := 0; i < r.Workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for q := range ch {
+				res, err := r.execute(q)
+				r.mu.Lock()
+				if err != nil {
+					r.errs[q] = err
+				} else {
+					r.results[q] = res
+				}
+				r.mu.Unlock()
+			}
+		}()
+	}
+	for _, q := range missing {
+		ch <- q
+	}
+	close(ch)
+	wg.Wait()
+}
+
+func (r *Runner) execute(q request) (*carsgo.Result, error) {
+	r.mu.Lock()
+	cfg, ok := r.configs[q.cfgName]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown config %q", q.cfgName)
+	}
+	w, err := workloads.ByName(q.workload)
+	if err != nil {
+		return nil, err
+	}
+	r.logf("run %-10s %-12s lto=%v", q.cfgName, q.workload, q.lto)
+	if q.lto {
+		return carsgo.RunLTO(cfg, w)
+	}
+	return carsgo.Run(cfg, w)
+}
+
+// result fetches (running if needed) one run.
+func (r *Runner) result(cfgName, workload string, lto bool) (*carsgo.Result, error) {
+	q := request{cfgName, workload, lto}
+	r.mu.Lock()
+	if res, ok := r.results[q]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	if err := r.errs[q]; err != nil {
+		r.mu.Unlock()
+		return nil, err
+	}
+	r.mu.Unlock()
+	r.prefetch([]request{q})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.errs[q]; err != nil {
+		return nil, err
+	}
+	return r.results[q], nil
+}
+
+// Standard configuration names used across experiments.
+func (r *Runner) baseName() string { return r.defineConfig(config.V100()) }
+func (r *Runner) carsName() string { return r.defineConfig(config.WithCARS(config.V100())) }
+func (r *Runner) idealName() string {
+	return r.defineConfig(config.IdealizedVirtualWarps(config.V100()))
+}
+func (r *Runner) tenMBName() string { return r.defineConfig(config.TenMBL1(config.V100())) }
+func (r *Runner) allHitName() string {
+	return r.defineConfig(config.AllHit(config.V100()))
+}
+func (r *Runner) swlName(n int) string {
+	c := config.SWL(config.V100(), n)
+	c.Name = fmt.Sprintf("SWL%d", n)
+	return r.defineConfig(c)
+}
+
+// bestSWL returns the best static-wavefront-limiter result for a
+// workload, sweeping the paper's warp counts {1,2,3,4,8,16} (§V-D).
+// The unlimited baseline is an implicit candidate: a limiter that only
+// hurts is simply not applied.
+func (r *Runner) bestSWL(workload string) (*carsgo.Result, error) {
+	reqs := []request{{r.baseName(), workload, false}}
+	for _, n := range config.BestSWLCounts {
+		reqs = append(reqs, request{r.swlName(n), workload, false})
+	}
+	r.prefetch(reqs)
+	var best *carsgo.Result
+	for _, q := range reqs {
+		res, err := r.result(q.cfgName, q.workload, false)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.Stats.Cycles < best.Stats.Cycles {
+			best = res
+		}
+	}
+	return best, nil
+}
+
+// allNames lists the Table I workloads in order.
+func allNames() []string { return workloads.Names() }
+
+// fmtX formats a speedup.
+func fmtX(x float64) string { return fmt.Sprintf("%.2f", x) }
+
+// fmtPct formats a fraction as a percentage.
+func fmtPct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

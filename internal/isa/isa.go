@@ -1,0 +1,342 @@
+// Package isa defines a SASS-like instruction set for the simulated GPU.
+//
+// The ISA is deliberately close to the machine model the paper assumes:
+// a warp-wide SIMT machine with up to 256 architectural registers per
+// thread, predicate registers, direct and indirect function calls, and
+// explicit local-memory spill/fill instructions (LDL/STL) that the
+// baseline ABI uses to preserve callee-saved registers. CARS replaces
+// those spills/fills with PUSH/POP renaming micro-ops (see internal/cars).
+package isa
+
+import "fmt"
+
+// WarpSize is the number of threads per warp, matching NVIDIA hardware.
+const WarpSize = 32
+
+// MaxArchRegs is the architectural register limit per function. The paper
+// notes 8 bits encode register identifiers, capping any function at 256.
+const MaxArchRegs = 256
+
+// FirstCalleeSaved is the first callee-saved architectural register.
+// Profiling in the paper (§II) shows contemporary NVIDIA ABIs allocate
+// callee-saved registers contiguously starting at R16; CARS' renaming
+// rule depends on this contiguity.
+const FirstCalleeSaved = 16
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcode space. Arithmetic ops operate on 32-bit lanes; FP ops reinterpret
+// lanes as float32. Memory ops address byte-granular spaces.
+const (
+	OpNop Op = iota
+
+	// Integer ALU.
+	OpIAdd // Dst = SrcA + SrcB
+	OpISub // Dst = SrcA - SrcB
+	OpIMul // Dst = SrcA * SrcB
+	OpIMad // Dst = SrcA * SrcB + SrcC
+	OpIMin // Dst = min(SrcA, SrcB) (signed)
+	OpIMax // Dst = max(SrcA, SrcB) (signed)
+	OpAnd  // Dst = SrcA & SrcB
+	OpOr   // Dst = SrcA | SrcB
+	OpXor  // Dst = SrcA ^ SrcB
+	OpShl  // Dst = SrcA << (SrcB & 31)
+	OpShr  // Dst = SrcA >> (SrcB & 31) (logical)
+	OpMov  // Dst = SrcA
+	OpMovI // Dst = Imm
+	OpSel  // Dst = Pred ? SrcA : SrcB
+
+	// Floating point (float32 lanes).
+	OpFAdd // Dst = SrcA + SrcB
+	OpFMul // Dst = SrcA * SrcB
+	OpFFma // Dst = SrcA*SrcB + SrcC
+	OpFRcp // Dst = 1/SrcA (SFU)
+	OpFSqr // Dst = sqrt(SrcA) (SFU)
+
+	// Predicate setting: PDst = SrcA <cmp> SrcB.
+	OpSetP
+
+	// Special registers: Dst = special (thread id, block id, ...).
+	OpS2R
+
+	// Memory. Addresses are per-lane byte addresses in Src A (+Imm offset).
+	OpLdG // global load:  Dst = [SrcA + Imm]
+	OpStG // global store: [SrcA + Imm] = SrcC
+	OpLdL // local load (fills in the baseline ABI)
+	OpStL // local store (spills in the baseline ABI)
+	OpLdS // shared load
+	OpStS // shared store
+
+	// Control flow. Structured divergence: OpBra with a predicate pushes
+	// a SIMT entry whose reconvergence point is Target2 (the ENDIF).
+	OpBra  // unconditional or predicated branch to Target
+	OpSSY  // push reconvergence point Target (structured divergence)
+	OpSync // pop/reconverge at the innermost SSY point
+	OpBar  // block-wide barrier
+	OpExit // thread exit
+
+	// Function calls.
+	OpCall  // direct call to Callee
+	OpCallI // indirect call; SrcA holds a function index
+	OpRet   // return to caller
+
+	// CARS micro-ops (emitted instead of LDL/STL spills when CARS compiles
+	// the program). On a baseline machine these are invalid.
+	OpPushRFP // push caller's RFP onto the register stack (before CALL)
+	OpPush    // allocate+rename N callee-saved registers (Imm = count)
+	OpPop     // release N renamed registers (Imm = count)
+)
+
+var opNames = map[Op]string{
+	OpNop: "NOP", OpIAdd: "IADD", OpISub: "ISUB", OpIMul: "IMUL",
+	OpIMad: "IMAD", OpIMin: "IMIN", OpIMax: "IMAX", OpAnd: "AND",
+	OpOr: "OR", OpXor: "XOR", OpShl: "SHL", OpShr: "SHR", OpMov: "MOV",
+	OpMovI: "MOVI", OpSel: "SEL", OpFAdd: "FADD", OpFMul: "FMUL",
+	OpFFma: "FFMA", OpFRcp: "FRCP", OpFSqr: "FSQRT", OpSetP: "SETP",
+	OpS2R: "S2R", OpLdG: "LDG", OpStG: "STG", OpLdL: "LDL", OpStL: "STL",
+	OpLdS: "LDS", OpStS: "STS", OpBra: "BRA", OpSSY: "SSY", OpSync: "SYNC",
+	OpBar: "BAR.SYNC", OpExit: "EXIT", OpCall: "CALL", OpCallI: "CALLI",
+	OpRet: "RET", OpPushRFP: "PUSHRFP", OpPush: "PUSH", OpPop: "POP",
+}
+
+// String returns the SASS-style mnemonic for the opcode.
+func (o Op) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("OP(%d)", uint8(o))
+}
+
+// IsMemory reports whether the opcode accesses the memory hierarchy.
+func (o Op) IsMemory() bool {
+	switch o {
+	case OpLdG, OpStG, OpLdL, OpStL, OpLdS, OpStS:
+		return true
+	}
+	return false
+}
+
+// IsLocal reports whether the opcode is a local-memory access.
+func (o Op) IsLocal() bool { return o == OpLdL || o == OpStL }
+
+// IsGlobal reports whether the opcode is a global-memory access.
+func (o Op) IsGlobal() bool { return o == OpLdG || o == OpStG }
+
+// IsLoad reports whether the opcode reads memory.
+func (o Op) IsLoad() bool { return o == OpLdG || o == OpLdL || o == OpLdS }
+
+// IsStore reports whether the opcode writes memory.
+func (o Op) IsStore() bool { return o == OpStG || o == OpStL || o == OpStS }
+
+// IsControl reports whether the opcode can change control flow.
+func (o Op) IsControl() bool {
+	switch o {
+	case OpBra, OpSSY, OpSync, OpExit, OpCall, OpCallI, OpRet:
+		return true
+	}
+	return false
+}
+
+// IsCall reports whether the opcode transfers control into a function.
+func (o Op) IsCall() bool { return o == OpCall || o == OpCallI }
+
+// IsCARSOp reports whether the opcode is a CARS stack micro-op.
+func (o Op) IsCARSOp() bool {
+	return o == OpPushRFP || o == OpPush || o == OpPop
+}
+
+// IsSFU reports whether the opcode executes on the special-function unit.
+func (o Op) IsSFU() bool { return o == OpFRcp || o == OpFSqr }
+
+// CmpKind selects the comparison performed by OpSetP.
+type CmpKind uint8
+
+// Comparison kinds for SETP (signed integer comparison).
+const (
+	CmpEQ CmpKind = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (c CmpKind) String() string {
+	switch c {
+	case CmpEQ:
+		return "EQ"
+	case CmpNE:
+		return "NE"
+	case CmpLT:
+		return "LT"
+	case CmpLE:
+		return "LE"
+	case CmpGT:
+		return "GT"
+	case CmpGE:
+		return "GE"
+	}
+	return "?"
+}
+
+// Eval applies the comparison to signed 32-bit operands.
+func (c CmpKind) Eval(a, b uint32) bool {
+	sa, sb := int32(a), int32(b)
+	switch c {
+	case CmpEQ:
+		return sa == sb
+	case CmpNE:
+		return sa != sb
+	case CmpLT:
+		return sa < sb
+	case CmpLE:
+		return sa <= sb
+	case CmpGT:
+		return sa > sb
+	case CmpGE:
+		return sa >= sb
+	}
+	return false
+}
+
+// Special enumerates special registers read by OpS2R.
+type Special uint8
+
+// Special register identifiers.
+const (
+	SrLaneID Special = iota // lane index within the warp [0,32)
+	SrTID                   // thread index within the block
+	SrCTAID                 // block index within the grid
+	SrNTID                  // threads per block
+	SrNCTAID                // blocks per grid
+	SrWarpID                // warp index within the block
+)
+
+func (s Special) String() string {
+	switch s {
+	case SrLaneID:
+		return "SR_LANEID"
+	case SrTID:
+		return "SR_TID"
+	case SrCTAID:
+		return "SR_CTAID"
+	case SrNTID:
+		return "SR_NTID"
+	case SrNCTAID:
+		return "SR_NCTAID"
+	case SrWarpID:
+		return "SR_WARPID"
+	}
+	return "SR_?"
+}
+
+// NoReg marks an unused register operand.
+const NoReg = 0xFF
+
+// NoPred marks an unused predicate operand.
+const NoPred = 0xFF
+
+// Instruction is one machine instruction. Contemporary GPU instructions
+// are wide (16B on Volta/Hopper); this struct mirrors that flavour with
+// explicit operand fields rather than packed encodings.
+type Instruction struct {
+	Op   Op
+	Dst  uint8 // destination register (NoReg if none)
+	SrcA uint8 // source register A (NoReg if none)
+	SrcB uint8 // source register B (NoReg if none)
+	SrcC uint8 // source register C (store data / FMA addend)
+	PDst uint8 // destination predicate (SETP)
+	Pred uint8 // guard predicate (NoPred = always)
+	PNeg bool  // negate guard predicate
+
+	Imm int32 // immediate: MOVI value, memory offset, PUSH/POP count
+
+	Cmp     CmpKind // comparison for SETP
+	Sreg    Special // special register for S2R
+	Target  int     // branch target (instruction index within function)
+	Target2 int     // reconvergence point for predicated BRA / SSY
+
+	// Callee is the linked function index for OpCall. For OpCallI it is
+	// -1 and SrcA supplies the function index at run time.
+	Callee int
+
+	// FRU is the callee's Function Register Usage, embedded by the linker
+	// into call and return instructions (§IV-A) so the hardware knows the
+	// frame size before the function executes.
+	FRU int
+
+	// Spill marks LDL/STL instructions inserted by the ABI to preserve
+	// callee-saved registers, distinguishing spill/fill traffic from
+	// "other local" accesses in the paper's breakdowns (Figs. 2, 9).
+	Spill bool
+}
+
+// Reads returns the architectural registers this instruction reads.
+// The result slice is appended to buf to avoid allocation in hot paths.
+func (in *Instruction) Reads(buf []uint8) []uint8 {
+	if in.SrcA != NoReg {
+		buf = append(buf, in.SrcA)
+	}
+	if in.SrcB != NoReg {
+		buf = append(buf, in.SrcB)
+	}
+	if in.SrcC != NoReg {
+		buf = append(buf, in.SrcC)
+	}
+	return buf
+}
+
+// WritesReg reports whether the instruction writes a destination register.
+func (in *Instruction) WritesReg() bool { return in.Dst != NoReg }
+
+// String disassembles the instruction.
+func (in *Instruction) String() string {
+	s := ""
+	if in.Pred != NoPred {
+		neg := ""
+		if in.PNeg {
+			neg = "!"
+		}
+		s = fmt.Sprintf("@%sP%d ", neg, in.Pred)
+	}
+	s += in.Op.String()
+	switch in.Op {
+	case OpMovI:
+		s += fmt.Sprintf(" R%d, %d", in.Dst, in.Imm)
+	case OpS2R:
+		s += fmt.Sprintf(" R%d, %s", in.Dst, in.Sreg)
+	case OpSetP:
+		s += fmt.Sprintf(".%s P%d, R%d, R%d", in.Cmp, in.PDst, in.SrcA, in.SrcB)
+	case OpLdG, OpLdL, OpLdS:
+		s += fmt.Sprintf(" R%d, [R%d+%d]", in.Dst, in.SrcA, in.Imm)
+	case OpStG, OpStL, OpStS:
+		s += fmt.Sprintf(" [R%d+%d], R%d", in.SrcA, in.Imm, in.SrcC)
+	case OpBra:
+		s += fmt.Sprintf(" %d", in.Target)
+	case OpSSY:
+		s += fmt.Sprintf(" %d", in.Target2)
+	case OpCall:
+		s += fmt.Sprintf(" F%d (FRU=%d)", in.Callee, in.FRU)
+	case OpCallI:
+		s += fmt.Sprintf(" [R%d] (FRU=%d)", in.SrcA, in.FRU)
+	case OpRet:
+		s += fmt.Sprintf(" (FRU=%d)", in.FRU)
+	case OpPush, OpPop:
+		s += fmt.Sprintf(" %d", in.Imm)
+	default:
+		if in.Dst != NoReg {
+			s += fmt.Sprintf(" R%d", in.Dst)
+			if in.SrcA != NoReg {
+				s += fmt.Sprintf(", R%d", in.SrcA)
+			}
+			if in.SrcB != NoReg {
+				s += fmt.Sprintf(", R%d", in.SrcB)
+			}
+			if in.SrcC != NoReg {
+				s += fmt.Sprintf(", R%d", in.SrcC)
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,58 @@
+package kir_test
+
+import (
+	"fmt"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+)
+
+// Example builds a two-function program with the structured builder and
+// lowers it under both ABI modes, showing how the same source yields
+// spill/fill instructions on the baseline and push/pop micro-ops under
+// CARS.
+func Example() {
+	m := &kir.Module{Name: "demo"}
+
+	double := kir.NewFunc("double")
+	double.IAdd(4, 4, 4).Ret()
+	m.AddFunc(double.MustBuild())
+
+	addSq := kir.NewFunc("addsq").SetCalleeSaved(1)
+	addSq.Mov(16, 4). // keep x live across the call
+				Call("double").
+				IMad(4, 16, 16, 4). // x*x + 2x
+				Ret()
+	m.AddFunc(addSq.MustBuild())
+
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		Mov(4, 8).
+		Call("addsq").
+		Exit()
+	m.AddFunc(k.MustBuild())
+
+	for _, mode := range []abi.Mode{abi.Baseline, abi.CARS} {
+		prog, err := abi.Link(mode, m)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		f := prog.FuncByName("addsq")
+		spills, stackOps := 0, 0
+		for i := range f.Code {
+			if f.Code[i].Spill {
+				spills++
+			}
+			if f.Code[i].Op.IsCARSOp() {
+				stackOps++
+			}
+		}
+		fmt.Printf("%s: %d spill/fill instructions, %d stack micro-ops\n",
+			mode, spills, stackOps)
+	}
+	// Output:
+	// baseline: 2 spill/fill instructions, 0 stack micro-ops
+	// cars: 0 spill/fill instructions, 3 stack micro-ops
+}

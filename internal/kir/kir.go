@@ -1,0 +1,413 @@
+// Package kir provides a structured builder for authoring device
+// functions and kernels in the simulated GPU's ISA.
+//
+// Builders emit "pre-ABI" code: function bodies with symbolic call
+// targets, no prologue/epilogue, and structured control flow whose
+// reconvergence points are computed by the builder. The abi package
+// lowers pre-ABI modules into executable programs, inserting either
+// baseline spill/fill sequences or CARS push/pop micro-ops.
+package kir
+
+import (
+	"fmt"
+
+	"carsgo/internal/isa"
+)
+
+// Func is a pre-ABI function definition produced by a Builder.
+type Func struct {
+	Name     string
+	IsKernel bool
+
+	// CalleeSaved is how many callee-saved registers (R16..) the body
+	// uses; the ABI pass preserves exactly these.
+	CalleeSaved int
+
+	// ExtraLocalBytes is per-thread local memory the function uses beyond
+	// ABI spill slots ("other locals" in the paper's Figure 2 breakdown).
+	ExtraLocalBytes int
+
+	Code []isa.Instruction
+
+	// CallNames holds the symbolic target for each OpCall in code order;
+	// OpCall.Callee indexes into this slice pre-link.
+	CallNames []string
+
+	// IndirectTargets holds, per OpCallI in code order, the candidate
+	// target names known at the call point.
+	IndirectTargets [][]string
+
+	// FuncRefs records MovFuncIdx fixups: instruction index -> target
+	// function name whose linked index becomes the immediate.
+	FuncRefs map[int]string
+
+	RegsUsed int
+}
+
+// Module is a compilation unit: a set of pre-ABI functions. Mirrors a
+// CUDA translation unit compiled with -dc (separate compilation).
+type Module struct {
+	Name  string
+	Funcs []*Func
+}
+
+// AddFunc appends a finished function to the module.
+func (m *Module) AddFunc(f *Func) { m.Funcs = append(m.Funcs, f) }
+
+// Builder assembles one function.
+type Builder struct {
+	f      *Func
+	err    error
+	maxReg int
+}
+
+// NewFunc starts building a device function.
+func NewFunc(name string) *Builder {
+	return &Builder{f: &Func{Name: name, FuncRefs: map[int]string{}}}
+}
+
+// NewKernel starts building a __global__ kernel entry point.
+func NewKernel(name string) *Builder {
+	b := NewFunc(name)
+	b.f.IsKernel = true
+	return b
+}
+
+// SetCalleeSaved declares how many callee-saved registers the body uses.
+func (b *Builder) SetCalleeSaved(n int) *Builder {
+	b.f.CalleeSaved = n
+	b.touch(uint8(isa.FirstCalleeSaved + n - 1))
+	return b
+}
+
+// SetExtraLocalBytes declares non-spill local memory usage.
+func (b *Builder) SetExtraLocalBytes(n int) *Builder {
+	b.f.ExtraLocalBytes = n
+	return b
+}
+
+func (b *Builder) touch(regs ...uint8) {
+	for _, r := range regs {
+		if r == isa.NoReg {
+			continue
+		}
+		if int(r) >= b.maxReg {
+			b.maxReg = int(r) + 1
+		}
+	}
+}
+
+func (b *Builder) emit(in isa.Instruction) int {
+	b.touch(in.Dst, in.SrcA, in.SrcB, in.SrcC)
+	b.f.Code = append(b.f.Code, in)
+	return len(b.f.Code) - 1
+}
+
+// --- ALU ---
+
+// MovI sets dst to an immediate.
+func (b *Builder) MovI(dst uint8, imm int32) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpMovI, Dst: dst, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred, Imm: imm})
+	return b
+}
+
+// Mov copies src to dst.
+func (b *Builder) Mov(dst, src uint8) *Builder {
+	return b.alu(isa.OpMov, dst, src, isa.NoReg, isa.NoReg, 0)
+}
+
+func (b *Builder) alu(op isa.Op, dst, a, src2, src3 uint8, imm int32) *Builder {
+	b.emit(isa.Instruction{Op: op, Dst: dst, SrcA: a, SrcB: src2, SrcC: src3, Pred: isa.NoPred, Imm: imm})
+	return b
+}
+
+// IAdd emits dst = a + c.
+func (b *Builder) IAdd(dst, a, c uint8) *Builder { return b.alu(isa.OpIAdd, dst, a, c, isa.NoReg, 0) }
+
+// IAddI emits dst = a + imm.
+func (b *Builder) IAddI(dst, a uint8, imm int32) *Builder {
+	return b.alu(isa.OpIAdd, dst, a, isa.NoReg, isa.NoReg, imm)
+}
+
+// ISub emits dst = a - c.
+func (b *Builder) ISub(dst, a, c uint8) *Builder { return b.alu(isa.OpISub, dst, a, c, isa.NoReg, 0) }
+
+// IMul emits dst = a * c.
+func (b *Builder) IMul(dst, a, c uint8) *Builder { return b.alu(isa.OpIMul, dst, a, c, isa.NoReg, 0) }
+
+// IMulI emits dst = a * imm.
+func (b *Builder) IMulI(dst, a uint8, imm int32) *Builder {
+	return b.alu(isa.OpIMul, dst, a, isa.NoReg, isa.NoReg, imm)
+}
+
+// IMad emits dst = a*bb + c.
+func (b *Builder) IMad(dst, a, bb, c uint8) *Builder { return b.alu(isa.OpIMad, dst, a, bb, c, 0) }
+
+// IMin emits dst = min(a, c).
+func (b *Builder) IMin(dst, a, c uint8) *Builder { return b.alu(isa.OpIMin, dst, a, c, isa.NoReg, 0) }
+
+// IMax emits dst = max(a, c).
+func (b *Builder) IMax(dst, a, c uint8) *Builder { return b.alu(isa.OpIMax, dst, a, c, isa.NoReg, 0) }
+
+// And emits dst = a & c.
+func (b *Builder) And(dst, a, c uint8) *Builder { return b.alu(isa.OpAnd, dst, a, c, isa.NoReg, 0) }
+
+// AndI emits dst = a & imm.
+func (b *Builder) AndI(dst, a uint8, imm int32) *Builder {
+	return b.alu(isa.OpAnd, dst, a, isa.NoReg, isa.NoReg, imm)
+}
+
+// Or emits dst = a | c.
+func (b *Builder) Or(dst, a, c uint8) *Builder { return b.alu(isa.OpOr, dst, a, c, isa.NoReg, 0) }
+
+// Xor emits dst = a ^ c.
+func (b *Builder) Xor(dst, a, c uint8) *Builder { return b.alu(isa.OpXor, dst, a, c, isa.NoReg, 0) }
+
+// XorI emits dst = a ^ imm.
+func (b *Builder) XorI(dst, a uint8, imm int32) *Builder {
+	return b.alu(isa.OpXor, dst, a, isa.NoReg, isa.NoReg, imm)
+}
+
+// ShlI emits dst = a << imm.
+func (b *Builder) ShlI(dst, a uint8, imm int32) *Builder {
+	return b.alu(isa.OpShl, dst, a, isa.NoReg, isa.NoReg, imm)
+}
+
+// ShrI emits dst = a >> imm (logical).
+func (b *Builder) ShrI(dst, a uint8, imm int32) *Builder {
+	return b.alu(isa.OpShr, dst, a, isa.NoReg, isa.NoReg, imm)
+}
+
+// FAdd emits dst = a + c (float32 lanes).
+func (b *Builder) FAdd(dst, a, c uint8) *Builder { return b.alu(isa.OpFAdd, dst, a, c, isa.NoReg, 0) }
+
+// FMul emits dst = a * c (float32 lanes).
+func (b *Builder) FMul(dst, a, c uint8) *Builder { return b.alu(isa.OpFMul, dst, a, c, isa.NoReg, 0) }
+
+// FFma emits dst = a*bb + c (float32 lanes).
+func (b *Builder) FFma(dst, a, bb, c uint8) *Builder { return b.alu(isa.OpFFma, dst, a, bb, c, 0) }
+
+// FRcp emits dst = 1/a on the SFU.
+func (b *Builder) FRcp(dst, a uint8) *Builder {
+	return b.alu(isa.OpFRcp, dst, a, isa.NoReg, isa.NoReg, 0)
+}
+
+// FSqrt emits dst = sqrt(a) on the SFU.
+func (b *Builder) FSqrt(dst, a uint8) *Builder {
+	return b.alu(isa.OpFSqr, dst, a, isa.NoReg, isa.NoReg, 0)
+}
+
+// SetP emits p = (a <cmp> c).
+func (b *Builder) SetP(p uint8, cmp isa.CmpKind, a, c uint8) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpSetP, Dst: isa.NoReg, PDst: p, SrcA: a, SrcB: c, SrcC: isa.NoReg, Pred: isa.NoPred, Cmp: cmp})
+	return b
+}
+
+// SetPI emits p = (a <cmp> imm).
+func (b *Builder) SetPI(p uint8, cmp isa.CmpKind, a uint8, imm int32) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpSetP, Dst: isa.NoReg, PDst: p, SrcA: a, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred, Cmp: cmp, Imm: imm})
+	return b
+}
+
+// Sel emits dst = p ? a : c.
+func (b *Builder) Sel(dst, a, c, p uint8) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpSel, Dst: dst, SrcA: a, SrcB: c, SrcC: isa.NoReg, Pred: p})
+	return b
+}
+
+// S2R reads a special register into dst.
+func (b *Builder) S2R(dst uint8, sr isa.Special) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpS2R, Dst: dst, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred, Sreg: sr})
+	return b
+}
+
+// --- Memory ---
+
+// LdG emits a global load dst = [addr+off].
+func (b *Builder) LdG(dst, addr uint8, off int32) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpLdG, Dst: dst, SrcA: addr, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred, Imm: off})
+	return b
+}
+
+// StG emits a global store [addr+off] = val.
+func (b *Builder) StG(addr uint8, off int32, val uint8) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpStG, Dst: isa.NoReg, SrcA: addr, SrcB: isa.NoReg, SrcC: val, Pred: isa.NoPred, Imm: off})
+	return b
+}
+
+// LdL emits an explicit local-memory load (an "other local", not a spill).
+func (b *Builder) LdL(dst, addr uint8, off int32) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpLdL, Dst: dst, SrcA: addr, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred, Imm: off})
+	return b
+}
+
+// StL emits an explicit local-memory store (an "other local").
+func (b *Builder) StL(addr uint8, off int32, val uint8) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpStL, Dst: isa.NoReg, SrcA: addr, SrcB: isa.NoReg, SrcC: val, Pred: isa.NoPred, Imm: off})
+	return b
+}
+
+// LdS emits a shared-memory load.
+func (b *Builder) LdS(dst, addr uint8, off int32) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpLdS, Dst: dst, SrcA: addr, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred, Imm: off})
+	return b
+}
+
+// StS emits a shared-memory store.
+func (b *Builder) StS(addr uint8, off int32, val uint8) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpStS, Dst: isa.NoReg, SrcA: addr, SrcB: isa.NoReg, SrcC: val, Pred: isa.NoPred, Imm: off})
+	return b
+}
+
+// --- Calls and control ---
+
+// Call emits a direct call to the named function.
+func (b *Builder) Call(name string) *Builder {
+	b.emit(isa.Instruction{Op: isa.OpCall, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred, Callee: len(b.f.CallNames)})
+	b.f.CallNames = append(b.f.CallNames, name)
+	return b
+}
+
+// CallIndirect emits an indirect call through reg, with the statically
+// known candidate target set (used by the linker for FRU sizing, §III-C).
+func (b *Builder) CallIndirect(reg uint8, candidates ...string) *Builder {
+	if len(candidates) == 0 {
+		b.fail("CallIndirect requires at least one candidate target")
+		return b
+	}
+	b.emit(isa.Instruction{Op: isa.OpCallI, Dst: isa.NoReg, SrcA: reg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred, Callee: -1})
+	b.f.IndirectTargets = append(b.f.IndirectTargets, candidates)
+	return b
+}
+
+// MovFuncIdx loads the linked index of the named function into dst,
+// for use with CallIndirect.
+func (b *Builder) MovFuncIdx(dst uint8, name string) *Builder {
+	idx := b.emit(isa.Instruction{Op: isa.OpMovI, Dst: dst, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred})
+	b.f.FuncRefs[idx] = name
+	return b
+}
+
+// Bar emits a block-wide barrier.
+func (b *Builder) Bar() *Builder {
+	b.emit(isa.Instruction{Op: isa.OpBar, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred})
+	return b
+}
+
+// Nop emits a no-op (useful as a pipeline filler in synthetic kernels).
+func (b *Builder) Nop() *Builder {
+	b.emit(isa.Instruction{Op: isa.OpNop, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred})
+	return b
+}
+
+// If runs then/else bodies under a predicate with SIMT divergence.
+// Reconvergence is at the end of the construct.
+func (b *Builder) If(p uint8, then func(*Builder), els func(*Builder)) *Builder {
+	// @!p BRA elseStart (reconv end)
+	braToElse := b.emit(isa.Instruction{Op: isa.OpBra, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: p, PNeg: true})
+	then(b)
+	if els != nil {
+		// taken path jumps over else
+		braToEnd := b.emit(isa.Instruction{Op: isa.OpBra, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred})
+		elseStart := len(b.f.Code)
+		els(b)
+		end := len(b.f.Code)
+		b.f.Code[braToElse].Target = elseStart
+		b.f.Code[braToElse].Target2 = end
+		b.f.Code[braToEnd].Target = end
+		b.f.Code[braToEnd].Target2 = end
+	} else {
+		end := len(b.f.Code)
+		b.f.Code[braToElse].Target = end
+		b.f.Code[braToElse].Target2 = end
+	}
+	return b
+}
+
+// For emits a counted loop: cnt runs 0..limit-1, where limit is a register
+// value that may vary per lane (producing divergence on exit).
+func (b *Builder) For(cnt, limit uint8, body func(*Builder)) *Builder {
+	b.MovI(cnt, 0)
+	// Guard against zero-trip loops: @!(cnt<limit) BRA end.
+	const loopPred = 7 // P7 reserved by builder loops
+	b.SetP(loopPred, isa.CmpLT, cnt, limit)
+	braSkip := b.emit(isa.Instruction{Op: isa.OpBra, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: loopPred, PNeg: true})
+	start := len(b.f.Code)
+	body(b)
+	b.IAddI(cnt, cnt, 1)
+	b.SetP(loopPred, isa.CmpLT, cnt, limit)
+	braBack := b.emit(isa.Instruction{Op: isa.OpBra, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: loopPred})
+	end := len(b.f.Code)
+	b.f.Code[braBack].Target = start
+	b.f.Code[braBack].Target2 = end
+	b.f.Code[braSkip].Target = end
+	b.f.Code[braSkip].Target2 = end
+	return b
+}
+
+// ForN emits a counted loop with a constant trip count, using cnt as the
+// induction register and scratch as a bound register.
+func (b *Builder) ForN(cnt, scratch uint8, n int32, body func(*Builder)) *Builder {
+	b.MovI(scratch, n)
+	return b.For(cnt, scratch, body)
+}
+
+// Ret emits the function return. Builders must emit exactly one Ret, as
+// the final instruction (early exits are expressed with If).
+func (b *Builder) Ret() *Builder {
+	b.emit(isa.Instruction{Op: isa.OpRet, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred})
+	return b
+}
+
+// Exit emits the kernel thread-exit instruction.
+func (b *Builder) Exit() *Builder {
+	b.emit(isa.Instruction{Op: isa.OpExit, Dst: isa.NoReg, SrcA: isa.NoReg, SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred})
+	return b
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("kir: %s: %s", b.f.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// Build finalises the function, validating builder invariants.
+func (b *Builder) Build() (*Func, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	f := b.f
+	f.RegsUsed = b.maxReg
+	n := len(f.Code)
+	if n == 0 {
+		return nil, fmt.Errorf("kir: %s: empty function", f.Name)
+	}
+	last := f.Code[n-1].Op
+	if f.IsKernel {
+		if last != isa.OpExit {
+			return nil, fmt.Errorf("kir: kernel %s must end with Exit", f.Name)
+		}
+	} else if last != isa.OpRet {
+		return nil, fmt.Errorf("kir: func %s must end with Ret", f.Name)
+	}
+	for i := 0; i < n-1; i++ {
+		op := f.Code[i].Op
+		if op == isa.OpRet && !f.IsKernel {
+			return nil, fmt.Errorf("kir: func %s has Ret at %d before end; use If for early exits", f.Name, i)
+		}
+	}
+	if f.CalleeSaved > isa.MaxArchRegs-isa.FirstCalleeSaved {
+		return nil, fmt.Errorf("kir: %s: callee-saved count %d too large", f.Name, f.CalleeSaved)
+	}
+	return f, nil
+}
+
+// MustBuild is Build that panics on error; intended for static workload
+// definitions where a failure is a programming bug.
+func (b *Builder) MustBuild() *Func {
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

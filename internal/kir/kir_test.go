@@ -1,0 +1,229 @@
+package kir
+
+import (
+	"testing"
+
+	"carsgo/internal/isa"
+)
+
+func TestBuilderEmitsAndTracksRegs(t *testing.T) {
+	f := NewFunc("f").
+		MovI(4, 10).
+		IAdd(5, 4, 4).
+		IMad(30, 5, 5, 4).
+		Ret().
+		MustBuild()
+	if f.RegsUsed != 31 {
+		t.Fatalf("RegsUsed = %d, want 31", f.RegsUsed)
+	}
+	if len(f.Code) != 4 {
+		t.Fatalf("code len = %d", len(f.Code))
+	}
+}
+
+func TestKernelMustEndWithExit(t *testing.T) {
+	b := NewKernel("k").MovI(4, 1)
+	if _, err := b.Build(); err == nil {
+		t.Fatal("kernel without Exit accepted")
+	}
+	b2 := NewFunc("f").MovI(4, 1)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("func without Ret accepted")
+	}
+}
+
+func TestSingleTrailingRet(t *testing.T) {
+	b := NewFunc("f").Ret().MovI(4, 1).Ret()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("early Ret accepted (must use If for early exits)")
+	}
+}
+
+func TestEmptyFunctionRejected(t *testing.T) {
+	if _, err := NewFunc("f").Build(); err == nil {
+		t.Fatal("empty function accepted")
+	}
+}
+
+func TestIfElseTargets(t *testing.T) {
+	f := NewFunc("f").
+		SetPI(0, isa.CmpGT, 4, 0).
+		If(0, func(b *Builder) {
+			b.MovI(5, 1)
+		}, func(b *Builder) {
+			b.MovI(5, 2)
+		}).
+		Ret().
+		MustBuild()
+	// Layout: setp, bra(!p0 -> else), then, bra(end), else, ret
+	braToElse := f.Code[1]
+	if braToElse.Op != isa.OpBra || !braToElse.PNeg {
+		t.Fatalf("no negated guard branch: %+v", braToElse)
+	}
+	elseStart := braToElse.Target
+	if f.Code[elseStart].Op != isa.OpMovI || f.Code[elseStart].Imm != 2 {
+		t.Fatalf("else target %d wrong", elseStart)
+	}
+	if braToElse.Target2 != elseStart+1 {
+		t.Fatalf("reconv %d, want %d", braToElse.Target2, elseStart+1)
+	}
+	braToEnd := f.Code[3]
+	if braToEnd.Op != isa.OpBra || braToEnd.Target != elseStart+1 {
+		t.Fatalf("then-exit branch wrong: %+v", braToEnd)
+	}
+}
+
+func TestIfWithoutElse(t *testing.T) {
+	f := NewFunc("f").
+		SetPI(0, isa.CmpGT, 4, 0).
+		If(0, func(b *Builder) { b.MovI(5, 1) }, nil).
+		Ret().
+		MustBuild()
+	bra := f.Code[1]
+	if bra.Target != 3 || bra.Target2 != 3 {
+		t.Fatalf("if-only branch: %+v", bra)
+	}
+}
+
+func TestForLoopShape(t *testing.T) {
+	f := NewFunc("f").
+		MovI(8, 5).
+		For(9, 8, func(b *Builder) { b.IAddI(10, 10, 1) }).
+		Ret().
+		MustBuild()
+	var back *isa.Instruction
+	for i := range f.Code {
+		if f.Code[i].Op == isa.OpBra && f.Code[i].Target < i {
+			back = &f.Code[i]
+		}
+	}
+	if back == nil {
+		t.Fatal("no backward branch in loop")
+	}
+	if back.Pred == isa.NoPred {
+		t.Fatal("loop back-branch must be predicated")
+	}
+	if f.Code[back.Target].Op != isa.OpIAdd {
+		t.Fatalf("loop target lands on %s", f.Code[back.Target].Op)
+	}
+}
+
+func TestCallBookkeeping(t *testing.T) {
+	f := NewFunc("f").
+		Call("x").
+		Call("y").
+		MovFuncIdx(8, "z").
+		CallIndirect(8, "z", "w").
+		Ret().
+		MustBuild()
+	if len(f.CallNames) != 2 || f.CallNames[0] != "x" || f.CallNames[1] != "y" {
+		t.Fatalf("call names: %v", f.CallNames)
+	}
+	if len(f.IndirectTargets) != 1 || len(f.IndirectTargets[0]) != 2 {
+		t.Fatalf("indirect targets: %v", f.IndirectTargets)
+	}
+	if len(f.FuncRefs) != 1 {
+		t.Fatalf("func refs: %v", f.FuncRefs)
+	}
+	if f.Code[0].Callee != 0 || f.Code[1].Callee != 1 {
+		t.Fatal("call indices wrong")
+	}
+}
+
+func TestIndirectWithoutCandidatesFails(t *testing.T) {
+	b := NewFunc("f").CallIndirect(8)
+	b.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("indirect call with no candidates accepted")
+	}
+}
+
+func TestCalleeSavedValidation(t *testing.T) {
+	b := NewFunc("f").SetCalleeSaved(300)
+	b.Ret()
+	if _, err := b.Build(); err == nil {
+		t.Fatal("oversized callee-saved accepted")
+	}
+	f := NewFunc("g").SetCalleeSaved(4).Mov(16, 4).Ret().MustBuild()
+	if f.RegsUsed < 20 {
+		t.Fatalf("callee-saved not reflected in RegsUsed: %d", f.RegsUsed)
+	}
+}
+
+// TestAllBuilderOps touches every emitter so the generated instruction
+// stream matches the intended opcode and operand placement.
+func TestAllBuilderOps(t *testing.T) {
+	f := NewFunc("all").
+		MovI(4, 1).
+		Mov(5, 4).
+		IAdd(6, 4, 5).
+		IAddI(6, 6, 3).
+		ISub(7, 6, 4).
+		IMul(8, 6, 7).
+		IMulI(8, 8, 2).
+		IMad(9, 6, 7, 8).
+		IMin(10, 8, 9).
+		IMax(11, 8, 9).
+		And(12, 10, 11).
+		AndI(12, 12, 0xFF).
+		Or(13, 10, 11).
+		Xor(14, 10, 11).
+		XorI(14, 14, 0x55).
+		ShlI(15, 14, 2).
+		ShrI(15, 15, 1).
+		FAdd(6, 4, 5).
+		FMul(6, 4, 5).
+		FFma(6, 4, 5, 6).
+		FRcp(7, 6).
+		FSqrt(7, 6).
+		SetP(0, isa.CmpLT, 6, 7).
+		SetPI(1, isa.CmpGE, 6, 9).
+		Sel(8, 6, 7, 0).
+		S2R(9, isa.SrNCTAID).
+		LdG(10, 4, 0).
+		StG(4, 0, 10).
+		LdL(10, 1, 0).
+		StL(1, 0, 10).
+		LdS(10, 4, 0).
+		StS(4, 0, 10).
+		Bar().
+		Nop().
+		Ret().
+		MustBuild()
+	wantOps := []isa.Op{
+		isa.OpMovI, isa.OpMov, isa.OpIAdd, isa.OpIAdd, isa.OpISub,
+		isa.OpIMul, isa.OpIMul, isa.OpIMad, isa.OpIMin, isa.OpIMax,
+		isa.OpAnd, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpXor,
+		isa.OpShl, isa.OpShr, isa.OpFAdd, isa.OpFMul, isa.OpFFma,
+		isa.OpFRcp, isa.OpFSqr, isa.OpSetP, isa.OpSetP, isa.OpSel,
+		isa.OpS2R, isa.OpLdG, isa.OpStG, isa.OpLdL, isa.OpStL,
+		isa.OpLdS, isa.OpStS, isa.OpBar, isa.OpNop, isa.OpRet,
+	}
+	if len(f.Code) != len(wantOps) {
+		t.Fatalf("emitted %d ops, want %d", len(f.Code), len(wantOps))
+	}
+	for i, w := range wantOps {
+		if f.Code[i].Op != w {
+			t.Errorf("instr %d: %s, want %s", i, f.Code[i].Op, w)
+		}
+	}
+	// Immediate forms mark SrcB as unused.
+	if f.Code[3].SrcB != isa.NoReg || f.Code[3].Imm != 3 {
+		t.Error("IAddI encoding wrong")
+	}
+}
+
+func TestForNAndExtraLocals(t *testing.T) {
+	f := NewFunc("g").
+		SetExtraLocalBytes(16).
+		ForN(8, 9, 5, func(b *Builder) { b.Nop() }).
+		Ret().
+		MustBuild()
+	if f.ExtraLocalBytes != 16 {
+		t.Fatal("extra locals lost")
+	}
+	// ForN materialises the bound into the scratch register.
+	if f.Code[0].Op != isa.OpMovI || f.Code[0].Imm != 5 {
+		t.Fatalf("ForN bound setup wrong: %+v", f.Code[0])
+	}
+}

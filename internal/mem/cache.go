@@ -1,0 +1,241 @@
+// Package mem models the GPU memory hierarchy: sectored set-associative
+// caches (L1D, L1I, L2 tags), MSHRs, port bandwidth, an L2/DRAM latency
+// and bandwidth model, and per-warp access coalescing.
+//
+// The model is deliberately shaped around the two interference effects
+// the paper separates (§I, §VI-A): capacity interference (spill lines
+// evicting useful global data) and bandwidth interference (spill sectors
+// consuming L1D ports and L2/DRAM bandwidth that global accesses need).
+package mem
+
+// AccessClass labels memory traffic for the paper's breakdowns.
+type AccessClass uint8
+
+// Traffic classes (Fig. 2 / Fig. 9 categories).
+const (
+	ClassGlobal     AccessClass = iota // global loads/stores
+	ClassLocalSpill                    // ABI spill/fill traffic
+	ClassLocalOther                    // non-spill local accesses
+	ClassShared                        // shared-memory (not via L1)
+	ClassInst                          // instruction fetch
+	NumClasses
+)
+
+func (c AccessClass) String() string {
+	switch c {
+	case ClassGlobal:
+		return "global"
+	case ClassLocalSpill:
+		return "spill/fill"
+	case ClassLocalOther:
+		return "local-other"
+	case ClassShared:
+		return "shared"
+	case ClassInst:
+		return "inst"
+	}
+	return "?"
+}
+
+// CacheConfig sizes one cache.
+type CacheConfig struct {
+	Bytes       int
+	Assoc       int
+	LineBytes   int // 128 on V100
+	SectorBytes int // 32 on V100
+}
+
+// Sectors returns sectors per line.
+func (c CacheConfig) Sectors() int { return c.LineBytes / c.SectorBytes }
+
+// Lines returns the total line count.
+func (c CacheConfig) Lines() int { return c.Bytes / c.LineBytes }
+
+type line struct {
+	tag     uint64
+	valid   bool
+	sectors uint8 // valid-sector bitmask
+	dirty   uint8 // dirty-sector bitmask
+	lru     uint64
+}
+
+// CacheStats counts cache events by traffic class.
+type CacheStats struct {
+	Accesses   [NumClasses]uint64 // sector accesses
+	Misses     [NumClasses]uint64 // sector misses
+	LineFills  uint64
+	Writebacks uint64 // dirty sector writebacks on eviction
+}
+
+// TotalAccesses sums sector accesses over all classes.
+func (s *CacheStats) TotalAccesses() uint64 {
+	var t uint64
+	for _, v := range s.Accesses {
+		t += v
+	}
+	return t
+}
+
+// TotalMisses sums sector misses over all classes.
+func (s *CacheStats) TotalMisses() uint64 {
+	var t uint64
+	for _, v := range s.Misses {
+		t += v
+	}
+	return t
+}
+
+// Cache is a sectored, set-associative cache tag array with LRU
+// replacement. It tracks tags and sector validity only; data values live
+// in the functional backing stores.
+type Cache struct {
+	cfg     CacheConfig
+	sets    int
+	assoc   int
+	lines   []line // sets × assoc
+	tick    uint64
+	Stats   CacheStats
+	setMask uint64
+}
+
+// NewCache builds a cache from the config. Sets are forced to a power of
+// two by rounding down, keeping index math branch-free.
+func NewCache(cfg CacheConfig) *Cache {
+	sets := cfg.Lines() / cfg.Assoc
+	// round down to power of two
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &Cache{
+		cfg:     cfg,
+		sets:    sets,
+		assoc:   cfg.Assoc,
+		lines:   make([]line, sets*cfg.Assoc),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineAddr converts a byte address to a line-aligned address.
+func (c *Cache) LineAddr(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineBytes-1)
+}
+
+// SectorOf returns the sector index of a byte address within its line.
+func (c *Cache) SectorOf(addr uint64) uint {
+	return uint((addr % uint64(c.cfg.LineBytes)) / uint64(c.cfg.SectorBytes))
+}
+
+func (c *Cache) set(lineAddr uint64) []line {
+	idx := (lineAddr / uint64(c.cfg.LineBytes)) & c.setMask
+	return c.lines[idx*uint64(c.assoc) : (idx+1)*uint64(c.assoc)]
+}
+
+func (c *Cache) tagOf(lineAddr uint64) uint64 { return lineAddr / uint64(c.cfg.LineBytes) }
+
+// Probe looks up a line without updating LRU or stats. It returns the
+// valid-sector mask, or ok=false if the line is absent.
+func (c *Cache) Probe(lineAddr uint64) (sectors uint8, ok bool) {
+	tag := c.tagOf(lineAddr)
+	for i := range c.set(lineAddr) {
+		ln := &c.set(lineAddr)[i]
+		if ln.valid && ln.tag == tag {
+			return ln.sectors, true
+		}
+	}
+	return 0, false
+}
+
+// Access performs a sector-masked lookup, counting one access per
+// requested sector under the class. It returns the subset of requested
+// sectors that hit and the subset that missed. LRU is updated on contact.
+func (c *Cache) Access(lineAddr uint64, sectorMask uint8, class AccessClass) (hit, miss uint8) {
+	c.tick++
+	n := popcount8(sectorMask)
+	c.Stats.Accesses[class] += uint64(n)
+	tag := c.tagOf(lineAddr)
+	set := c.set(lineAddr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			ln.lru = c.tick
+			hit = sectorMask & ln.sectors
+			miss = sectorMask &^ ln.sectors
+			c.Stats.Misses[class] += uint64(popcount8(miss))
+			return hit, miss
+		}
+	}
+	c.Stats.Misses[class] += uint64(n)
+	return 0, sectorMask
+}
+
+// Fill installs sectors for a line, allocating (and possibly evicting) a
+// way if the line is absent. It returns the evicted dirty-sector count
+// (writeback traffic) and the evicted line address.
+func (c *Cache) Fill(lineAddr uint64, sectorMask uint8) (evictedDirty int, evictedAddr uint64) {
+	c.tick++
+	tag := c.tagOf(lineAddr)
+	set := c.set(lineAddr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			ln.sectors |= sectorMask
+			ln.lru = c.tick
+			c.Stats.LineFills++
+			return 0, 0
+		}
+	}
+	victim := &set[0]
+	for i := range set {
+		ln := &set[i]
+		if !ln.valid {
+			victim = ln
+			break
+		}
+		if ln.lru < victim.lru {
+			victim = ln
+		}
+	}
+	if victim.valid && victim.dirty != 0 {
+		evictedDirty = popcount8(victim.dirty)
+		evictedAddr = victim.tag * uint64(c.cfg.LineBytes)
+		c.Stats.Writebacks += uint64(evictedDirty)
+	}
+	victim.tag = tag
+	victim.valid = true
+	victim.sectors = sectorMask
+	victim.dirty = 0
+	victim.lru = c.tick
+	c.Stats.LineFills++
+	return evictedDirty, evictedAddr
+}
+
+// MarkDirty marks sectors dirty (and valid) on a present line; it
+// reports whether the line was present.
+func (c *Cache) MarkDirty(lineAddr uint64, sectorMask uint8) bool {
+	tag := c.tagOf(lineAddr)
+	set := c.set(lineAddr)
+	for i := range set {
+		ln := &set[i]
+		if ln.valid && ln.tag == tag {
+			ln.dirty |= sectorMask
+			ln.sectors |= sectorMask
+			ln.lru = c.tick
+			return true
+		}
+	}
+	return false
+}
+
+func popcount8(m uint8) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}

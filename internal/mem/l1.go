@@ -1,0 +1,153 @@
+package mem
+
+// L1Config parameterises a per-SM L1 cache front-end.
+type L1Config struct {
+	Cache      CacheConfig
+	HitLatency int64
+	MSHRs      int
+	// AllHitSpills models the paper's ALL-HIT study (§VI-A2): spill/fill
+	// accesses always hit without traversing the cache, but still pay
+	// the hit latency and port bandwidth.
+	AllHitSpills bool
+}
+
+type l1Waiter struct {
+	needed   uint8
+	complete func(int64)
+}
+
+type l1MSHR struct {
+	pending uint8 // sectors requested from L2, not yet arrived
+	arrived uint8
+	waiters []l1Waiter
+}
+
+// L1 is a per-SM first-level cache with MSHRs, backed by the shared
+// System. Loads that miss allocate an MSHR and complete when the fill
+// arrives; global stores write through; local stores write back with
+// allocate-on-write (spill frames are warp-private and fully written,
+// so no fetch-on-write is needed).
+type L1 struct {
+	cache *Cache
+	sys   *System
+	cfg   L1Config
+	mshrs map[uint64]*l1MSHR
+
+	// MSHRStalls counts cycles the LSU could not proceed for want of an
+	// MSHR entry.
+	MSHRStalls uint64
+}
+
+// NewL1 builds an L1 front-end.
+func NewL1(cfg L1Config, sys *System) *L1 {
+	return &L1{cache: NewCache(cfg.Cache), sys: sys, cfg: cfg, mshrs: map[uint64]*l1MSHR{}}
+}
+
+// Cache exposes the underlying tag array for statistics.
+func (l *L1) Cache() *Cache { return l.cache }
+
+// Stats returns the tag-array statistics.
+func (l *L1) Stats() *CacheStats { return &l.cache.Stats }
+
+// LineBytes returns the line size.
+func (l *L1) LineBytes() int { return l.cfg.Cache.LineBytes }
+
+// SectorBytes returns the sector size.
+func (l *L1) SectorBytes() int { return l.cfg.Cache.SectorBytes }
+
+// Load processes one coalesced load access (a line address plus sector
+// mask). complete is invoked exactly once with the cycle at which all
+// requested sectors are available. Load reports false — and performs
+// nothing — if an MSHR is required but none is free; the caller retries.
+func (l *L1) Load(now int64, lineAddr uint64, sectorMask uint8, class AccessClass, complete func(int64)) bool {
+	if l.cfg.AllHitSpills && class == ClassLocalSpill {
+		l.cache.Stats.Accesses[class] += uint64(popcount8(sectorMask))
+		complete(now + l.cfg.HitLatency)
+		return true
+	}
+	// Reserve MSHR capacity before mutating tag state: a miss with no
+	// free MSHR must leave the cache untouched so the retry is clean.
+	sectors, present := l.cache.Probe(lineAddr)
+	if !present || sectorMask&^sectors != 0 {
+		if _, merged := l.mshrs[lineAddr]; !merged && len(l.mshrs) >= l.cfg.MSHRs {
+			l.MSHRStalls++
+			return false
+		}
+	}
+
+	_, miss := l.cache.Access(lineAddr, sectorMask, class)
+	if miss == 0 {
+		complete(now + l.cfg.HitLatency)
+		return true
+	}
+	m, ok := l.mshrs[lineAddr]
+	if !ok {
+		m = &l1MSHR{}
+		l.mshrs[lineAddr] = m
+	}
+	newSectors := miss &^ (m.pending | m.arrived)
+	m.waiters = append(m.waiters, l1Waiter{needed: miss, complete: complete})
+	if newSectors != 0 {
+		m.pending |= newSectors
+		done := l.sys.FetchLine(now, lineAddr, newSectors, class)
+		l.sys.Schedule(done, func(cycle int64) { l.fill(cycle, lineAddr, newSectors) })
+	}
+	return true
+}
+
+func (l *L1) fill(now int64, lineAddr uint64, sectors uint8) {
+	evDirty, evAddr := l.cache.Fill(lineAddr, sectors)
+	if evDirty > 0 {
+		l.sys.Writeback(now, evAddr, evDirty)
+	}
+	m, ok := l.mshrs[lineAddr]
+	if !ok {
+		return
+	}
+	m.arrived |= sectors
+	m.pending &^= sectors
+	kept := m.waiters[:0]
+	for _, w := range m.waiters {
+		if w.needed&^m.arrived == 0 {
+			w.complete(now)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	m.waiters = kept
+	if m.pending == 0 && len(m.waiters) == 0 {
+		delete(l.mshrs, lineAddr)
+	}
+}
+
+// StoreGlobal processes a coalesced global store: write-through,
+// no-allocate. Stores complete asynchronously and never stall the warp.
+func (l *L1) StoreGlobal(now int64, lineAddr uint64, sectorMask uint8) {
+	hit, _ := l.cache.Access(lineAddr, sectorMask, ClassGlobal)
+	if hit != 0 {
+		// Keep L1 contents coherent with the write-through data.
+		l.cache.MarkDirty(lineAddr, hit)
+	}
+	l.sys.WriteThrough(now, lineAddr, sectorMask, ClassGlobal)
+}
+
+// StoreLocal processes a coalesced local store (a spill when class is
+// ClassLocalSpill): write-back with allocate-on-write. Spill frames are
+// warp-private full-sector writes, so the allocation fetches nothing.
+func (l *L1) StoreLocal(now int64, lineAddr uint64, sectorMask uint8, class AccessClass) {
+	if l.cfg.AllHitSpills && class == ClassLocalSpill {
+		l.cache.Stats.Accesses[class] += uint64(popcount8(sectorMask))
+		return
+	}
+	_, miss := l.cache.Access(lineAddr, sectorMask, class)
+	if miss != 0 {
+		evDirty, evAddr := l.cache.Fill(lineAddr, miss)
+		if evDirty > 0 {
+			l.sys.Writeback(now, evAddr, evDirty)
+		}
+	}
+	l.cache.MarkDirty(lineAddr, sectorMask)
+}
+
+// PendingMSHRs returns the number of in-flight MSHR entries.
+func (l *L1) PendingMSHRs() int { return len(l.mshrs) }

@@ -1,0 +1,181 @@
+package mem
+
+import "container/heap"
+
+// Event is a scheduled memory-system callback.
+type event struct {
+	cycle int64
+	seq   uint64
+	fn    func(cycle int64)
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].cycle != h[j].cycle {
+		return h[i].cycle < h[j].cycle
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)    { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)      { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any        { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peekCycle() int64 { return h[0].cycle }
+
+// SystemConfig parameterises the shared L2/DRAM model.
+type SystemConfig struct {
+	L2 CacheConfig
+	// L2Latency is the round-trip latency from L1 miss to L2 data return.
+	L2Latency int64
+	// L2SectorsPerCycle is the aggregate L2 bandwidth in 32B sectors.
+	L2SectorsPerCycle float64
+	// DRAMLatency is the additional latency of an L2 miss.
+	DRAMLatency int64
+	// DRAMSectorsPerCycle is the aggregate DRAM bandwidth in sectors.
+	DRAMSectorsPerCycle float64
+}
+
+// SystemStats aggregates L2/DRAM traffic.
+type SystemStats struct {
+	L2Stats     CacheStats
+	DRAMSectors uint64
+}
+
+// System is the shared part of the hierarchy: L2 tags, DRAM bandwidth,
+// the global-memory functional backing store, and the event queue that
+// delivers miss completions back to the cores.
+type System struct {
+	cfg   SystemConfig
+	l2    *Cache
+	Stats SystemStats
+
+	events   eventHeap
+	eventSeq uint64
+
+	l2NextFree   float64
+	dramNextFree float64
+
+	global []uint32
+	next   uint32 // global allocation bump pointer (bytes)
+}
+
+// NewSystem builds the shared memory system with the given global
+// capacity in 32-bit words.
+func NewSystem(cfg SystemConfig, globalWords int) *System {
+	return &System{
+		cfg:    cfg,
+		l2:     NewCache(cfg.L2),
+		global: make([]uint32, globalWords),
+	}
+}
+
+// L2 exposes the L2 tag array (for tests and stats).
+func (s *System) L2() *Cache { return s.l2 }
+
+// Alloc reserves words of global memory, returning the byte address.
+// Allocations are 256-byte aligned so distinct arrays never share lines.
+func (s *System) Alloc(words int) uint32 {
+	const align = 256
+	s.next = (s.next + align - 1) &^ (align - 1)
+	addr := s.next
+	s.next += uint32(words * 4)
+	if int(s.next) > len(s.global)*4 {
+		panic("mem: global memory exhausted")
+	}
+	return addr
+}
+
+// Global returns the functional global-memory backing store.
+func (s *System) Global() []uint32 { return s.global }
+
+// ReadGlobal returns the word at the byte address.
+func (s *System) ReadGlobal(addr uint32) uint32 { return s.global[addr/4] }
+
+// WriteGlobal sets the word at the byte address.
+func (s *System) WriteGlobal(addr uint32, v uint32) { s.global[addr/4] = v }
+
+// Schedule registers fn to run at the given cycle.
+func (s *System) Schedule(cycle int64, fn func(int64)) {
+	s.eventSeq++
+	heap.Push(&s.events, event{cycle: cycle, seq: s.eventSeq, fn: fn})
+}
+
+// RunEvents fires all events due at or before now.
+func (s *System) RunEvents(now int64) {
+	for len(s.events) > 0 && s.events.peekCycle() <= now {
+		e := heap.Pop(&s.events).(event)
+		e.fn(now)
+	}
+}
+
+// NextEventCycle returns the cycle of the earliest pending event, or -1.
+func (s *System) NextEventCycle() int64 {
+	if len(s.events) == 0 {
+		return -1
+	}
+	return s.events.peekCycle()
+}
+
+// reserve books sectors on a bandwidth resource and returns the cycle at
+// which service begins.
+func reserve(nextFree *float64, now int64, sectors int, sectorsPerCycle float64) int64 {
+	start := float64(now)
+	if *nextFree > start {
+		start = *nextFree
+	}
+	*nextFree = start + float64(sectors)/sectorsPerCycle
+	return int64(start)
+}
+
+// FetchLine requests the missing sectors of a line from L2 (and DRAM on
+// an L2 miss) on behalf of an L1. It returns the cycle at which the data
+// arrives at the requesting L1. Class attribution follows the original
+// request so spill traffic is visible at every level.
+func (s *System) FetchLine(now int64, lineAddr uint64, sectorMask uint8, class AccessClass) int64 {
+	n := popcount8(sectorMask)
+	start := reserve(&s.l2NextFree, now, n, s.cfg.L2SectorsPerCycle)
+	hit, miss := s.l2.Access(lineAddr, sectorMask, class)
+	s.Stats.L2Stats = s.l2.Stats
+	done := start + s.cfg.L2Latency
+	if miss != 0 {
+		nm := popcount8(miss)
+		dstart := reserve(&s.dramNextFree, done, nm, s.cfg.DRAMSectorsPerCycle)
+		s.Stats.DRAMSectors += uint64(nm)
+		done = dstart + s.cfg.DRAMLatency
+		evDirty, _ := s.l2.Fill(lineAddr, miss)
+		if evDirty > 0 {
+			// L2 dirty eviction consumes DRAM write bandwidth.
+			reserve(&s.dramNextFree, done, evDirty, s.cfg.DRAMSectorsPerCycle)
+			s.Stats.DRAMSectors += uint64(evDirty)
+		}
+	}
+	_ = hit
+	return done
+}
+
+// WriteThrough books a write's sectors through L2 (global stores on
+// GPUs write through the L1). It consumes bandwidth but completes
+// asynchronously; stores do not stall the warp.
+func (s *System) WriteThrough(now int64, lineAddr uint64, sectorMask uint8, class AccessClass) {
+	n := popcount8(sectorMask)
+	reserve(&s.l2NextFree, now, n, s.cfg.L2SectorsPerCycle)
+	_, miss := s.l2.Access(lineAddr, sectorMask, class)
+	if miss != 0 {
+		s.l2.Fill(lineAddr, miss)
+		s.l2.MarkDirty(lineAddr, miss)
+		// Dirty data eventually drains to DRAM; book write bandwidth.
+		nm := popcount8(miss)
+		reserve(&s.dramNextFree, now, nm, s.cfg.DRAMSectorsPerCycle)
+		s.Stats.DRAMSectors += uint64(nm)
+	} else {
+		s.l2.MarkDirty(lineAddr, sectorMask)
+	}
+	s.Stats.L2Stats = s.l2.Stats
+}
+
+// Writeback books an L1 dirty-eviction's sectors into L2.
+func (s *System) Writeback(now int64, lineAddr uint64, sectors int) {
+	reserve(&s.l2NextFree, now, sectors, s.cfg.L2SectorsPerCycle)
+	s.l2.MarkDirty(lineAddr, 0) // touch LRU if present; data flow is implicit
+}

@@ -1,0 +1,105 @@
+// Package power is an AccelWattch-style event-energy model (§V-A).
+//
+// Energy is dynamic event counts times per-event energies, plus static
+// leakage proportional to runtime. The absolute coefficients are
+// order-of-magnitude figures for a 12nm-class GPU (pJ per event); the
+// paper's energy-efficiency result is shaped by relative changes in
+// event counts and runtime, which this model preserves: CARS removes
+// spill/fill L1/L2/DRAM events and shortens runtime, both of which cut
+// energy, while extra CARS micro-ops add negligible issue energy.
+package power
+
+import "carsgo/internal/stats"
+
+// Coefficients are per-event dynamic energies in picojoules and static
+// power in watts.
+type Coefficients struct {
+	IssuePJ      float64 // per issued warp-instruction (fetch/decode/issue)
+	ALUPJ        float64 // per lane ALU op
+	SFUPJ        float64 // per lane SFU op
+	RFAccessPJ   float64 // per 128B register-file read or write
+	L1SectorPJ   float64 // per 32B L1 sector access
+	L2SectorPJ   float64 // per 32B L2 sector access
+	DRAMSectorPJ float64 // per 32B DRAM sector transfer
+	SharedPJ     float64 // per shared-memory warp access
+	StaticWPerSM float64 // leakage per SM
+	ClockGHz     float64
+}
+
+// DefaultCoefficients returns V100-class energy coefficients.
+func DefaultCoefficients() Coefficients {
+	return Coefficients{
+		IssuePJ:      15,
+		ALUPJ:        1.2,
+		SFUPJ:        6.0,
+		RFAccessPJ:   9.0,
+		L1SectorPJ:   28,
+		L2SectorPJ:   85,
+		DRAMSectorPJ: 512,
+		SharedPJ:     22,
+		StaticWPerSM: 1.9,
+		ClockGHz:     1.4,
+	}
+}
+
+// Breakdown is the per-component energy in nanojoules.
+type Breakdown struct {
+	IssueNJ  float64
+	ALUNJ    float64
+	RFNJ     float64
+	L1NJ     float64
+	L2NJ     float64
+	DRAMNJ   float64
+	StaticNJ float64
+}
+
+// TotalNJ sums all components.
+func (b Breakdown) TotalNJ() float64 {
+	return b.IssueNJ + b.ALUNJ + b.RFNJ + b.L1NJ + b.L2NJ + b.DRAMNJ + b.StaticNJ
+}
+
+// Model evaluates energy for kernel statistics.
+type Model struct {
+	Coef   Coefficients
+	NumSMs int
+}
+
+// NewModel builds a model for a GPU with the given SM count.
+func NewModel(numSMs int) *Model {
+	return &Model{Coef: DefaultCoefficients(), NumSMs: numSMs}
+}
+
+// Energy computes the energy breakdown for one kernel's stats.
+func (m *Model) Energy(k *stats.Kernel) Breakdown {
+	c := m.Coef
+	var b Breakdown
+	totalInstr := float64(k.TotalInstructions())
+	b.IssueNJ = totalInstr * c.IssuePJ / 1000
+
+	aluLanes := float64(k.ThreadInstructions)
+	b.ALUNJ = (aluLanes*c.ALUPJ + float64(k.Instructions[stats.CatSFU])*32*c.SFUPJ) / 1000
+
+	b.RFNJ = float64(k.RFReads+k.RFWrites) * c.RFAccessPJ / 1000
+
+	l1 := float64(k.L1D.TotalAccesses() + k.L1I.TotalAccesses())
+	b.L1NJ = (l1*c.L1SectorPJ + float64(k.Instructions[stats.CatShared])*c.SharedPJ) / 1000
+
+	b.L2NJ = float64(k.L2.TotalAccesses()+k.L1D.Writebacks) * c.L2SectorPJ / 1000
+	b.DRAMNJ = float64(k.DRAMSectors) * c.DRAMSectorPJ / 1000
+
+	seconds := float64(k.Cycles) / (c.ClockGHz * 1e9)
+	b.StaticNJ = c.StaticWPerSM * float64(m.NumSMs) * seconds * 1e9
+	return b
+}
+
+// Efficiency returns the relative energy efficiency of cfg versus base
+// for the same work: E(base)/E(cfg). Values above 1 mean cfg is more
+// energy-efficient (the paper's Fig. 15 metric).
+func (m *Model) Efficiency(base, cfg *stats.Kernel) float64 {
+	eb := m.Energy(base).TotalNJ()
+	ec := m.Energy(cfg).TotalNJ()
+	if ec == 0 {
+		return 0
+	}
+	return eb / ec
+}

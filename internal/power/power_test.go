@@ -1,0 +1,80 @@
+package power
+
+import (
+	"testing"
+
+	"carsgo/internal/mem"
+	"carsgo/internal/stats"
+)
+
+func sampleKernel() *stats.Kernel {
+	k := &stats.Kernel{Cycles: 1_000_000, ThreadInstructions: 3_000_000}
+	k.Instructions[stats.CatALU] = 80_000
+	k.Instructions[stats.CatGlobal] = 10_000
+	k.RFReads = 200_000
+	k.RFWrites = 90_000
+	k.L1D.Accesses[mem.ClassGlobal] = 40_000
+	k.L1D.Accesses[mem.ClassLocalSpill] = 30_000
+	k.L2.Accesses[mem.ClassGlobal] = 8_000
+	k.DRAMSectors = 4_000
+	return k
+}
+
+func TestEnergyPositiveAndComplete(t *testing.T) {
+	m := NewModel(8)
+	b := m.Energy(sampleKernel())
+	for name, v := range map[string]float64{
+		"issue": b.IssueNJ, "alu": b.ALUNJ, "rf": b.RFNJ,
+		"l1": b.L1NJ, "l2": b.L2NJ, "dram": b.DRAMNJ, "static": b.StaticNJ,
+	} {
+		if v <= 0 {
+			t.Errorf("%s energy = %v, want > 0", name, v)
+		}
+	}
+	if b.TotalNJ() <= b.StaticNJ {
+		t.Error("total must exceed any single component")
+	}
+}
+
+func TestEnergyScalesWithEvents(t *testing.T) {
+	m := NewModel(8)
+	a := sampleKernel()
+	b := sampleKernel()
+	b.DRAMSectors *= 2
+	if m.Energy(b).DRAMNJ <= m.Energy(a).DRAMNJ {
+		t.Error("DRAM energy did not grow with traffic")
+	}
+	c := sampleKernel()
+	c.Cycles *= 3
+	if m.Energy(c).StaticNJ <= m.Energy(a).StaticNJ {
+		t.Error("static energy did not grow with runtime")
+	}
+}
+
+// TestEfficiencyShape captures Fig. 15's mechanism: removing spill
+// traffic and shortening runtime both raise efficiency.
+func TestEfficiencyShape(t *testing.T) {
+	m := NewModel(8)
+	base := sampleKernel()
+	cars := sampleKernel()
+	cars.Cycles = base.Cycles * 3 / 4
+	cars.L1D.Accesses[mem.ClassLocalSpill] = 0
+	cars.L2.Accesses[mem.ClassGlobal] /= 2
+	cars.DRAMSectors /= 2
+	eff := m.Efficiency(base, cars)
+	if eff <= 1 {
+		t.Fatalf("efficiency = %v, want > 1", eff)
+	}
+	// And the inverse direction.
+	if inv := m.Efficiency(cars, base); inv >= 1 {
+		t.Fatalf("inverse efficiency = %v, want < 1", inv)
+	}
+}
+
+func TestEfficiencySameWorkIsUnity(t *testing.T) {
+	m := NewModel(8)
+	k := sampleKernel()
+	if got := m.Efficiency(k, k); got != 1 {
+		t.Fatalf("self efficiency = %v", got)
+	}
+}

@@ -1,0 +1,186 @@
+package sim_test
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/cars"
+	"carsgo/internal/config"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/mem"
+	"carsgo/internal/sim"
+)
+
+// deepChainModule builds a depth-N chain whose frames total well beyond
+// any Low allocation, with data-dependent values that must survive the
+// circular-stack spill path to produce the right output.
+func deepChainModule(depth int) *kir.Module {
+	m := &kir.Module{Name: "deep"}
+	for i := 0; i < depth; i++ {
+		name := chainName(i)
+		b := kir.NewFunc(name).SetCalleeSaved(3)
+		b.Mov(16, 4).
+			IAddI(17, 16, int32(i+1)).
+			IMad(18, 16, 17, 17)
+		if i+1 < depth {
+			b.IAddI(4, 4, 1).
+				Call(chainName(i + 1))
+		}
+		b.IAdd(4, 4, 16).
+			Xor(4, 4, 17).
+			IAdd(4, 4, 18).
+			Ret()
+		m.AddFunc(b.MustBuild())
+	}
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		S2R(9, isa.SrCTAID).
+		S2R(10, isa.SrNTID).
+		IMad(17, 9, 10, 8).
+		ShlI(12, 17, 2).
+		IAdd(19, 4, 12).
+		Mov(4, 17).
+		Call(chainName(0)).
+		StG(19, 0, 4).
+		Exit()
+	m.AddFunc(k.MustBuild())
+	return m
+}
+
+func chainName(i int) string { return "deep" + string(rune('a'+i)) }
+
+// TestCircularStackTrapsPreserveValues forces a stack far smaller than
+// the chain's total demand (Low watermark at depth 12): nearly every
+// call evicts the bottom frame and every return fills it back, and the
+// final values must still match the baseline bit-for-bit.
+func TestCircularStackTrapsPreserveValues(t *testing.T) {
+	m := deepChainModule(12)
+	base, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crs, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg sim.Config, prog *isa.Program) ([]uint32, uint64) {
+		gpu, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const n = 4 * 128
+		out := gpu.Alloc(n)
+		st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 4, Block: 128}, Params: []uint32{out}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]uint32, n)
+		copy(vals, gpu.Global()[out/4:int(out/4)+n])
+		return vals, st.TrapSpillSlots
+	}
+	ref, _ := run(config.V100(), base)
+	cfg := config.WithCARSPolicy(config.V100(),
+		cars.ForcedPolicy(cars.Level{Kind: cars.KindLow, N: 1}))
+	got, spilled := run(cfg, crs)
+	if spilled == 0 {
+		t.Fatal("Low watermark at depth 12 should trap")
+	}
+	for i := range ref {
+		if ref[i] != got[i] {
+			t.Fatalf("out[%d]: baseline %#x, trapping CARS %#x", i, ref[i], got[i])
+		}
+	}
+}
+
+// TestHighWatermarkEliminatesSpills: at High, an acyclic chain must
+// produce zero spill traffic of any kind (§VI-C's claim).
+func TestHighWatermarkEliminatesSpills(t *testing.T) {
+	m := deepChainModule(8)
+	crs, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.WithCARSPolicy(config.V100(),
+		cars.ForcedPolicy(cars.Level{Kind: cars.KindHigh}))
+	gpu, err := sim.New(cfg, crs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpu.Alloc(256)
+	st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 2, Block: 128}, Params: []uint32{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TrapCalls != 0 || st.TrapSpillSlots != 0 {
+		t.Errorf("High watermark trapped: %d calls, %d slots", st.TrapCalls, st.TrapSpillSlots)
+	}
+	if st.L1D.Accesses[mem.ClassLocalSpill] != 0 {
+		t.Errorf("spill traffic at High: %d sectors", st.L1D.Accesses[mem.ClassLocalSpill])
+	}
+}
+
+// TestAdaptiveConvergesAcrossLaunches drives the same kernel three
+// times: by the third launch, every block should run at one level (the
+// remembered best), not the split exploration mix.
+func TestAdaptiveConvergesAcrossLaunches(t *testing.T) {
+	m := deepChainModule(10)
+	crs, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.WithCARS(config.V100())
+	gpu, err := sim.New(cfg, crs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpu.Alloc(64 * 128)
+	launch := isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 64, Block: 128}, Params: []uint32{out}}
+	var last map[string]int
+	for i := 0; i < 3; i++ {
+		st, err := gpu.Run(launch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		last = st.CARSLevels
+	}
+	if len(last) != 1 {
+		t.Errorf("third launch still mixes levels: %v", last)
+	}
+}
+
+// TestBankConflictsSlowButTransparent: enabling the operand-collector
+// banking model may change cycle counts but never results.
+func TestBankConflictsSlowButTransparent(t *testing.T) {
+	m := deepChainModule(6)
+	prog, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(banks int) ([]uint32, int64) {
+		cfg := config.V100()
+		cfg.RFBanks = banks
+		gpu, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := gpu.Alloc(128)
+		st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 128}, Params: []uint32{out}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := make([]uint32, 128)
+		copy(vals, gpu.Global()[out/4:out/4+128])
+		return vals, st.Cycles
+	}
+	refVals, refCycles := run(0)
+	bankVals, bankCycles := run(2)
+	for i := range refVals {
+		if refVals[i] != bankVals[i] {
+			t.Fatalf("banking changed out[%d]", i)
+		}
+	}
+	if bankCycles < refCycles {
+		t.Errorf("banking made the run faster: %d < %d", bankCycles, refCycles)
+	}
+}

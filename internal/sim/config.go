@@ -1,0 +1,109 @@
+// Package sim is the cycle-level GPU model: SM cores with greedy-then-
+// oldest warp schedulers, a register scoreboard, SIMT reconvergence,
+// an LSU with sector-level L1D bandwidth, instruction caches, barriers,
+// and a thread-block scheduler with occupancy limits — plus the CARS
+// register-stack runtime (issue-stage free-register checks, traps,
+// stalled-warp list, warp-status-check releases and barrier context
+// switches, §IV).
+//
+// The simulator is also functional: every instruction executes on real
+// 32-lane register values, so workloads compute verifiable results and
+// CARS' renaming can be checked for semantic transparency against the
+// baseline ABI.
+package sim
+
+import (
+	"carsgo/internal/cars"
+	"carsgo/internal/mem"
+)
+
+// Config parameterises one simulated GPU.
+type Config struct {
+	Name string
+
+	// Core geometry.
+	NumSMs          int
+	MaxWarpsPerSM   int
+	MaxBlocksPerSM  int
+	MaxThreadsPerSM int
+	SchedulersPerSM int
+
+	// RegFileSlots is the register file capacity per SM in warp-register
+	// slots (one slot = 32 lanes × 4B = 128B). V100: 256KB → 2048 slots.
+	RegFileSlots int
+	// RegGranularity rounds per-warp register allocations (slots).
+	RegGranularity int
+
+	SharedMemBytes int // per SM
+
+	// L1D cache and port bandwidth.
+	L1D                mem.L1Config
+	L1DSectorsPerCycle int
+	LSUQueueCap        int
+
+	// L1I instruction cache.
+	L1I mem.CacheConfig
+
+	// Shared memory and execution latencies (cycles).
+	ALULat  int64
+	SFULat  int64
+	SmemLat int64
+
+	// Memory system (L2 + DRAM), shared across SMs.
+	Mem            mem.SystemConfig
+	GlobalMemWords int
+
+	// Idealisations and limiters (§V-D).
+	SWLLimit        int  // >0: static wavefront limiter warp cap per SM
+	UnlimitedRegs   bool // Idealized Virtual Warps: registers
+	UnlimitedSmem   bool // Idealized Virtual Warps: shared memory
+	UnlimitedBlocks bool // Idealized Virtual Warps: thread-block slots
+
+	// CARS.
+	CARSEnabled bool
+	CARSPolicy  cars.Policy
+	// CARSIssueExtra adds the paper's extra issue/operand-collector
+	// pipeline cycle to every result latency (§IV-C worst case).
+	CARSIssueExtra int64
+
+	// SharedSpillABI compiles workloads with the CRAT-like shared-memory
+	// spill ABI (§VII comparator): spills bypass the L1D but each warp's
+	// spill frame is charged against shared memory, costing occupancy.
+	// Mutually exclusive with CARSEnabled.
+	SharedSpillABI bool
+
+	// WindowedStacks replaces CARS' exact-FRU frames with fixed-size
+	// register windows (the §VII related-work alternative): every call
+	// consumes a window sized for the program's largest FRU, wasting
+	// the difference. Requires CARSEnabled.
+	WindowedStacks bool
+
+	// TimelineWindow is the bandwidth-sample window in cycles (Fig. 11);
+	// 0 disables timeline collection.
+	TimelineWindow int64
+
+	// RFBanks models operand-collector register-file banking: reading
+	// two or more operands whose physical slots share a bank serialises
+	// the collector and adds one cycle per conflict to the result
+	// latency. 0 or 1 disables the model (the paper's evaluation does
+	// not isolate banking; this is an optional fidelity knob and the
+	// basis of an ablation). Note that CARS renaming relocates
+	// callee-saved registers into the stack region, changing their bank
+	// assignment relative to the baseline.
+	RFBanks int
+}
+
+// WarpsPerScheduler returns the warp slots owned by each scheduler.
+func (c *Config) WarpsPerScheduler() int {
+	return (c.MaxWarpsPerSM + c.SchedulersPerSM - 1) / c.SchedulersPerSM
+}
+
+// roundRegs rounds a per-warp register demand up to the allocation
+// granularity.
+func (c *Config) roundRegs(slots int) int {
+	g := c.RegGranularity
+	if g <= 1 {
+		return slots
+	}
+	return (slots + g - 1) / g * g
+}

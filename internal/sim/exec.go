@@ -1,0 +1,570 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"carsgo/internal/isa"
+	"carsgo/internal/mem"
+	"carsgo/internal/stats"
+)
+
+func categorize(in *isa.Instruction) stats.InstrCat {
+	switch {
+	case in.Spill:
+		return stats.CatSpillFill
+	case in.Op.IsCARSOp():
+		return stats.CatCARSOp
+	case in.Op.IsSFU():
+		return stats.CatSFU
+	case in.Op.IsLocal():
+		return stats.CatLocalOther
+	case in.Op.IsGlobal():
+		return stats.CatGlobal
+	case in.Op == isa.OpLdS || in.Op == isa.OpStS:
+		return stats.CatShared
+	case in.Op.IsControl() || in.Op == isa.OpBar:
+		return stats.CatControl
+	case in.Op == isa.OpNop:
+		return stats.CatOther
+	default:
+		return stats.CatALU
+	}
+}
+
+// execute runs one issued instruction: functional effects immediately,
+// timing effects through the scoreboard, LSU, and SIMT stack.
+func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
+	cfg := &s.gpu.Cfg
+	st := s.stats()
+	top := w.SIMT.Top()
+	pc := top.PC
+	active := top.Mask
+
+	guard := active
+	if in.Op != isa.OpSel { // Sel's predicate selects, it does not guard
+		guard = active & w.predMask(in)
+	}
+
+	cat := categorize(in)
+	st.Instructions[cat]++
+	st.ThreadInstructions += uint64(bits.OnesCount32(guard))
+	if s.gpu.Trace != nil {
+		s.gpu.Trace.OnIssue(s.id, w.GWID, top.Func, pc, in.Op, guard)
+	}
+
+	// Register-file energy: one 128B access per operand.
+	nsrc := 0
+	if in.SrcA != isa.NoReg {
+		nsrc++
+	}
+	if in.SrcB != isa.NoReg {
+		nsrc++
+	}
+	if in.SrcC != isa.NoReg {
+		nsrc++
+	}
+	st.RFReads += uint64(nsrc)
+	if in.Dst != isa.NoReg {
+		st.RFWrites++
+	}
+
+	aluDone := now + cfg.ALULat
+	if cfg.RFBanks > 1 {
+		aluDone += int64(s.bankConflicts(w, in, cfg.RFBanks))
+	}
+	// The paper's extra issue/operand-collector pipeline cycle (§IV-C)
+	// gates the register-stack bookkeeping on calls and returns; plain
+	// control flow is untouched, preserving the "without harming
+	// function-free programs" property.
+	ctrlExtra := int64(0)
+	if cfg.CARSEnabled {
+		ctrlExtra = cfg.CARSIssueExtra
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+		w.SIMT.Advance()
+
+	case isa.OpIAdd, isa.OpISub, isa.OpIMul, isa.OpIMad, isa.OpIMin,
+		isa.OpIMax, isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpMov, isa.OpMovI, isa.OpFAdd, isa.OpFMul, isa.OpFFma:
+		s.execALU(w, in, guard)
+		w.ReadyAt[in.Dst] = aluDone
+		w.SIMT.Advance()
+
+	case isa.OpFRcp, isa.OpFSqr:
+		s.execALU(w, in, guard)
+		w.ReadyAt[in.Dst] = now + cfg.SFULat
+		w.SIMT.Advance()
+
+	case isa.OpSel:
+		dst, a, b := w.reg(in.Dst), w.reg(in.SrcA), w.reg(in.SrcB)
+		sel := w.Preds[in.Pred]
+		if in.PNeg {
+			sel = ^sel
+		}
+		for l := 0; l < isa.WarpSize; l++ {
+			if guard&(1<<l) == 0 {
+				continue
+			}
+			if sel&(1<<l) != 0 {
+				dst[l] = a[l]
+			} else {
+				dst[l] = b[l]
+			}
+		}
+		w.ReadyAt[in.Dst] = aluDone
+		w.SIMT.Advance()
+
+	case isa.OpSetP:
+		a := w.reg(in.SrcA)
+		var res uint32
+		for l := 0; l < isa.WarpSize; l++ {
+			if guard&(1<<l) == 0 {
+				continue
+			}
+			bv := uint32(in.Imm)
+			if in.SrcB != isa.NoReg {
+				bv = w.reg(in.SrcB)[l]
+			}
+			if in.Cmp.Eval(a[l], bv) {
+				res |= 1 << l
+			}
+		}
+		w.Preds[in.PDst] = (w.Preds[in.PDst] &^ guard) | res
+		w.PredReadyAt[in.PDst] = aluDone
+		w.SIMT.Advance()
+
+	case isa.OpS2R:
+		dst := w.reg(in.Dst)
+		for l := 0; l < isa.WarpSize; l++ {
+			if guard&(1<<l) == 0 {
+				continue
+			}
+			dst[l] = s.specialValue(w, in.Sreg, l)
+		}
+		w.ReadyAt[in.Dst] = aluDone
+		w.SIMT.Advance()
+
+	case isa.OpLdG, isa.OpStG:
+		s.execGlobal(now, w, in, guard)
+		w.SIMT.Advance()
+
+	case isa.OpLdL, isa.OpStL:
+		s.execLocal(now, w, in, guard)
+		w.SIMT.Advance()
+
+	case isa.OpLdS, isa.OpStS:
+		s.execShared(now, w, in, guard)
+		w.SIMT.Advance()
+
+	case isa.OpBra:
+		w.SIMT.Branch(pc, guard, in.Target, in.Target2)
+		w.Wake = now + 1
+
+	case isa.OpCall:
+		st.Calls++
+		if cfg.CARSEnabled {
+			s.carsCall(now, w, in.FRU)
+		}
+		w.SIMT.Call(in.Callee, pc+1)
+		w.DynCallDepth++
+		if w.DynCallDepth > st.MaxCallDepth {
+			st.MaxCallDepth = w.DynCallDepth
+		}
+		w.Wake = maxI64(w.Wake, now+2+ctrlExtra)
+
+	case isa.OpCallI:
+		st.Calls++
+		target := s.indirectTarget(w, in, guard)
+		if cfg.CARSEnabled {
+			s.carsCall(now, w, in.FRU)
+		}
+		w.SIMT.Call(target, pc+1)
+		w.DynCallDepth++
+		if w.DynCallDepth > st.MaxCallDepth {
+			st.MaxCallDepth = w.DynCallDepth
+		}
+		w.Wake = maxI64(w.Wake, now+2+ctrlExtra)
+
+	case isa.OpRet:
+		released := w.SIMT.Ret()
+		if released {
+			w.DynCallDepth--
+			if cfg.CARSEnabled {
+				s.carsRet(now, w)
+			}
+		}
+		w.Wake = maxI64(w.Wake, now+2+ctrlExtra)
+
+	case isa.OpPushRFP:
+		// Timing-only: the register-stack pointer updates are performed
+		// with the matching CALL; the micro-op costs an issue slot.
+		w.SIMT.Advance()
+
+	case isa.OpPush:
+		// Under register windows the whole window was renamed at the
+		// call; the micro-op costs its issue slot only.
+		if !cfg.WindowedStacks {
+			if err := w.CStack.Push(int(in.Imm)); err != nil {
+				panic("sim: " + err.Error())
+			}
+		}
+		w.SIMT.Advance()
+
+	case isa.OpPop:
+		if !cfg.WindowedStacks {
+			if err := w.CStack.Pop(int(in.Imm)); err != nil {
+				panic("sim: " + err.Error())
+			}
+		}
+		w.SIMT.Advance()
+
+	case isa.OpBar:
+		s.execBarrier(now, w)
+
+	case isa.OpExit:
+		s.execExit(now, w)
+
+	default:
+		panic(fmt.Sprintf("sim: unimplemented op %s", in.Op))
+	}
+}
+
+func (s *SM) execALU(w *Warp, in *isa.Instruction, guard uint32) {
+	dst := w.reg(in.Dst)
+	var a, b, c *[isa.WarpSize]uint32
+	if in.SrcA != isa.NoReg {
+		a = w.reg(in.SrcA)
+	}
+	if in.SrcB != isa.NoReg {
+		b = w.reg(in.SrcB)
+	}
+	if in.SrcC != isa.NoReg {
+		c = w.reg(in.SrcC)
+	}
+	imm := uint32(in.Imm)
+	for l := 0; l < isa.WarpSize; l++ {
+		if guard&(1<<l) == 0 {
+			continue
+		}
+		var av, bv, cv uint32
+		if a != nil {
+			av = a[l]
+		}
+		if b != nil {
+			bv = b[l]
+		} else {
+			bv = imm
+		}
+		if c != nil {
+			cv = c[l]
+		}
+		dst[l] = evalALU(in.Op, av, bv, cv, imm)
+	}
+}
+
+func evalALU(op isa.Op, a, b, c, imm uint32) uint32 {
+	switch op {
+	case isa.OpIAdd:
+		return a + b
+	case isa.OpISub:
+		return a - b
+	case isa.OpIMul:
+		return a * b
+	case isa.OpIMad:
+		return a*b + c
+	case isa.OpIMin:
+		if int32(a) < int32(b) {
+			return a
+		}
+		return b
+	case isa.OpIMax:
+		if int32(a) > int32(b) {
+			return a
+		}
+		return b
+	case isa.OpAnd:
+		return a & b
+	case isa.OpOr:
+		return a | b
+	case isa.OpXor:
+		return a ^ b
+	case isa.OpShl:
+		return a << (b & 31)
+	case isa.OpShr:
+		return a >> (b & 31)
+	case isa.OpMov:
+		return a
+	case isa.OpMovI:
+		return imm
+	case isa.OpFAdd:
+		return f2u(u2f(a) + u2f(b))
+	case isa.OpFMul:
+		return f2u(u2f(a) * u2f(b))
+	case isa.OpFFma:
+		return f2u(u2f(a)*u2f(b) + u2f(c))
+	case isa.OpFRcp:
+		return f2u(1 / u2f(a))
+	case isa.OpFSqr:
+		return f2u(float32(math.Sqrt(float64(u2f(a)))))
+	}
+	panic("sim: bad ALU op")
+}
+
+func u2f(x uint32) float32 { return math.Float32frombits(x) }
+func f2u(x float32) uint32 { return math.Float32bits(x) }
+
+func (s *SM) specialValue(w *Warp, sr isa.Special, lane int) uint32 {
+	switch sr {
+	case isa.SrLaneID:
+		return uint32(lane)
+	case isa.SrTID:
+		return uint32(w.WInBlock*isa.WarpSize + lane)
+	case isa.SrCTAID:
+		return uint32(w.Block.ID)
+	case isa.SrNTID:
+		return uint32(w.Block.ThreadsCnt)
+	case isa.SrNCTAID:
+		return uint32(s.gpu.launch.Dim.Grid)
+	case isa.SrWarpID:
+		return uint32(w.WInBlock)
+	}
+	return 0
+}
+
+// indirectTarget resolves an indirect call: the target function index
+// must be warp-uniform over the active lanes (workloads dispatch after
+// branching on type, so polymorphic calls arrive pre-sorted per warp;
+// the paper's §III-C case 3).
+func (s *SM) indirectTarget(w *Warp, in *isa.Instruction, guard uint32) int {
+	vals := w.reg(in.SrcA)
+	target := -1
+	for l := 0; l < isa.WarpSize; l++ {
+		if guard&(1<<l) == 0 {
+			continue
+		}
+		v := int(vals[l])
+		if target < 0 {
+			target = v
+		} else if v != target {
+			panic("sim: divergent indirect call target within a warp")
+		}
+	}
+	if target < 0 || target >= len(s.gpu.Prog.Funcs) {
+		panic(fmt.Sprintf("sim: indirect call to invalid function %d", target))
+	}
+	return target
+}
+
+func (s *SM) execBarrier(now int64, w *Warp) {
+	b := w.Block
+	w.AtBarrier = true
+	w.Wake = farFuture
+	w.SIMT.Advance()
+	b.BarrierArrived++
+	// Under the static wavefront limiter, a barrier-parked warp hands
+	// its scheduling slot to an inactive sibling; otherwise a block
+	// wider than the limit can never release the barrier.
+	s.swlActivateSibling(now, b)
+	s.checkBarrierContextSwitch(now, w)
+	if b.BarrierArrived >= b.LiveWarps {
+		releaseBarrier(now, b)
+	}
+}
+
+// releaseBarrier unparks every warp waiting at the block's barrier.
+func releaseBarrier(now int64, b *Block) {
+	b.BarrierArrived = 0
+	for _, bw := range b.Warps {
+		if bw.AtBarrier {
+			bw.AtBarrier = false
+			if bw.Wake > now && bw.TrapOutstanding == 0 {
+				bw.Wake = now
+			}
+		}
+	}
+}
+
+func (s *SM) execExit(now int64, w *Warp) {
+	w.SIMT.Exit()
+	if !w.SIMT.Empty() {
+		return
+	}
+	w.Finished = true
+	w.Wake = farFuture
+	b := w.Block
+	b.LiveWarps--
+	// A warp exiting may release a barrier its siblings wait at.
+	if b.LiveWarps > 0 && b.BarrierArrived >= b.LiveWarps {
+		releaseBarrier(now, b)
+	}
+	s.warpStatusCheck(now, w)
+	s.applySWL()
+	if b.LiveWarps == 0 {
+		s.gpu.completeBlock(now, s, b)
+	}
+}
+
+// --- memory execution ---
+
+func (s *SM) execGlobal(now int64, w *Warp, in *isa.Instruction, guard uint32) {
+	sys := s.gpu.Sys
+	addrs := w.reg(in.SrcA)
+	isLoad := in.Op == isa.OpLdG
+	var dst, val *[isa.WarpSize]uint32
+	if isLoad {
+		dst = w.reg(in.Dst)
+	} else {
+		val = w.reg(in.SrcC)
+	}
+	lineBytes := uint64(s.gpu.Cfg.L1D.Cache.LineBytes)
+	secBytes := uint64(s.gpu.Cfg.L1D.Cache.SectorBytes)
+
+	var accs []access
+	for l := 0; l < isa.WarpSize; l++ {
+		if guard&(1<<l) == 0 {
+			continue
+		}
+		addr := uint64(addrs[l] + uint32(in.Imm))
+		if isLoad {
+			dst[l] = sys.ReadGlobal(uint32(addr))
+		} else {
+			sys.WriteGlobal(uint32(addr), val[l])
+		}
+		accs = coalesce(accs, addr, lineBytes, secBytes)
+	}
+	s.dispatchMem(now, w, in, accs, mem.ClassGlobal, isLoad, false)
+}
+
+func (s *SM) execLocal(now int64, w *Warp, in *isa.Instruction, guard uint32) {
+	addrs := w.reg(in.SrcA)
+	isLoad := in.Op == isa.OpLdL
+	var dst, val *[isa.WarpSize]uint32
+	if isLoad {
+		dst = w.reg(in.Dst)
+	} else {
+		val = w.reg(in.SrcC)
+	}
+	lineBytes := uint64(s.gpu.Cfg.L1D.Cache.LineBytes)
+	secBytes := uint64(s.gpu.Cfg.L1D.Cache.SectorBytes)
+
+	var accs []access
+	for l := 0; l < isa.WarpSize; l++ {
+		if guard&(1<<l) == 0 {
+			continue
+		}
+		byteAddr := addrs[l] + uint32(in.Imm)
+		word := int(byteAddr / 4)
+		if isLoad {
+			dst[l] = *w.localWord(word, l)
+		} else {
+			*w.localWord(word, l) = val[l]
+		}
+		phys := s.gpu.localPhysAddr(w.GWID, word, l)
+		accs = coalesce(accs, phys, lineBytes, secBytes)
+	}
+	class := mem.ClassLocalOther
+	if in.Spill {
+		class = mem.ClassLocalSpill
+	}
+	s.dispatchMem(now, w, in, accs, class, isLoad, true)
+}
+
+func (s *SM) execShared(now int64, w *Warp, in *isa.Instruction, guard uint32) {
+	b := w.Block
+	addrs := w.reg(in.SrcA)
+	isLoad := in.Op == isa.OpLdS
+	var dst, val *[isa.WarpSize]uint32
+	if isLoad {
+		dst = w.reg(in.Dst)
+	} else {
+		val = w.reg(in.SrcC)
+	}
+	for l := 0; l < isa.WarpSize; l++ {
+		if guard&(1<<l) == 0 {
+			continue
+		}
+		word := (addrs[l] + uint32(in.Imm)) / 4
+		if int(word) >= len(b.Shared) {
+			panic(fmt.Sprintf("sim: shared access word %d beyond %d", word, len(b.Shared)))
+		}
+		if isLoad {
+			dst[l] = b.Shared[word]
+		} else {
+			b.Shared[word] = val[l]
+		}
+	}
+	if isLoad {
+		w.ReadyAt[in.Dst] = now + s.gpu.Cfg.SmemLat
+	}
+}
+
+// dispatchMem enqueues the coalesced accesses into the LSU.
+func (s *SM) dispatchMem(now int64, w *Warp, in *isa.Instruction, accs []access, class mem.AccessClass, isLoad, isLocal bool) {
+	if len(accs) == 0 {
+		return
+	}
+	e := &lsuEntry{
+		warp:     w,
+		class:    class,
+		isLoad:   isLoad,
+		isLocal:  isLocal,
+		dst:      in.Dst,
+		accesses: accs,
+	}
+	if isLoad {
+		w.ReadyAt[in.Dst] = farFuture
+	}
+	s.lsu.enqueue(e)
+}
+
+// coalesce merges a byte address into the access list (line + sector).
+func coalesce(accs []access, addr, lineBytes, secBytes uint64) []access {
+	lineAddr := addr &^ (lineBytes - 1)
+	sector := uint8(1) << ((addr % lineBytes) / secBytes)
+	for i := range accs {
+		if accs[i].lineAddr == lineAddr {
+			accs[i].sectors |= sector
+			return accs
+		}
+	}
+	return append(accs, access{lineAddr: lineAddr, sectors: sector})
+}
+
+// bankConflicts counts operand-collector serialisation: source operands
+// whose physical register slots share a bank are read over extra cycles.
+func (s *SM) bankConflicts(w *Warp, in *isa.Instruction, banks int) int {
+	var bankOf [3]int
+	n := 0
+	if in.SrcA != isa.NoReg {
+		bankOf[n] = w.slotIndex(in.SrcA) % banks
+		n++
+	}
+	if in.SrcB != isa.NoReg {
+		bankOf[n] = w.slotIndex(in.SrcB) % banks
+		n++
+	}
+	if in.SrcC != isa.NoReg {
+		bankOf[n] = w.slotIndex(in.SrcC) % banks
+		n++
+	}
+	conflicts := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if bankOf[i] == bankOf[j] {
+				conflicts++
+			}
+		}
+	}
+	return conflicts
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,138 @@
+package sim_test
+
+import (
+	"math"
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/config"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/sim"
+)
+
+// runLanes executes a kernel over one warp and returns the per-lane
+// values stored to out[lane].
+func runLanes(t *testing.T, build func(k *kir.Builder)) []uint32 {
+	t.Helper()
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrLaneID).
+		ShlI(12, 8, 2).
+		IAdd(19, 4, 12)
+	build(k)
+	k.StG(19, 0, 9).Exit()
+	m.AddFunc(k.MustBuild())
+	prog, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.V100()
+	cfg.GlobalMemWords = 1 << 12
+	gpu, err := sim.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpu.Alloc(32)
+	if _, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 32}, Params: []uint32{out}}); err != nil {
+		t.Fatal(err)
+	}
+	res := make([]uint32, 32)
+	copy(res, gpu.Global()[out/4:out/4+32])
+	return res
+}
+
+func TestPredicatedALUMasksLanes(t *testing.T) {
+	got := runLanes(t, func(k *kir.Builder) {
+		k.MovI(9, 100)
+		k.SetPI(0, isa.CmpLT, 8, 16) // lanes 0..15
+		// Only predicated lanes update R9.
+		k.If(0, func(b *kir.Builder) { b.MovI(9, 7) }, nil)
+	})
+	for lane, v := range got {
+		want := uint32(100)
+		if lane < 16 {
+			want = 7
+		}
+		if v != want {
+			t.Fatalf("lane %d = %d, want %d", lane, v, want)
+		}
+	}
+}
+
+func TestSelSelectsPerLane(t *testing.T) {
+	got := runLanes(t, func(k *kir.Builder) {
+		k.MovI(10, 1).MovI(11, 2)
+		k.AndI(12, 8, 1)
+		k.SetPI(1, isa.CmpEQ, 12, 0)
+		k.Sel(9, 10, 11, 1) // even lanes 1, odd lanes 2
+	})
+	for lane, v := range got {
+		want := uint32(1 + lane%2)
+		if v != want {
+			t.Fatalf("lane %d = %d, want %d", lane, v, want)
+		}
+	}
+}
+
+func TestNestedDivergence(t *testing.T) {
+	got := runLanes(t, func(k *kir.Builder) {
+		k.MovI(9, 0)
+		k.SetPI(0, isa.CmpLT, 8, 16)
+		k.If(0, func(b *kir.Builder) {
+			b.SetPI(1, isa.CmpLT, 8, 8)
+			b.If(1, func(b *kir.Builder) {
+				b.MovI(9, 1) // lanes 0..7
+			}, func(b *kir.Builder) {
+				b.MovI(9, 2) // lanes 8..15
+			})
+		}, func(b *kir.Builder) {
+			b.MovI(9, 3) // lanes 16..31
+		})
+		k.IAddI(9, 9, 10) // all lanes reconverged
+	})
+	for lane, v := range got {
+		var want uint32
+		switch {
+		case lane < 8:
+			want = 11
+		case lane < 16:
+			want = 12
+		default:
+			want = 13
+		}
+		if v != want {
+			t.Fatalf("lane %d = %d, want %d", lane, v, want)
+		}
+	}
+}
+
+func TestLaneVaryingLoopTripCounts(t *testing.T) {
+	got := runLanes(t, func(k *kir.Builder) {
+		k.MovI(9, 0)
+		k.IAddI(13, 8, 1) // lane's trip count = laneid+1
+		k.For(14, 13, func(b *kir.Builder) {
+			b.IAddI(9, 9, 1)
+		})
+	})
+	for lane, v := range got {
+		if v != uint32(lane+1) {
+			t.Fatalf("lane %d looped %d times, want %d", lane, v, lane+1)
+		}
+	}
+}
+
+func TestSFUAndFloatOps(t *testing.T) {
+	got := runLanes(t, func(k *kir.Builder) {
+		k.MovI(9, int32(f32bits(16.0)))
+		k.FSqrt(9, 9)
+		k.FAdd(9, 9, 9) // 2*sqrt(16) = 8
+	})
+	for lane, v := range got {
+		if v != f32bits(8.0) {
+			t.Fatalf("lane %d = %#x, want float 8", lane, v)
+		}
+	}
+}
+
+func f32bits(f float32) uint32 { return math.Float32bits(f) }

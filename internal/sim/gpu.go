@@ -1,0 +1,435 @@
+package sim
+
+import (
+	"fmt"
+
+	"carsgo/internal/callgraph"
+	"carsgo/internal/cars"
+	"carsgo/internal/isa"
+	"carsgo/internal/mem"
+	"carsgo/internal/stats"
+)
+
+// localWordsPerWarp sizes each warp's virtual local address space in
+// words: the software stack, the CARS trap spill window, and the
+// context-switch save area.
+const localWordsPerWarp = 16384
+
+// maxLaunchCycles guards against simulation deadlock.
+const maxLaunchCycles = int64(1) << 31
+
+// debugHang enables coarse progress prints (see SetDebugHang); it is a
+// diagnostic for runs that appear stuck.
+var debugHang = false
+
+// TraceSink receives one event per issued warp-instruction, in issue
+// order — the role NVBit's instrumentation plays for the paper (§V-A).
+// A nil sink costs one branch per instruction.
+type TraceSink interface {
+	OnIssue(sm, gwid int, fn, pc int, op isa.Op, activeMask uint32)
+}
+
+// GPU is one simulated device: SMs plus the shared memory system.
+// A GPU persists across kernel launches (caches stay warm, the CARS
+// controller remembers per-kernel allocation performance).
+type GPU struct {
+	Cfg  Config
+	Prog *isa.Program
+	Sys  *mem.System
+
+	// Trace receives issue events when non-nil (see TraceSink).
+	Trace TraceSink
+
+	Controller *cars.Controller
+
+	sms       []*SM
+	funcBase  []uint64
+	localBase uint64
+
+	// Per-launch state.
+	launch          *isa.Launch
+	kernelFunc      int
+	kernelBaseRegs  int
+	baseRegsPerWarp int
+	plan            *cars.Plan
+	kstate          *cars.KernelState
+	windowSize      int // fixed frame size under WindowedStacks
+	analysis        *callgraph.Analysis
+	kernelStats     *stats.Kernel
+	nextBlock       int
+	blocksDone      int
+	totalBlocks     int
+	admitDirty      bool
+
+	// Timeline collection.
+	tlWindow int64
+	tlCur    stats.BWSample
+
+	// clock is the device-global cycle counter; it persists across
+	// launches so shared-resource state (L2/DRAM bandwidth bookkeeping,
+	// in-flight events) stays on one timebase.
+	clock int64
+}
+
+// New builds a GPU for a program.
+func New(cfg Config, prog *isa.Program) (*GPU, error) {
+	if cfg.CARSEnabled != prog.CARS {
+		return nil, fmt.Errorf("sim: config CARS=%v but program compiled with CARS=%v", cfg.CARSEnabled, prog.CARS)
+	}
+	g := &GPU{
+		Cfg:        cfg,
+		Prog:       prog,
+		Sys:        mem.NewSystem(cfg.Mem, cfg.GlobalMemWords),
+		Controller: cars.NewController(),
+	}
+	g.localBase = uint64(cfg.GlobalMemWords) * 4
+	// Lay out code addresses: 128B-aligned functions, 16B instructions.
+	addr := uint64(0)
+	for _, f := range prog.Funcs {
+		g.funcBase = append(g.funcBase, addr)
+		addr += uint64(len(f.Code)) * 16
+		addr = (addr + 127) &^ 127
+	}
+	for i := 0; i < cfg.NumSMs; i++ {
+		g.sms = append(g.sms, newSM(i, g))
+	}
+	return g, nil
+}
+
+// Alloc reserves global memory (words), returning the byte address.
+func (g *GPU) Alloc(words int) uint32 { return g.Sys.Alloc(words) }
+
+// Global exposes the functional global memory for workload init/verify.
+func (g *GPU) Global() []uint32 { return g.Sys.Global() }
+
+// localPhysAddr maps (warp, local word, lane) to a physical byte
+// address above global memory. Consecutive lanes of one word pack into
+// one 128B line, so warp-uniform local accesses fully coalesce, as the
+// hardware's local address interleaving achieves.
+func (g *GPU) localPhysAddr(gwid, word, lane int) uint64 {
+	return g.localBase + uint64((gwid*localWordsPerWarp+word)*isa.WarpSize+lane)*4
+}
+
+// CodeBytes returns the program's instruction footprint in bytes.
+func (g *GPU) CodeBytes() uint64 {
+	last := len(g.funcBase) - 1
+	return g.funcBase[last] + uint64(len(g.Prog.Funcs[last].Code))*16
+}
+
+// Run executes one kernel launch to completion and returns its stats.
+func (g *GPU) Run(launch isa.Launch) (*stats.Kernel, error) {
+	kf, err := g.Prog.Kernel(launch.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	if launch.Dim.Grid <= 0 || launch.Dim.Block <= 0 {
+		return nil, fmt.Errorf("sim: bad launch dims %+v", launch.Dim)
+	}
+	if launch.Dim.Block > g.Cfg.MaxThreadsPerSM {
+		return nil, fmt.Errorf("sim: block of %d threads exceeds SM capacity", launch.Dim.Block)
+	}
+
+	g.launch = &launch
+	g.kernelFunc = kf
+	g.kernelStats = &stats.Kernel{Name: launch.Kernel, CARSLevels: map[string]int{}}
+	g.nextBlock, g.blocksDone = 0, 0
+	g.totalBlocks = launch.Dim.Grid
+	g.tlWindow = g.Cfg.TimelineWindow
+	g.tlCur = stats.BWSample{}
+
+	// Snapshot cache stats so the launch reports deltas.
+	l1dBefore := make([]mem.CacheStats, len(g.sms))
+	l1iBefore := make([]mem.CacheStats, len(g.sms))
+	for i, sm := range g.sms {
+		l1dBefore[i] = *sm.l1d.Stats()
+		l1iBefore[i] = sm.l1i.tags.Stats
+	}
+	l2Before := g.Sys.L2().Stats
+	dramBefore := g.Sys.Stats.DRAMSectors
+
+	// Link-time analysis + CARS plan.
+	an, err := callgraph.Analyze(g.Prog, launch.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	g.analysis = an
+	g.kernelBaseRegs = g.Cfg.roundRegs(an.KernelBase)
+	// Baseline allocation: worst-case register usage over the kernel's
+	// reachable call graph (§II), not the whole program.
+	g.baseRegsPerWarp = g.Cfg.roundRegs(an.MaxRegs)
+
+	if g.Cfg.CARSEnabled {
+		g.plan = cars.NewPlan(an, g.maxWarpsOther(launch), g.Cfg.RegFileSlots)
+		g.windowSize = g.plan.MaxFRU
+		g.kstate = g.Controller.Launch(launch.Kernel, g.plan)
+		for _, sm := range g.sms {
+			sm.carsLevel = g.kstate.InitialLevel(sm.id, g.Cfg.CARSPolicy)
+		}
+	} else {
+		g.plan, g.kstate = nil, nil
+		if !g.Cfg.UnlimitedRegs &&
+			g.baseRegsPerWarp*launch.Dim.Warps() > g.Cfg.RegFileSlots {
+			return nil, fmt.Errorf("sim: kernel %s needs %d reg slots per block, file has %d",
+				launch.Kernel, g.baseRegsPerWarp*launch.Dim.Warps(), g.Cfg.RegFileSlots)
+		}
+	}
+
+	g.admitDirty = true
+	start := g.clock
+	cycle := g.clock
+	for g.blocksDone < g.totalBlocks {
+		g.Sys.RunEvents(cycle)
+		if g.admitDirty {
+			g.scheduleBlocks(cycle)
+		}
+		anyIssued := false
+		anyLSU := false
+		minWake := int64(-1)
+		for _, sm := range g.sms {
+			sm.tick(cycle)
+			anyIssued = anyIssued || sm.issuedThisTick
+			anyLSU = anyLSU || sm.lsu.busy()
+			if sm.nextWake < farFuture {
+				if minWake < 0 || sm.nextWake < minWake {
+					minWake = sm.nextWake
+				}
+			}
+		}
+		cycle++
+		if !anyIssued && !anyLSU && !g.admitDirty {
+			// Idle: jump to the next interesting cycle.
+			next := g.Sys.NextEventCycle()
+			if minWake >= 0 && (next < 0 || minWake < next) {
+				next = minWake
+			}
+			if next > cycle {
+				cycle = next
+			} else if next < 0 && g.blocksDone < g.totalBlocks {
+				return nil, fmt.Errorf("sim: deadlock at cycle %d: %d/%d blocks done",
+					cycle, g.blocksDone, g.totalBlocks)
+			}
+		}
+		if debugHang && cycle%5_000_000 == 0 {
+			fmt.Printf("sim: progress cycle=%d blocks=%d/%d instrs=%d\n",
+				cycle, g.blocksDone, g.totalBlocks, g.kernelStats.TotalInstructions())
+		}
+		if cycle-start > maxLaunchCycles {
+			return nil, fmt.Errorf("sim: launch exceeded %d cycles", maxLaunchCycles)
+		}
+	}
+	g.Sys.RunEvents(cycle + g.Cfg.Mem.DRAMLatency + 10_000)
+	g.clock = cycle
+
+	st := g.kernelStats
+	st.Cycles = cycle - start
+	for i, sm := range g.sms {
+		st.L1D.Accesses = addClass(st.L1D.Accesses, sm.l1d.Stats().Accesses, l1dBefore[i].Accesses)
+		st.L1D.Misses = addClass(st.L1D.Misses, sm.l1d.Stats().Misses, l1dBefore[i].Misses)
+		st.L1D.LineFills += sm.l1d.Stats().LineFills - l1dBefore[i].LineFills
+		st.L1D.Writebacks += sm.l1d.Stats().Writebacks - l1dBefore[i].Writebacks
+		st.L1I.Accesses = addClass(st.L1I.Accesses, sm.l1i.tags.Stats.Accesses, l1iBefore[i].Accesses)
+		st.L1I.Misses = addClass(st.L1I.Misses, sm.l1i.tags.Stats.Misses, l1iBefore[i].Misses)
+	}
+	st.L2.Accesses = addClass(st.L2.Accesses, g.Sys.L2().Stats.Accesses, l2Before.Accesses)
+	st.L2.Misses = addClass(st.L2.Misses, g.Sys.L2().Stats.Misses, l2Before.Misses)
+	st.DRAMSectors = g.Sys.Stats.DRAMSectors - dramBefore
+	if g.tlWindow > 0 && (g.tlCur.GlobalSectors > 0 || g.tlCur.LocalSectors > 0) {
+		st.Timeline = append(st.Timeline, g.tlCur)
+	}
+	if g.kstate != nil {
+		g.kstate.FinishLaunch()
+	}
+	return st, nil
+}
+
+func addClass(dst, after, before [mem.NumClasses]uint64) [mem.NumClasses]uint64 {
+	for i := range dst {
+		dst[i] += after[i] - before[i]
+	}
+	return dst
+}
+
+// maxWarpsOther computes the per-SM warp bound from the non-register
+// occupancy limits (§III-B: known at kernel launch time).
+func (g *GPU) maxWarpsOther(l isa.Launch) int {
+	cfg := &g.Cfg
+	wpb := l.Dim.Warps()
+	blocks := cfg.MaxBlocksPerSM
+	if cfg.UnlimitedBlocks {
+		blocks = 1 << 20
+	}
+	if byThr := cfg.MaxThreadsPerSM / l.Dim.Block; byThr < blocks {
+		blocks = byThr
+	}
+	if l.SharedBytes > 0 && !cfg.UnlimitedSmem {
+		if bySmem := cfg.SharedMemBytes / l.SharedBytes; bySmem < blocks {
+			blocks = bySmem
+		}
+	}
+	if byWarps := cfg.MaxWarpsPerSM / wpb; byWarps < blocks {
+		blocks = byWarps
+	}
+	if blocks > l.Dim.Grid {
+		blocks = l.Dim.Grid
+	}
+	return blocks * wpb
+}
+
+// scheduleBlocks assigns pending grid blocks to SMs round-robin.
+func (g *GPU) scheduleBlocks(now int64) {
+	g.admitDirty = false
+	for progress := true; progress && g.nextBlock < g.totalBlocks; {
+		progress = false
+		for _, sm := range g.sms {
+			if g.nextBlock >= g.totalBlocks {
+				break
+			}
+			if g.Cfg.CARSEnabled && g.kstate != nil {
+				sm.carsLevel = g.kstate.NextLevel(sm.carsLevel, g.Cfg.CARSPolicy)
+			}
+			if sm.admitBlock(now, g.nextBlock) {
+				g.nextBlock++
+				progress = true
+			}
+		}
+	}
+}
+
+// completeBlock retires a finished block from an SM.
+func (g *GPU) completeBlock(now int64, s *SM, b *Block) {
+	st := g.kernelStats
+	dur := now - b.StartCycle
+	st.WarpCycles += uint64(len(b.Warps)) * uint64(dur)
+	if g.kstate != nil {
+		g.kstate.Record(b.LevelIdx, dur, len(s.blocks))
+	}
+	for _, w := range b.Warps {
+		if w.HasRegs {
+			s.regAlloc.Release(w.RegBase, w.RegCount)
+			w.HasRegs = false
+		}
+		s.removeStalled(w)
+		s.warps[w.Slot] = nil
+	}
+	if !g.Cfg.UnlimitedSmem {
+		s.freeSmem += b.SmemBytes
+	}
+	s.freeThr += b.ThreadsCnt
+	for i, bb := range s.blocks {
+		if bb == b {
+			s.blocks = append(s.blocks[:i], s.blocks[i+1:]...)
+			break
+		}
+	}
+	g.blocksDone++
+	g.admitDirty = true
+}
+
+// noteTraffic feeds the bandwidth timeline (Fig. 11).
+func (s *SM) noteTraffic(now int64, class mem.AccessClass, sectors int) {
+	g := s.gpu
+	if g.tlWindow <= 0 {
+		return
+	}
+	winStart := now / g.tlWindow * g.tlWindow
+	if g.tlCur.Cycle != winStart {
+		if g.tlCur.GlobalSectors > 0 || g.tlCur.LocalSectors > 0 {
+			g.kernelStats.Timeline = append(g.kernelStats.Timeline, g.tlCur)
+		}
+		g.tlCur = stats.BWSample{Cycle: winStart}
+	}
+	switch class {
+	case mem.ClassGlobal:
+		g.tlCur.GlobalSectors += uint64(sectors)
+	case mem.ClassLocalSpill, mem.ClassLocalOther:
+		g.tlCur.LocalSectors += uint64(sectors)
+	}
+}
+
+// SetDebugHang toggles coarse progress printing (test diagnostics).
+func SetDebugHang(v bool) { debugHang = v }
+
+// Occupancy describes the per-SM residency a launch achieves under one
+// register allocation: the limiter-by-limiter block counts contemporary
+// occupancy calculators report (§II's four factors).
+type Occupancy struct {
+	WarpsPerBlock   int
+	RegsPerWarp     int // rounded allocation (slots = per-thread regs)
+	BlocksByThreads int
+	BlocksBySlots   int // thread-block slots
+	BlocksBySmem    int // -1 when the launch uses no shared memory
+	BlocksByRegs    int
+	Blocks          int // min of the limits, capped by the grid
+	Warps           int
+}
+
+// limitedBy names the binding constraint.
+func (o Occupancy) LimitedBy() string {
+	switch o.Blocks {
+	case o.BlocksByRegs:
+		return "registers"
+	case o.BlocksByThreads:
+		return "threads"
+	case o.BlocksBySmem:
+		return "shared memory"
+	case o.BlocksBySlots:
+		return "block slots"
+	}
+	return "grid"
+}
+
+// OccupancyFor computes the launch's per-SM occupancy at a given
+// per-warp register allocation (pass 0 to use the baseline worst-case
+// allocation for the kernel's call graph).
+func (g *GPU) OccupancyFor(launch isa.Launch, regsPerWarp int) (Occupancy, error) {
+	if _, err := g.Prog.Kernel(launch.Kernel); err != nil {
+		return Occupancy{}, err
+	}
+	an, err := callgraph.Analyze(g.Prog, launch.Kernel)
+	if err != nil {
+		return Occupancy{}, err
+	}
+	if regsPerWarp <= 0 {
+		regsPerWarp = g.Cfg.roundRegs(an.MaxRegs)
+	}
+	cfg := &g.Cfg
+	o := Occupancy{
+		WarpsPerBlock: launch.Dim.Warps(),
+		RegsPerWarp:   regsPerWarp,
+	}
+	o.BlocksByThreads = cfg.MaxThreadsPerSM / launch.Dim.Block
+	o.BlocksBySlots = cfg.MaxBlocksPerSM
+	if cfg.UnlimitedBlocks {
+		o.BlocksBySlots = 1 << 20
+	}
+	o.BlocksBySmem = -1
+	smem := launch.SharedBytes + g.Prog.SmemSpillPerThread*launch.Dim.Block
+	if smem > 0 && !cfg.UnlimitedSmem {
+		o.BlocksBySmem = cfg.SharedMemBytes / smem
+	}
+	regSlots := cfg.RegFileSlots
+	if cfg.UnlimitedRegs {
+		regSlots = 1 << 30
+	}
+	o.BlocksByRegs = regSlots / (regsPerWarp * o.WarpsPerBlock)
+
+	o.Blocks = o.BlocksByThreads
+	for _, b := range []int{o.BlocksBySlots, o.BlocksByRegs} {
+		if b < o.Blocks {
+			o.Blocks = b
+		}
+	}
+	if o.BlocksBySmem >= 0 && o.BlocksBySmem < o.Blocks {
+		o.Blocks = o.BlocksBySmem
+	}
+	if launch.Dim.Grid < o.Blocks {
+		o.Blocks = launch.Dim.Grid
+	}
+	o.Warps = o.Blocks * o.WarpsPerBlock
+	if o.Warps > cfg.MaxWarpsPerSM {
+		o.Warps = cfg.MaxWarpsPerSM
+		o.Blocks = o.Warps / o.WarpsPerBlock
+		o.Warps = o.Blocks * o.WarpsPerBlock
+	}
+	return o, nil
+}

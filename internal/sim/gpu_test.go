@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/mem"
+)
+
+func l1Cfg() mem.L1Config {
+	return mem.L1Config{
+		Cache:      mem.CacheConfig{Bytes: 32 * 1024, Assoc: 4, LineBytes: 128, SectorBytes: 32},
+		HitLatency: 20,
+		MSHRs:      16,
+	}
+}
+
+func memCfg() mem.SystemConfig {
+	return mem.SystemConfig{
+		L2:                  mem.CacheConfig{Bytes: 128 * 1024, Assoc: 8, LineBytes: 128, SectorBytes: 32},
+		L2Latency:           100,
+		L2SectorsPerCycle:   4,
+		DRAMLatency:         200,
+		DRAMSectorsPerCycle: 2,
+	}
+}
+
+func tinyConfig() Config {
+	return Config{
+		Name:               "tiny",
+		NumSMs:             2,
+		MaxWarpsPerSM:      16,
+		MaxBlocksPerSM:     4,
+		MaxThreadsPerSM:    512,
+		SchedulersPerSM:    2,
+		RegFileSlots:       512,
+		RegGranularity:     8,
+		SharedMemBytes:     16 * 1024,
+		L1D:                l1Cfg(),
+		L1DSectorsPerCycle: 4,
+		LSUQueueCap:        8,
+		L1I:                l1Cfg().Cache,
+		ALULat:             4,
+		SFULat:             16,
+		SmemLat:            24,
+		Mem:                memCfg(),
+		GlobalMemWords:     1 << 16,
+	}
+}
+
+func tinyProgram(t *testing.T) *isa.Program {
+	t.Helper()
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).MovI(9, 1).Exit()
+	m.AddFunc(k.MustBuild())
+	p, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestMaxWarpsOtherLimits(t *testing.T) {
+	cfg := tinyConfig()
+	g, err := New(cfg, tinyProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Thread-limited: 512 threads / 128 = 4 blocks × 4 warps = 16 warps,
+	// capped by MaxWarpsPerSM.
+	if got := g.maxWarpsOther(isa.Launch{Dim: isa.Dim3{Grid: 100, Block: 128}}); got != 16 {
+		t.Errorf("thread-limited warps = %d, want 16", got)
+	}
+	// Block-slot limited: 4 blocks × 1 warp.
+	if got := g.maxWarpsOther(isa.Launch{Dim: isa.Dim3{Grid: 100, Block: 32}}); got != 4 {
+		t.Errorf("block-limited warps = %d, want 4", got)
+	}
+	// Shared-memory limited: 16KB / 8KB = 2 blocks.
+	if got := g.maxWarpsOther(isa.Launch{
+		Dim: isa.Dim3{Grid: 100, Block: 64}, SharedBytes: 8 * 1024,
+	}); got != 4 {
+		t.Errorf("smem-limited warps = %d, want 2 blocks x 2 warps", got)
+	}
+	// Grid smaller than capacity.
+	if got := g.maxWarpsOther(isa.Launch{Dim: isa.Dim3{Grid: 1, Block: 64}}); got != 2 {
+		t.Errorf("grid-limited warps = %d, want 2", got)
+	}
+}
+
+func TestLaunchValidation(t *testing.T) {
+	g, err := New(tinyConfig(), tinyProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Run(isa.Launch{Kernel: "nope", Dim: isa.Dim3{Grid: 1, Block: 32}}); err == nil {
+		t.Error("unknown kernel launched")
+	}
+	if _, err := g.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 0, Block: 32}}); err == nil {
+		t.Error("zero grid launched")
+	}
+	if _, err := g.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 4096}}); err == nil {
+		t.Error("oversized block launched")
+	}
+}
+
+func TestConfigProgramModeMismatch(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.CARSEnabled = true
+	if _, err := New(cfg, tinyProgram(t)); err == nil {
+		t.Error("CARS config accepted baseline program")
+	}
+}
+
+func TestRegisterLimitedBaselineRejected(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	for r := 0; r < 250; r++ {
+		k.MovI(uint8(r), int32(r))
+	}
+	k.Exit()
+	m.AddFunc(k.MustBuild())
+	p, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	g, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 256 regs x 16 warps = 4096 > 512 slots: launch must fail loudly.
+	if _, err := g.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 512}}); err == nil {
+		t.Error("impossible register demand accepted")
+	}
+}
+
+func TestCodeBytesLayout(t *testing.T) {
+	g, err := New(tinyConfig(), tinyProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.CodeBytes() == 0 {
+		t.Error("no code footprint")
+	}
+	// Function bases are 128B aligned.
+	for _, base := range g.funcBase {
+		if base%128 != 0 {
+			t.Errorf("function base %d not line-aligned", base)
+		}
+	}
+}
+
+func TestLocalPhysAddrDisjoint(t *testing.T) {
+	g, err := New(tinyConfig(), tinyProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different warps' local spaces never overlap; all live above the
+	// global segment.
+	end0 := g.localPhysAddr(0, localWordsPerWarp-1, 31)
+	start1 := g.localPhysAddr(1, 0, 0)
+	if end0 >= start1 {
+		t.Errorf("warp local spaces overlap: %d >= %d", end0, start1)
+	}
+	if g.localPhysAddr(0, 0, 0) < uint64(g.Cfg.GlobalMemWords)*4 {
+		t.Error("local space aliases global memory")
+	}
+	// Lanes of one word pack one 128B line.
+	a := g.localPhysAddr(5, 7, 0)
+	b := g.localPhysAddr(5, 7, 31)
+	if b-a != 124 || a%128 != 0 {
+		t.Errorf("lane packing wrong: %d..%d", a, b)
+	}
+}
+
+func TestOccupancyFor(t *testing.T) {
+	g, err := New(tinyConfig(), tinyProgram(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tiny: 512 threads, 4 block slots, 512 reg slots, 16KB smem.
+	// Block of 128 threads (4 warps) at the default 8-reg allocation:
+	// threads -> 4, slots -> 4, regs -> 512/(8*4) = 16.
+	o, err := g.OccupancyFor(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 100, Block: 128}}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Blocks != 4 || o.Warps != 16 {
+		t.Fatalf("occupancy: %+v", o)
+	}
+	if o.LimitedBy() != "registers" && o.LimitedBy() != "threads" && o.LimitedBy() != "block slots" {
+		t.Fatalf("limiter: %s", o.LimitedBy())
+	}
+	// A fat register allocation becomes the limiter.
+	o, err = g.OccupancyFor(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 100, Block: 128}}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.BlocksByRegs != 2 || o.Blocks != 2 || o.LimitedBy() != "registers" {
+		t.Fatalf("reg-limited occupancy: %+v (%s)", o, o.LimitedBy())
+	}
+	// Shared memory limiter.
+	o, err = g.OccupancyFor(isa.Launch{
+		Kernel: "main", Dim: isa.Dim3{Grid: 100, Block: 64}, SharedBytes: 8 * 1024,
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.BlocksBySmem != 2 || o.Blocks != 2 || o.LimitedBy() != "shared memory" {
+		t.Fatalf("smem-limited occupancy: %+v (%s)", o, o.LimitedBy())
+	}
+	// Small grids cap the count.
+	o, _ = g.OccupancyFor(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 64}}, 8)
+	if o.Blocks != 1 || o.LimitedBy() != "grid" {
+		t.Fatalf("grid-capped occupancy: %+v (%s)", o, o.LimitedBy())
+	}
+	if _, err := g.OccupancyFor(isa.Launch{Kernel: "nope", Dim: isa.Dim3{Grid: 1, Block: 64}}, 0); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

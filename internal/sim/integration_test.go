@@ -1,0 +1,283 @@
+package sim_test
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/config"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/mem"
+	"carsgo/internal/sim"
+)
+
+// barrierModule: each thread stores tid+1 to shared memory, barriers,
+// then reads its neighbour's slot — wrong answers appear if the barrier
+// does not actually separate the phases.
+func barrierModule(block int) *kir.Module {
+	m := &kir.Module{Name: "bar"}
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		S2R(9, isa.SrCTAID).
+		S2R(10, isa.SrNTID).
+		IMad(17, 9, 10, 8).
+		ShlI(12, 17, 2).
+		IAdd(19, 4, 12).
+		// shared[tid] = tid + 1
+		ShlI(13, 8, 2).
+		IAddI(14, 8, 1).
+		StS(13, 0, 14).
+		Bar().
+		// read neighbour (tid+1) mod block
+		IAddI(15, 8, 1).
+		SetPI(0, isa.CmpGE, 15, int32(block)).
+		If(0, func(b *kir.Builder) { b.MovI(15, 0) }, nil).
+		ShlI(15, 15, 2).
+		LdS(16, 15, 0).
+		StG(19, 0, 16).
+		Exit()
+	m.AddFunc(k.MustBuild())
+	return m
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	const grid, block = 6, 128
+	prog, err := abi.Link(abi.Baseline, barrierModule(block))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := sim.New(config.V100(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpu.Alloc(grid * block)
+	if _, err := gpu.Run(isa.Launch{
+		Kernel: "main", Dim: isa.Dim3{Grid: grid, Block: block},
+		SharedBytes: block * 4, Params: []uint32{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for g := 0; g < grid; g++ {
+		for tid := 0; tid < block; tid++ {
+			want := uint32((tid+1)%block) + 1
+			got := gpu.Global()[int(out/4)+g*block+tid]
+			if got != want {
+				t.Fatalf("block %d tid %d: got %d, want %d", g, tid, got, want)
+			}
+		}
+	}
+}
+
+func TestSWLLimitsConcurrency(t *testing.T) {
+	w := barrierModule(64)
+	prog, err := abi.Link(abi.Baseline, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(limit int) int64 {
+		cfg := config.V100()
+		cfg.SWLLimit = limit
+		gpu, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := gpu.Alloc(64 * 64)
+		st, err := gpu.Run(isa.Launch{
+			Kernel: "main", Dim: isa.Dim3{Grid: 64, Block: 64},
+			SharedBytes: 64 * 4, Params: []uint32{out},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	limited := run(1)
+	free := run(0)
+	if limited <= free {
+		t.Errorf("SWL(1) %d cycles not slower than unlimited %d", limited, free)
+	}
+}
+
+// ctxSwitchModule engineers the §IV-B case: a block whose High-watermark
+// register demand exceeds the SM register file, with barriers, so CARS
+// must context switch to make progress.
+func ctxSwitchModule() *kir.Module {
+	m := &kir.Module{Name: "ctx"}
+	f := kir.NewFunc("bigframe").SetCalleeSaved(100)
+	f.Mov(16, 4)
+	for k := 1; k < 100; k++ {
+		f.IAddI(uint8(16+k), uint8(16+k-1), 1)
+	}
+	f.IAdd(4, 4, 115).Ret()
+	m.AddFunc(f.MustBuild())
+
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		S2R(9, isa.SrCTAID).
+		S2R(10, isa.SrNTID).
+		IMad(17, 9, 10, 8).
+		ShlI(12, 17, 2).
+		IAdd(19, 4, 12).
+		MovI(16, 0)
+	// Inflate the kernel base so High cannot host every warp.
+	for r := 0; r < 80; r++ {
+		k.IAddI(uint8(30+r), 17, int32(r))
+	}
+	k.ForN(20, 21, 3, func(b *kir.Builder) {
+		b.Mov(4, 17)
+		b.Call("bigframe")
+		b.IAdd(16, 16, 4)
+		b.Bar()
+	})
+	k.StG(19, 0, 16).Exit()
+	m.AddFunc(k.MustBuild())
+	return m
+}
+
+func TestContextSwitchPath(t *testing.T) {
+	prog, err := abi.Link(abi.CARS, ctxSwitchModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := config.WithCARS(config.V100())
+	gpu, err := sim.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grid, block = 8, 512
+	out := gpu.Alloc(grid * block)
+	st, err := gpu.Run(isa.Launch{
+		Kernel: "main", Dim: isa.Dim3{Grid: grid, Block: block},
+		Params: []uint32{out},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ContextSwitches == 0 {
+		t.Error("engineered kernel performed no context switches")
+	}
+	// Functional correctness through the switch path: compare against
+	// the baseline ABI.
+	bprog, err := abi.Link(abi.Baseline, ctxSwitchModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bgpu, err := sim.New(config.V100(), bprog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bout := bgpu.Alloc(grid * block)
+	if _, err := bgpu.Run(isa.Launch{
+		Kernel: "main", Dim: isa.Dim3{Grid: grid, Block: block},
+		Params: []uint32{bout},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < grid*block; i++ {
+		if gpu.Global()[int(out/4)+i] != bgpu.Global()[int(bout/4)+i] {
+			t.Fatalf("context-switched output differs at %d", i)
+		}
+	}
+}
+
+// TestDivergentIndirectPanics pins down the documented limitation:
+// lane-divergent indirect targets are rejected loudly, not silently
+// serialised.
+func TestDivergentIndirectPanics(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	// Target index = laneid & 1: divergent within the warp.
+	k.S2R(8, isa.SrLaneID).
+		AndI(8, 8, 1).
+		MovFuncIdx(9, "va").
+		IAdd(9, 9, 8). // va and vb are adjacent in link order
+		CallIndirect(9, "va", "vb").
+		Exit()
+	m.AddFunc(k.MustBuild())
+	va := kir.NewFunc("va")
+	va.IAddI(4, 4, 1).Ret()
+	m.AddFunc(va.MustBuild())
+	vb := kir.NewFunc("vb")
+	vb.IAddI(4, 4, 2).Ret()
+	m.AddFunc(vb.MustBuild())
+
+	prog, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := sim.New(config.V100(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("divergent indirect call did not panic")
+		}
+	}()
+	gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 32}})
+}
+
+func TestUnlimitedRegsLiftOccupancy(t *testing.T) {
+	// A register-hungry kernel fits more blocks under IdealVW.
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID)
+	for r := 0; r < 200; r++ {
+		k.IAddI(uint8(10+r), 8, int32(r))
+	}
+	k.ForN(4, 5, 50, func(b *kir.Builder) {
+		b.IMad(210, 210, 8, 8)
+	})
+	k.Exit()
+	m.AddFunc(k.MustBuild())
+	prog, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg sim.Config) int64 {
+		gpu, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 128, Block: 256}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	base := run(config.V100())
+	ideal := run(config.IdealizedVirtualWarps(config.V100()))
+	if ideal >= base {
+		t.Errorf("IdealVW (%d cycles) not faster than reg-limited baseline (%d)", ideal, base)
+	}
+}
+
+func TestSpillTrafficClassification(t *testing.T) {
+	// Explicit (non-ABI) local traffic lands in ClassLocalOther.
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.SetExtraLocalBytes(8)
+	k.S2R(8, isa.SrTID).
+		StL(1, 0, 8).
+		LdL(9, 1, 0).
+		Exit()
+	m.AddFunc(k.MustBuild())
+	prog, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := sim.New(config.V100(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 2, Block: 64}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L1D.Accesses[mem.ClassLocalOther] == 0 {
+		t.Error("explicit locals not classified as other-local")
+	}
+	if st.L1D.Accesses[mem.ClassLocalSpill] != 0 {
+		t.Error("explicit locals misclassified as spills")
+	}
+}

@@ -1,0 +1,36 @@
+package sim_test
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/config"
+	"carsgo/internal/isa"
+	"carsgo/internal/sim"
+	"carsgo/internal/workloads"
+)
+
+func BenchmarkSimMST(b *testing.B) {
+	w, _ := workloads.ByName("MST")
+	prog, err := abi.Link(abi.Baseline, w.Modules()...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		gpu, _ := sim.New(config.V100(), prog)
+		launches, _ := w.Setup(gpu)
+		var cycles int64
+		var instr uint64
+		for _, l := range launches {
+			st, err := gpu.Run(l)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles += st.Cycles
+			instr += st.TotalInstructions()
+		}
+		b.ReportMetric(float64(cycles), "cycles")
+		b.ReportMetric(float64(instr), "warp-instrs")
+	}
+	_ = isa.WarpSize
+}

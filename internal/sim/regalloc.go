@@ -1,0 +1,77 @@
+package sim
+
+import "sort"
+
+// rangeAlloc is a first-fit free-list allocator over the SM register
+// arena. Warps receive contiguous slot ranges when their block is
+// scheduled (§III-A: the base+offset indexing needs contiguity) and the
+// ranges return when the block — or a context-switched warp — releases
+// them. Adjacent free ranges coalesce.
+type rangeAlloc struct {
+	capacity int
+	free     []span // sorted by base
+}
+
+type span struct{ base, size int }
+
+func newRangeAlloc(capacity int) *rangeAlloc {
+	return &rangeAlloc{capacity: capacity, free: []span{{0, capacity}}}
+}
+
+// FreeSlots returns the total free capacity.
+func (a *rangeAlloc) FreeSlots() int {
+	t := 0
+	for _, s := range a.free {
+		t += s.size
+	}
+	return t
+}
+
+// LargestFree returns the largest single free range.
+func (a *rangeAlloc) LargestFree() int {
+	m := 0
+	for _, s := range a.free {
+		if s.size > m {
+			m = s.size
+		}
+	}
+	return m
+}
+
+// Alloc carves size slots, returning the base index, or ok=false.
+func (a *rangeAlloc) Alloc(size int) (base int, ok bool) {
+	if size <= 0 {
+		return 0, true
+	}
+	for i := range a.free {
+		if a.free[i].size >= size {
+			base = a.free[i].base
+			a.free[i].base += size
+			a.free[i].size -= size
+			if a.free[i].size == 0 {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			}
+			return base, true
+		}
+	}
+	return 0, false
+}
+
+// Release returns a range to the pool, coalescing neighbours.
+func (a *rangeAlloc) Release(base, size int) {
+	if size <= 0 {
+		return
+	}
+	a.free = append(a.free, span{base, size})
+	sort.Slice(a.free, func(i, j int) bool { return a.free[i].base < a.free[j].base })
+	out := a.free[:1]
+	for _, s := range a.free[1:] {
+		last := &out[len(out)-1]
+		if last.base+last.size == s.base {
+			last.size += s.size
+		} else {
+			out = append(out, s)
+		}
+	}
+	a.free = out
+}

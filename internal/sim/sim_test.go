@@ -1,0 +1,147 @@
+package sim_test
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/config"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/mem"
+	"carsgo/internal/sim"
+)
+
+// testModule builds a small program: main -> f -> g with callee-saved
+// register use, computing out[tid] = (tid+1)*3 + tid.
+func testModule() *kir.Module {
+	m := &kir.Module{Name: "test"}
+
+	g := kir.NewFunc("g").
+		IMulI(4, 4, 3).
+		Ret().
+		MustBuild()
+
+	f := kir.NewFunc("f").
+		SetCalleeSaved(2).
+		Mov(16, 4). // save arg
+		IAddI(4, 4, 1).
+		Call("g").
+		IAdd(4, 4, 16). // (arg+1)*3 + arg
+		Ret().
+		MustBuild()
+
+	k := kir.NewKernel("main")
+	k.S2R(5, isa.SrTID).
+		S2R(6, isa.SrCTAID).
+		S2R(7, isa.SrNTID).
+		IMad(5, 6, 7, 5). // global tid
+		ShlI(9, 5, 2).
+		IAdd(8, 4, 9). // out + 4*tid
+		Mov(16, 8).    // keep address in a base callee-saved reg
+		Mov(4, 5).     // arg = tid
+		Call("f").
+		StG(16, 0, 4).
+		Exit()
+	m.AddFunc(k.MustBuild())
+	m.AddFunc(f)
+	m.AddFunc(g)
+	return m
+}
+
+func runKernel(t *testing.T, cfg sim.Config, mode abi.Mode, grid, block int) (*sim.GPU, []uint32) {
+	t.Helper()
+	prog, err := abi.Link(mode, testModule())
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	gpu, err := sim.New(cfg, prog)
+	if err != nil {
+		t.Fatalf("new gpu: %v", err)
+	}
+	out := gpu.Alloc(grid * block)
+	_, err = gpu.Run(isa.Launch{
+		Kernel: "main",
+		Dim:    isa.Dim3{Grid: grid, Block: block},
+		Params: []uint32{out},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	res := make([]uint32, grid*block)
+	copy(res, gpu.Global()[out/4:out/4+uint32(grid*block)])
+	return gpu, res
+}
+
+func expectValues(t *testing.T, got []uint32) {
+	t.Helper()
+	for tid, v := range got {
+		want := uint32(tid+1)*3 + uint32(tid)
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", tid, v, want)
+		}
+	}
+}
+
+func TestBaselineFunctional(t *testing.T) {
+	_, got := runKernel(t, config.V100(), abi.Baseline, 4, 96)
+	expectValues(t, got)
+}
+
+func TestCARSFunctional(t *testing.T) {
+	_, got := runKernel(t, config.WithCARS(config.V100()), abi.CARS, 4, 96)
+	expectValues(t, got)
+}
+
+func TestBaselineSpills(t *testing.T) {
+	prog, err := abi.Link(abi.Baseline, testModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := sim.New(config.V100(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpu.Alloc(256)
+	st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 2, Block: 128}, Params: []uint32{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.L1D.Accesses[mem.ClassLocalSpill] == 0 {
+		t.Error("baseline run produced no spill/fill traffic")
+	}
+	if st.Calls == 0 {
+		t.Error("no calls recorded")
+	}
+}
+
+func TestCARSEliminatesSpills(t *testing.T) {
+	prog, err := abi.Link(abi.CARS, testModule())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := sim.New(config.WithCARS(config.V100()), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpu.Alloc(256)
+	st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 2, Block: 128}, Params: []uint32{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.L1D.Accesses[mem.ClassLocalSpill]; got != 0 {
+		t.Errorf("CARS run produced %d spill sectors, want 0", got)
+	}
+	if st.TrapCalls != 0 {
+		t.Errorf("unexpected traps: %d", st.TrapCalls)
+	}
+}
+
+func TestBaselineVsCARSSameResults(t *testing.T) {
+	_, base := runKernel(t, config.V100(), abi.Baseline, 6, 160)
+	_, crs := runKernel(t, config.WithCARS(config.V100()), abi.CARS, 6, 160)
+	for i := range base {
+		if base[i] != crs[i] {
+			t.Fatalf("out[%d]: baseline %d, CARS %d", i, base[i], crs[i])
+		}
+	}
+}

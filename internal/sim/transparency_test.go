@@ -1,0 +1,348 @@
+package sim_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/cars"
+	"carsgo/internal/config"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/mem"
+	"carsgo/internal/sim"
+	"carsgo/internal/stats"
+)
+
+// randomProgram generates a random but well-formed call tree: a kernel
+// calling into a DAG of device functions with random callee-saved
+// counts, arithmetic, divergent branches, loops, and (optionally)
+// recursion. Every generated function obeys the ABI contract the
+// renaming requires: callee-saved registers are written before read.
+func randomProgram(rng *rand.Rand, allowRecursion bool) *kir.Module {
+	m := &kir.Module{Name: "rand"}
+	nFuncs := 2 + rng.Intn(5)
+
+	for i := 0; i < nFuncs; i++ {
+		c := 1 + rng.Intn(5)
+		b := kir.NewFunc(fmt.Sprintf("rf%d", i)).SetCalleeSaved(c)
+		b.Mov(16, 4)
+		for k := 1; k < c; k++ {
+			b.IAddI(uint8(16+k), uint8(16+k-1), int32(rng.Intn(100)))
+		}
+		for a := 0; a < rng.Intn(6); a++ {
+			switch rng.Intn(4) {
+			case 0:
+				b.IMad(4, 4, uint8(16+rng.Intn(c)), 16)
+			case 1:
+				b.Xor(4, 4, uint8(16+rng.Intn(c)))
+			case 2:
+				b.ShlI(4, 4, int32(rng.Intn(3)))
+				b.IAdd(4, 4, 16)
+			default:
+				b.IAddI(4, 4, int32(rng.Intn(1000)))
+			}
+		}
+		// Divergent branch on a lane-varying value.
+		if rng.Intn(2) == 0 {
+			b.AndI(2, 4, 1)
+			b.SetPI(0, isa.CmpEQ, 2, 0)
+			b.If(0, func(bb *kir.Builder) {
+				bb.IAddI(4, 4, 17)
+			}, func(bb *kir.Builder) {
+				bb.XorI(4, 4, 0x55)
+			})
+		}
+		// Call a strictly deeper function (keeps the graph acyclic) or,
+		// when allowed, self-recurse with a bounded argument.
+		if i+1 < nFuncs && rng.Intn(3) > 0 {
+			b.IAddI(4, 4, 1)
+			b.Call(fmt.Sprintf("rf%d", i+1+rng.Intn(nFuncs-i-1)))
+		}
+		if allowRecursion && i == 0 && rng.Intn(2) == 0 {
+			// Bounded self-recursion: recurse while (R4 & 7) != 0 on a
+			// shrinking counter held in a callee-saved register.
+			b.AndI(2, 16, 7)
+			b.SetPI(1, isa.CmpNE, 2, 0)
+			b.If(1, func(bb *kir.Builder) {
+				bb.ShrI(4, 16, 1)
+				bb.Call("rf0")
+			}, nil)
+		}
+		b.IAdd(4, 4, uint8(16+c-1))
+		b.Ret()
+		m.AddFunc(b.MustBuild())
+	}
+
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		S2R(9, isa.SrCTAID).
+		S2R(10, isa.SrNTID).
+		IMad(17, 9, 10, 8).
+		ShlI(12, 17, 2).
+		IAdd(19, 4, 12).
+		MovI(16, 0)
+	iters := int32(1 + rng.Intn(3))
+	k.ForN(20, 21, iters, func(b *kir.Builder) {
+		b.Xor(4, 16, 17)
+		b.Call("rf0")
+		b.IAdd(16, 16, 4)
+	})
+	k.StG(19, 0, 16).Exit()
+	m.AddFunc(k.MustBuild())
+	return m
+}
+
+func runProgram(t *testing.T, cfg sim.Config, mode abi.Mode, m *kir.Module, lto bool) []uint32 {
+	t.Helper()
+	var prog *isa.Program
+	var err error
+	if lto {
+		flat, ierr := abi.InlineAll(m)
+		if ierr != nil {
+			t.Fatal(ierr)
+		}
+		prog, err = abi.Link(mode, flat)
+	} else {
+		prog, err = abi.Link(mode, m)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.GlobalMemWords = 1 << 16
+	gpu, err := sim.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const grid, block = 3, 96
+	out := gpu.Alloc(grid * block)
+	if _, err := gpu.Run(isa.Launch{
+		Kernel: "main",
+		Dim:    isa.Dim3{Grid: grid, Block: block},
+		Params: []uint32{out},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res := make([]uint32, grid*block)
+	copy(res, gpu.Global()[out/4:int(out/4)+grid*block])
+	return res
+}
+
+// TestSemanticTransparencyRandom is the repo's core invariant: random
+// programs compute bit-identical results under the baseline spill/fill
+// ABI, CARS renaming at every allocation mechanism (including stacks so
+// small that almost every call traps), and full inlining.
+func TestSemanticTransparencyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1234))
+	for trial := 0; trial < 30; trial++ {
+		m := randomProgram(rng, trial%3 == 0)
+		ref := runProgram(t, config.V100(), abi.Baseline, m, false)
+
+		check := func(label string, got []uint32) {
+			t.Helper()
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Fatalf("trial %d: %s diverges at out[%d]: %#x vs %#x",
+						trial, label, i, ref[i], got[i])
+				}
+			}
+		}
+		check("CARS-adaptive", runProgram(t, config.WithCARS(config.V100()), abi.CARS, m, false))
+		check("CARS-Low", runProgram(t,
+			config.WithCARSPolicy(config.V100(), cars.ForcedPolicy(cars.Level{Kind: cars.KindLow, N: 1})),
+			abi.CARS, m, false))
+		check("CARS-High", runProgram(t,
+			config.WithCARSPolicy(config.V100(), cars.ForcedPolicy(cars.Level{Kind: cars.KindHigh})),
+			abi.CARS, m, false))
+		check("LTO", runProgram(t, config.V100(), abi.Baseline, m, true))
+	}
+}
+
+// TestFunctionFreeUnaffected verifies the paper's "without harming
+// function-free programs" claim: a kernel with no calls runs the same
+// cycle count with CARS enabled as on the baseline.
+func TestFunctionFreeUnaffected(t *testing.T) {
+	m := &kir.Module{Name: "nofunc"}
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		S2R(9, isa.SrCTAID).
+		S2R(10, isa.SrNTID).
+		IMad(17, 9, 10, 8).
+		ShlI(12, 17, 2).
+		IAdd(19, 4, 12).
+		MovI(16, 0)
+	k.ForN(20, 21, 12, func(b *kir.Builder) {
+		b.IMad(16, 16, 17, 17)
+		b.XorI(16, 16, 0x1234)
+	})
+	k.StG(19, 0, 16).Exit()
+	m.AddFunc(k.MustBuild())
+
+	base, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crs, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg sim.Config, prog *isa.Program) int64 {
+		gpu, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := gpu.Alloc(4 * 256)
+		st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 4, Block: 256}, Params: []uint32{out}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.Cycles
+	}
+	bc := run(config.V100(), base)
+	cc := run(config.WithCARS(config.V100()), crs)
+	if bc != cc {
+		t.Fatalf("function-free kernel: baseline %d cycles, CARS %d", bc, cc)
+	}
+}
+
+// TestRegisterWindowsTransparent checks the §VII ablation: fixed-size
+// register windows must also preserve program semantics, while wasting
+// measurably more stack space than CARS' exact-FRU frames.
+func TestRegisterWindowsTransparent(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 10; trial++ {
+		m := randomProgram(rng, false)
+		ref := runProgram(t, config.V100(), abi.Baseline, m, false)
+		win := runProgram(t, config.WithRegisterWindows(config.V100()), abi.CARS, m, false)
+		for i := range ref {
+			if ref[i] != win[i] {
+				t.Fatalf("trial %d: windows diverge at out[%d]", trial, i)
+			}
+		}
+	}
+}
+
+func TestRegisterWindowsWasteMoreStack(t *testing.T) {
+	// A chain of one fat function and several thin ones: windows size
+	// every frame for the fat one, so the same stack holds fewer frames
+	// and traps more often than CARS.
+	m := &kir.Module{Name: "m"}
+	mkChain := func(i, saved int, next string) {
+		b := kir.NewFunc(fmt.Sprintf("c%d", i)).SetCalleeSaved(saved)
+		b.Mov(16, 4)
+		for k := 1; k < saved; k++ {
+			b.IAddI(uint8(16+k), uint8(16+k-1), 1)
+		}
+		if next != "" {
+			b.Call(next)
+		}
+		b.IAdd(4, 4, 16)
+		b.Ret()
+		m.AddFunc(b.MustBuild())
+	}
+	mkChain(0, 20, "c1") // fat
+	mkChain(1, 2, "c2")  // thin...
+	mkChain(2, 2, "c3")
+	mkChain(3, 2, "")
+	k := kir.NewKernel("main")
+	k.S2R(8, isa.SrTID).
+		ShlI(12, 8, 2).
+		IAdd(19, 4, 12).
+		Mov(4, 8)
+	k.ForN(20, 21, 6, func(b *kir.Builder) {
+		b.Call("c0")
+	})
+	k.StG(19, 0, 4).Exit()
+	m.AddFunc(k.MustBuild())
+
+	prog, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(cfg sim.Config) uint64 {
+		// Pin the Low-watermark point so both mechanisms get the same
+		// stack and the waste shows as extra trap traffic.
+		cfg.CARSPolicy = cars.ForcedPolicy(cars.Level{Kind: cars.KindNxLow, N: 2})
+		gpu, err := sim.New(cfg, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := gpu.Alloc(256)
+		st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 2, Block: 128}, Params: []uint32{out}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st.TrapSpillSlots + st.TrapFillSlots
+	}
+	carsTraffic := run(config.WithCARS(config.V100()))
+	winTraffic := run(config.WithRegisterWindows(config.V100()))
+	if winTraffic <= carsTraffic {
+		t.Errorf("windows trap traffic %d not above CARS %d (waste invisible)",
+			winTraffic, carsTraffic)
+	}
+}
+
+// TestSharedSpillTransparent checks the CRAT-like comparator: spilling
+// callee-saved registers to shared memory must preserve semantics, must
+// produce zero L1D spill traffic, and must charge shared memory.
+func TestSharedSpillTransparent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 10; trial++ {
+		m := randomProgram(rng, false)
+		ref := runProgram(t, config.V100(), abi.Baseline, m, false)
+		cfg := config.WithSharedSpill(config.V100())
+		got := runProgram(t, cfg, abi.SharedSpill, m, false)
+		for i := range ref {
+			if ref[i] != got[i] {
+				t.Fatalf("trial %d: shared-spill diverges at out[%d]", trial, i)
+			}
+		}
+	}
+}
+
+func TestSharedSpillNoL1Traffic(t *testing.T) {
+	m := randomProgram(rand.New(rand.NewSource(9)), false)
+	prog, err := abi.Link(abi.SharedSpill, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.SmemSpillPerThread == 0 {
+		t.Fatal("no spill frame computed")
+	}
+	cfg := config.WithSharedSpill(config.V100())
+	cfg.GlobalMemWords = 1 << 16
+	gpu, err := sim.New(cfg, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := gpu.Alloc(3 * 96)
+	st, err := gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 3, Block: 96}, Params: []uint32{out}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.L1D.Accesses[mem.ClassLocalSpill]; got != 0 {
+		t.Errorf("shared-spill ABI produced %d L1D spill sectors", got)
+	}
+	if st.Instructions[stats.CatSpillFill] == 0 {
+		t.Error("no spill instructions recorded")
+	}
+	if st.Instructions[stats.CatShared] != 0 {
+		// Spill-marked shared ops must be classified as spills, not
+		// ordinary shared traffic (the program has no explicit LdS/StS).
+		t.Errorf("spill shared-ops leaked into the shared category")
+	}
+}
+
+func TestSharedSpillRejectsRecursion(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.MovI(4, 3).Call("rec").Exit()
+	m.AddFunc(k.MustBuild())
+	rec := kir.NewFunc("rec").SetCalleeSaved(1)
+	rec.Mov(16, 4).Call("rec").Ret()
+	m.AddFunc(rec.MustBuild())
+	if _, err := abi.Link(abi.SharedSpill, m); err == nil {
+		t.Fatal("recursive program linked under the shared-spill ABI")
+	}
+}

@@ -1,0 +1,187 @@
+// Package simt implements the per-warp SIMT reconvergence stack,
+// including the function-call entries CARS augments with a call bit
+// (§IV-B2) so a register frame is only released when every lane has
+// returned from the function.
+//
+// The stack follows the classic post-dominator scheme: the top entry
+// supplies the warp's active mask and next PC. A divergent branch
+// mutates the top entry into its reconvergence continuation and pushes
+// one entry per outcome; when a path reaches its reconvergence PC it
+// pops and its lanes merge back into the continuation.
+package simt
+
+// FullMask has all 32 lanes active.
+const FullMask = ^uint32(0)
+
+// Kind distinguishes stack entries.
+type Kind uint8
+
+const (
+	// KindNormal is a divergence-path or base entry.
+	KindNormal Kind = iota
+	// KindCall is a function-call entry (the paper's extra SIMT bit).
+	KindCall
+)
+
+// NoReconv marks entries without a reconvergence PC (base and call).
+const NoReconv = -1
+
+// Entry is one SIMT stack entry.
+type Entry struct {
+	Func     int    // function index the PC belongs to
+	PC       int    // next instruction to execute for this path
+	Mask     uint32 // active lanes on this path
+	ReconvPC int    // pop when PC reaches this (KindNormal only)
+	Kind     Kind
+
+	// Pending tracks, for KindCall, the lanes that have not yet
+	// returned; the frame deallocates only when Pending reaches zero.
+	Pending uint32
+}
+
+// Stack is a per-warp SIMT stack.
+type Stack struct {
+	entries []Entry
+}
+
+// Reset initialises the stack for kernel entry.
+func (s *Stack) Reset(kernelFunc int, mask uint32) {
+	s.entries = s.entries[:0]
+	s.entries = append(s.entries, Entry{
+		Func: kernelFunc, PC: 0, Mask: mask, ReconvPC: NoReconv, Kind: KindNormal,
+	})
+}
+
+// Depth returns the stack depth.
+func (s *Stack) Depth() int { return len(s.entries) }
+
+// Empty reports whether all lanes have exited.
+func (s *Stack) Empty() bool { return len(s.entries) == 0 }
+
+// Top returns the active entry.
+func (s *Stack) Top() *Entry { return &s.entries[len(s.entries)-1] }
+
+// CallDepth returns the number of call entries on the stack.
+func (s *Stack) CallDepth() int {
+	n := 0
+	for i := range s.entries {
+		if s.entries[i].Kind == KindCall {
+			n++
+		}
+	}
+	return n
+}
+
+// Advance moves the top entry past a sequential instruction and pops
+// any path that thereby reaches its reconvergence point.
+func (s *Stack) Advance() {
+	s.Top().PC++
+	s.popReconverged()
+}
+
+func (s *Stack) popReconverged() {
+	for len(s.entries) > 0 {
+		t := s.Top()
+		if t.Kind == KindNormal && t.ReconvPC != NoReconv && (t.PC == t.ReconvPC || t.Mask == 0) {
+			s.entries = s.entries[:len(s.entries)-1]
+			continue
+		}
+		return
+	}
+}
+
+// Branch applies a branch executed at pc on the top entry. takenMask
+// must be a subset of the active mask; reconvPC is the immediate
+// post-dominator the compiler recorded (the instruction's Target2).
+func (s *Stack) Branch(pc int, takenMask uint32, target, reconvPC int) {
+	t := s.Top()
+	notTaken := t.Mask &^ takenMask
+	switch {
+	case takenMask == 0:
+		t.PC = pc + 1
+	case notTaken == 0:
+		t.PC = target
+	default:
+		fn := t.Func
+		t.PC = reconvPC
+		s.entries = append(s.entries,
+			Entry{Func: fn, PC: pc + 1, Mask: notTaken, ReconvPC: reconvPC, Kind: KindNormal},
+			Entry{Func: fn, PC: target, Mask: takenMask, ReconvPC: reconvPC, Kind: KindNormal},
+		)
+	}
+	s.popReconverged()
+}
+
+// Call transfers the active lanes into calleeFunc. retPC is where the
+// caller resumes; the caller's entry is parked there so returning is a
+// pure pop.
+func (s *Stack) Call(calleeFunc, retPC int) {
+	t := s.Top()
+	mask := t.Mask
+	t.PC = retPC
+	s.entries = append(s.entries, Entry{
+		Func: calleeFunc, PC: 0, Mask: mask, ReconvPC: NoReconv,
+		Kind: KindCall, Pending: mask,
+	})
+}
+
+// Ret retires the active lanes from the innermost call. Lanes that
+// return while siblings are still inside the function are parked at the
+// call (§III-C case 2): they leave every path at or above the call
+// entry but the entry — and the register frame — survives until
+// Pending drains. Ret reports whether the frame was released.
+func (s *Stack) Ret() (frameReleased bool) {
+	mask := s.Top().Mask
+	ci := -1
+	for i := len(s.entries) - 1; i >= 0; i-- {
+		if s.entries[i].Kind == KindCall {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		panic("simt: Ret with no call entry on the stack")
+	}
+	call := &s.entries[ci]
+	call.Pending &^= mask
+	for i := ci; i < len(s.entries); i++ {
+		s.entries[i].Mask &^= mask
+	}
+	// Unwind finished paths above the call entry.
+	for len(s.entries)-1 > ci {
+		t := s.Top()
+		if t.Mask == 0 || (t.Kind == KindNormal && t.PC == t.ReconvPC) {
+			s.entries = s.entries[:len(s.entries)-1]
+			continue
+		}
+		break
+	}
+	if len(s.entries)-1 == ci && call.Pending == 0 {
+		s.entries = s.entries[:ci]
+		s.popReconverged()
+		return true
+	}
+	return false
+}
+
+// Exit retires the active lanes from the kernel entirely. It returns
+// the number of call frames released because their last lanes exited.
+func (s *Stack) Exit() (framesReleased int) {
+	mask := s.Top().Mask
+	for i := range s.entries {
+		s.entries[i].Mask &^= mask
+		s.entries[i].Pending &^= mask
+	}
+	for len(s.entries) > 0 {
+		t := s.Top()
+		if t.Mask != 0 {
+			break
+		}
+		if t.Kind == KindCall {
+			framesReleased++
+		}
+		s.entries = s.entries[:len(s.entries)-1]
+	}
+	s.popReconverged()
+	return framesReleased
+}

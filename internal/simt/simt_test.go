@@ -1,0 +1,230 @@
+package simt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSequentialAdvance(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	if s.Depth() != 1 || s.Top().PC != 0 {
+		t.Fatal("bad reset state")
+	}
+	s.Advance()
+	if s.Top().PC != 1 || s.Top().Mask != FullMask {
+		t.Fatalf("advance: pc=%d mask=%x", s.Top().PC, s.Top().Mask)
+	}
+}
+
+func TestUniformBranch(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	s.Branch(0, FullMask, 10, 12) // all taken
+	if s.Depth() != 1 || s.Top().PC != 10 {
+		t.Fatalf("taken: depth=%d pc=%d", s.Depth(), s.Top().PC)
+	}
+	s.Branch(10, 0, 3, 12) // none taken
+	if s.Depth() != 1 || s.Top().PC != 11 {
+		t.Fatalf("not-taken: depth=%d pc=%d", s.Depth(), s.Top().PC)
+	}
+}
+
+func TestDivergentBranchReconverges(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	taken := uint32(0x0000FFFF)
+	s.Branch(5, taken, 20, 30)
+	if s.Depth() != 3 {
+		t.Fatalf("depth = %d, want 3", s.Depth())
+	}
+	// Taken path executes first.
+	if s.Top().PC != 20 || s.Top().Mask != taken {
+		t.Fatalf("taken path: pc=%d mask=%x", s.Top().PC, s.Top().Mask)
+	}
+	// Walk the taken path until it reconverges (pops).
+	for s.Top().Mask == taken {
+		s.Advance()
+	}
+	// Should have popped to the fall-through path at pc 6.
+	if s.Top().PC != 6 || s.Top().Mask != ^taken {
+		t.Fatalf("fall-through: pc=%d mask=%x", s.Top().PC, s.Top().Mask)
+	}
+	for s.Top().Mask == ^taken {
+		s.Advance()
+	}
+	if s.Depth() != 1 || s.Top().Mask != FullMask || s.Top().PC != 30 {
+		t.Fatalf("reconverged: depth=%d mask=%x pc=%d", s.Depth(), s.Top().Mask, s.Top().PC)
+	}
+}
+
+func TestCallReturnUniform(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	s.Advance()
+	s.Call(3, 2) // call func 3, resume at pc 2
+	if s.Top().Func != 3 || s.Top().PC != 0 || s.Top().Kind != KindCall {
+		t.Fatalf("call entry wrong: %+v", *s.Top())
+	}
+	if s.CallDepth() != 1 {
+		t.Fatalf("call depth = %d", s.CallDepth())
+	}
+	s.Advance()
+	if done := s.Ret(); !done {
+		t.Fatal("uniform return did not release the frame")
+	}
+	if s.Top().Func != 0 || s.Top().PC != 2 {
+		t.Fatalf("resume: func=%d pc=%d", s.Top().Func, s.Top().PC)
+	}
+}
+
+// TestDivergentEarlyReturn models §III-C case 2: a subset of lanes
+// returns early; the frame must persist until every lane returned.
+func TestDivergentEarlyReturn(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	s.Call(1, 5)
+	early := uint32(0x000000FF)
+	// Diverge inside the function at pc 0: early lanes jump to a Ret
+	// at pc 10; the rest fall through.
+	s.Branch(0, early, 10, 12)
+	if s.Top().Mask != early || s.Top().PC != 10 {
+		t.Fatalf("early path: %+v", *s.Top())
+	}
+	if done := s.Ret(); done {
+		t.Fatal("early return released the frame with lanes inside")
+	}
+	// The remaining lanes continue from pc 1.
+	if s.Top().Mask != ^early || s.Top().PC != 1 {
+		t.Fatalf("rest path: pc=%d mask=%x", s.Top().PC, s.Top().Mask)
+	}
+	if done := s.Ret(); !done {
+		t.Fatal("final return did not release the frame")
+	}
+	if s.Top().Func != 0 || s.Top().PC != 5 || s.Top().Mask != FullMask {
+		t.Fatalf("resume state: %+v", *s.Top())
+	}
+}
+
+func TestNestedCalls(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	s.Call(1, 1)
+	s.Call(2, 7)
+	if s.CallDepth() != 2 {
+		t.Fatalf("depth = %d", s.CallDepth())
+	}
+	if !s.Ret() {
+		t.Fatal("inner ret")
+	}
+	if s.Top().Func != 1 || s.Top().PC != 7 {
+		t.Fatalf("after inner ret: %+v", *s.Top())
+	}
+	if !s.Ret() {
+		t.Fatal("outer ret")
+	}
+	if s.Top().Func != 0 || s.Top().PC != 1 {
+		t.Fatalf("after outer ret: %+v", *s.Top())
+	}
+}
+
+func TestPartialMaskCall(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	sub := uint32(0xF0F0F0F0)
+	s.Branch(0, sub, 5, 9)
+	// The taken path calls a function under the partial mask.
+	s.Call(2, 6)
+	if s.Top().Mask != sub || s.Top().Pending != sub {
+		t.Fatalf("partial call mask %x pending %x", s.Top().Mask, s.Top().Pending)
+	}
+	if !s.Ret() {
+		t.Fatal("partial-mask uniform return should release")
+	}
+	if s.Top().Mask != sub || s.Top().PC != 6 {
+		t.Fatalf("resume: %+v", *s.Top())
+	}
+}
+
+func TestExitAllLanes(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	s.Exit()
+	if !s.Empty() {
+		t.Fatal("stack should be empty after full exit")
+	}
+}
+
+func TestExitPartialThenRest(t *testing.T) {
+	var s Stack
+	s.Reset(0, FullMask)
+	half := uint32(0x0000FFFF)
+	s.Branch(0, half, 10, 20)
+	s.Exit() // the taken half exits
+	if s.Empty() {
+		t.Fatal("half the lanes still live")
+	}
+	if s.Top().Mask != ^half {
+		t.Fatalf("remaining mask %x", s.Top().Mask)
+	}
+	for s.Top().PC != 20 {
+		s.Advance()
+	}
+	if s.Top().Mask != ^half {
+		t.Fatalf("after reconv, mask %x", s.Top().Mask)
+	}
+	s.Exit()
+	if !s.Empty() {
+		t.Fatal("stack should be empty")
+	}
+}
+
+// TestRandomisedCallTrees drives random call/branch/ret sequences and
+// checks structural invariants: masks nest, pending lanes are subsets,
+// and every opened frame eventually closes.
+func TestRandomisedCallTrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var s Stack
+		s.Reset(0, FullMask)
+		opened, closed := 0, 0
+		for step := 0; step < 300 && !s.Empty(); step++ {
+			top := s.Top()
+			checkInvariants(t, &s)
+			switch r := rng.Intn(10); {
+			case r < 3 && s.CallDepth() < 6:
+				s.Call(top.Func+1, top.PC+1)
+				opened++
+			case r < 5 && s.CallDepth() > 0:
+				if s.Ret() {
+					closed++
+				}
+			case r < 8:
+				sub := rng.Uint32() & top.Mask
+				s.Branch(top.PC, sub, top.PC+1+rng.Intn(3), top.PC+5)
+			default:
+				s.Advance()
+			}
+		}
+		// Drain: return from everything.
+		for !s.Empty() && s.CallDepth() > 0 {
+			if s.Ret() {
+				closed++
+			}
+			checkInvariants(t, &s)
+		}
+		if closed > opened {
+			t.Fatalf("trial %d: closed %d > opened %d", trial, closed, opened)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, s *Stack) {
+	t.Helper()
+	for i := range s.entries {
+		e := &s.entries[i]
+		if e.Kind == KindCall && e.Mask&^e.Pending != 0 {
+			t.Fatalf("entry %d: active lanes %x not pending %x", i, e.Mask, e.Pending)
+		}
+	}
+}

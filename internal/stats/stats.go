@@ -1,0 +1,200 @@
+// Package stats collects the simulation metrics the paper reports:
+// memory-access breakdowns by class (Figs. 2, 9), instruction-mix
+// breakdowns (Fig. 13), MPKI/CPKI (Table I, Fig. 12), bandwidth
+// timelines (Fig. 11), trap frequencies (Table III), and the derived
+// speedup/efficiency aggregates.
+package stats
+
+import (
+	"math"
+
+	"carsgo/internal/mem"
+)
+
+// InstrCat classifies issued instructions for Fig. 13.
+type InstrCat uint8
+
+// Instruction categories.
+const (
+	CatALU InstrCat = iota
+	CatSFU
+	CatSpillFill // LDL/STL inserted by the ABI or injected by traps
+	CatGlobal
+	CatLocalOther
+	CatShared
+	CatControl // branches, call/ret, exit, barriers
+	CatCARSOp  // PUSHRFP/PUSH/POP micro-ops
+	CatOther
+	NumInstrCats
+)
+
+func (c InstrCat) String() string {
+	switch c {
+	case CatALU:
+		return "alu"
+	case CatSFU:
+		return "sfu"
+	case CatSpillFill:
+		return "spill/fill"
+	case CatGlobal:
+		return "global"
+	case CatLocalOther:
+		return "local-other"
+	case CatShared:
+		return "shared"
+	case CatControl:
+		return "control"
+	case CatCARSOp:
+		return "cars-op"
+	}
+	return "other"
+}
+
+// BWSample is one bandwidth-timeline window (Fig. 11).
+type BWSample struct {
+	Cycle         int64
+	GlobalSectors uint64
+	LocalSectors  uint64
+}
+
+// Kernel aggregates one kernel launch's metrics.
+type Kernel struct {
+	Name   string
+	Cycles int64
+
+	// Instructions counts issued warp-instructions by category.
+	Instructions [NumInstrCats]uint64
+
+	// ThreadInstructions is the lane-weighted instruction count.
+	ThreadInstructions uint64
+
+	// Calls counts executed call instructions (warp-level).
+	Calls uint64
+
+	// MaxCallDepth observed dynamically.
+	MaxCallDepth int
+
+	// L1D aggregates the data-cache stats across SMs; L1I likewise.
+	L1D mem.CacheStats
+	L1I mem.CacheStats
+	L2  mem.CacheStats
+
+	DRAMSectors uint64
+
+	// Trap accounting (Table III).
+	TrapCalls        uint64 // calls that invoked the spill trap handler
+	TrapSpillSlots   uint64 // register-stack slots spilled by traps
+	TrapFillSlots    uint64 // register-stack slots filled back
+	ContextSwitches  uint64 // barrier-deadlock context switches
+	CtxSwitchSlots   uint64 // register slots moved by context switches
+	StalledWarpTicks uint64 // warp-cycles spent register-deactivated
+
+	// Occupancy.
+	WarpCycles    uint64 // sum over cycles of resident warps
+	ActiveCycles  uint64 // sum over cycles of issuable warps
+	IssuedCycles  uint64 // cycles with ≥1 issue per SM, summed
+	RegSlotsAlloc uint64 // register slots allocated × blocks (demand proxy)
+
+	// Register file activity (for the energy model).
+	RFReads  uint64
+	RFWrites uint64
+
+	Timeline []BWSample
+
+	// CARSLevels records, per allocation-level name, how many thread
+	// blocks ran at that level (Fig. 14 / §VI-B).
+	CARSLevels map[string]int
+}
+
+// TotalInstructions sums warp-instructions over categories.
+func (k *Kernel) TotalInstructions() uint64 {
+	var t uint64
+	for _, v := range k.Instructions {
+		t += v
+	}
+	return t
+}
+
+// CPKI returns call instructions per thousand warp-instructions.
+func (k *Kernel) CPKI() float64 {
+	ti := k.TotalInstructions()
+	if ti == 0 {
+		return 0
+	}
+	return 1000 * float64(k.Calls) / float64(ti)
+}
+
+// MPKI returns L1D sector misses per thousand warp-instructions.
+func (k *Kernel) MPKI() float64 {
+	ti := k.TotalInstructions()
+	if ti == 0 {
+		return 0
+	}
+	return 1000 * float64(k.L1D.TotalMisses()) / float64(ti)
+}
+
+// SpillFillFraction is the fraction of L1D accesses that are spills.
+func (k *Kernel) SpillFillFraction() float64 {
+	t := k.L1D.TotalAccesses()
+	if t == 0 {
+		return 0
+	}
+	return float64(k.L1D.Accesses[mem.ClassLocalSpill]) / float64(t)
+}
+
+// Merge accumulates another kernel's stats (for multi-launch apps).
+func (k *Kernel) Merge(o *Kernel) {
+	k.Cycles += o.Cycles
+	for i := range k.Instructions {
+		k.Instructions[i] += o.Instructions[i]
+	}
+	k.ThreadInstructions += o.ThreadInstructions
+	k.Calls += o.Calls
+	if o.MaxCallDepth > k.MaxCallDepth {
+		k.MaxCallDepth = o.MaxCallDepth
+	}
+	mergeCache(&k.L1D, &o.L1D)
+	mergeCache(&k.L1I, &o.L1I)
+	mergeCache(&k.L2, &o.L2)
+	k.DRAMSectors += o.DRAMSectors
+	k.TrapCalls += o.TrapCalls
+	k.TrapSpillSlots += o.TrapSpillSlots
+	k.TrapFillSlots += o.TrapFillSlots
+	k.ContextSwitches += o.ContextSwitches
+	k.CtxSwitchSlots += o.CtxSwitchSlots
+	k.StalledWarpTicks += o.StalledWarpTicks
+	k.WarpCycles += o.WarpCycles
+	k.ActiveCycles += o.ActiveCycles
+	k.IssuedCycles += o.IssuedCycles
+	k.RegSlotsAlloc += o.RegSlotsAlloc
+	k.RFReads += o.RFReads
+	k.RFWrites += o.RFWrites
+	k.Timeline = append(k.Timeline, o.Timeline...)
+	if k.CARSLevels == nil {
+		k.CARSLevels = map[string]int{}
+	}
+	for name, n := range o.CARSLevels {
+		k.CARSLevels[name] += n
+	}
+}
+
+func mergeCache(dst, src *mem.CacheStats) {
+	for i := range dst.Accesses {
+		dst.Accesses[i] += src.Accesses[i]
+		dst.Misses[i] += src.Misses[i]
+	}
+	dst.LineFills += src.LineFills
+	dst.Writebacks += src.Writebacks
+}
+
+// Geomean returns the geometric mean of xs (which must be positive).
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}

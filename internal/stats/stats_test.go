@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"carsgo/internal/mem"
+)
+
+func TestCPKIAndMPKI(t *testing.T) {
+	var k Kernel
+	k.Instructions[CatALU] = 900
+	k.Instructions[CatControl] = 100
+	k.Calls = 50
+	k.L1D.Misses[mem.ClassGlobal] = 30
+	k.L1D.Misses[mem.ClassLocalSpill] = 20
+	if got := k.CPKI(); got != 50 {
+		t.Errorf("CPKI = %v", got)
+	}
+	if got := k.MPKI(); got != 50 {
+		t.Errorf("MPKI = %v", got)
+	}
+	var empty Kernel
+	if empty.CPKI() != 0 || empty.MPKI() != 0 {
+		t.Error("empty kernel rates must be zero")
+	}
+}
+
+func TestSpillFillFraction(t *testing.T) {
+	var k Kernel
+	k.L1D.Accesses[mem.ClassLocalSpill] = 40
+	k.L1D.Accesses[mem.ClassGlobal] = 60
+	if got := k.SpillFillFraction(); got != 0.4 {
+		t.Errorf("fraction = %v", got)
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	a := &Kernel{Cycles: 100, Calls: 5, MaxCallDepth: 2}
+	a.Instructions[CatALU] = 10
+	a.CARSLevels = map[string]int{"Low": 1}
+	b := &Kernel{Cycles: 50, Calls: 3, MaxCallDepth: 7}
+	b.Instructions[CatALU] = 20
+	b.L1D.Accesses[mem.ClassGlobal] = 4
+	b.CARSLevels = map[string]int{"Low": 2, "High": 1}
+	a.Merge(b)
+	if a.Cycles != 150 || a.Calls != 8 || a.MaxCallDepth != 7 {
+		t.Fatalf("merge basics: %+v", a)
+	}
+	if a.Instructions[CatALU] != 30 {
+		t.Fatal("instructions not merged")
+	}
+	if a.L1D.Accesses[mem.ClassGlobal] != 4 {
+		t.Fatal("cache stats not merged")
+	}
+	if a.CARSLevels["Low"] != 3 || a.CARSLevels["High"] != 1 {
+		t.Fatalf("levels not merged: %v", a.CARSLevels)
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if got := Geomean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("geomean(2,8) = %v", got)
+	}
+	if got := Geomean(nil); got != 0 {
+		t.Errorf("geomean(nil) = %v", got)
+	}
+	if got := Geomean([]float64{3}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("geomean(3) = %v", got)
+	}
+}
+
+// Property: geomean lies between min and max and is scale-equivariant.
+func TestGeomeanProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, r := range raw {
+			xs[i] = float64(r%1000) + 1
+			lo = math.Min(lo, xs[i])
+			hi = math.Max(hi, xs[i])
+		}
+		g := Geomean(xs)
+		if g < lo-1e-9 || g > hi+1e-9 {
+			return false
+		}
+		scaled := make([]float64, len(xs))
+		for i := range xs {
+			scaled[i] = xs[i] * 2
+		}
+		return math.Abs(Geomean(scaled)-2*g) < 1e-6*g
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstrCatStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for c := CatALU; c < NumInstrCats; c++ {
+		s := c.String()
+		if s == "" {
+			t.Errorf("cat %d unnamed", c)
+		}
+		if seen[s] && s != "other" {
+			t.Errorf("duplicate name %q", s)
+		}
+		seen[s] = true
+	}
+}

@@ -1,0 +1,328 @@
+package workloads
+
+import (
+	"fmt"
+
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/sim"
+)
+
+// pattern selects the kernel's global-memory access behaviour; the
+// choice places a workload in one of Table II's bottleneck classes.
+type pattern int
+
+const (
+	// patStream walks the footprint fully coalesced with no reuse:
+	// footprint ≫ cache ⇒ capacity-bound (the ML layers).
+	patStream pattern = iota
+	// patRegion gives each warp a private region it re-reads: aggregate
+	// regions per SM slightly exceed the L1 ⇒ inter-warp capacity
+	// contention that SWL and 10MB-L1 both relieve.
+	patRegion
+	// patRandLine touches a random line per warp per iteration within a
+	// small footprint: hit-rate is fine, port pressure is the limit ⇒
+	// bandwidth-bound (PTA, SSSP, Rapids...).
+	patRandLine
+	// patGather scatters lanes to random words: many lines per access.
+	patGather
+)
+
+// chainParams parameterise one generated call-chain application.
+type chainParams struct {
+	name  string
+	suite string
+
+	grid, block int
+	iters       int32
+	launches    int // kernel invocations (exercises the Fig. 5 memory)
+
+	pattern        pattern
+	footprintWords int // power of two
+	regionWords    int // power of two, for patRegion
+
+	kernelLoads     int // global loads per iteration in the kernel body
+	kernelALU       int // filler ALU per iteration
+	kernelRegs      int // extra kernel-resident registers to inflate base
+	extraLocalWords int // per-thread "other local" words touched per iter
+	barrierEvery    int // 0 = no barriers; N = barrier every Nth iter (pow2)
+	smemWords       int // shared-memory staging per block
+
+	depth         int   // call-chain depth (0 = no calls)
+	calleeSaved   []int // per level; last entry repeats
+	funcALU       int   // ALU ops inside each device function
+	funcLoads     int   // gather loads inside every device function
+	funcLoadEvery int   // additionally, one gather at every Nth chain level
+	leafLoads     int   // extra gather loads in the leaf function
+	indirect      bool  // level 0 dispatches level 1 via function pointer
+
+	paperDepth int
+	paperCPKI  float64
+	factor     string
+}
+
+func (p *chainParams) saved(level int) int {
+	if len(p.calleeSaved) == 0 {
+		return 2
+	}
+	if level >= len(p.calleeSaved) {
+		return p.calleeSaved[len(p.calleeSaved)-1]
+	}
+	return p.calleeSaved[level]
+}
+
+// chainWorkload builds a Workload from chain parameters. The generated
+// program is split into a main module (kernel) and a library module
+// (device functions), mirroring the paper's separate compilation.
+func chainWorkload(p chainParams) *Workload {
+	w := &Workload{
+		Name:           p.name,
+		Suite:          p.suite,
+		PaperCallDepth: p.paperDepth,
+		PaperCPKI:      p.paperCPKI,
+		SpeedupFactor:  p.factor,
+	}
+	w.Modules = func() []*kir.Module { return chainModules(&p) }
+	w.Setup = func(g *sim.GPU) ([]isa.Launch, error) {
+		words := p.footprintWords
+		if words == 0 {
+			words = 1 << 10
+		}
+		// Pad past the footprint: multi-load iterations read up to
+		// kernelLoads*32 words beyond a masked index, and the pad keeps
+		// those reads on deterministic (read-only) data.
+		data := g.Alloc(words + 32*(p.kernelLoads+1))
+		fillData(g, data, words+32*(p.kernelLoads+1))
+		out := g.Alloc(p.grid * p.block)
+		w.setOutput(out, p.grid*p.block)
+		// Applications launch their kernels repeatedly (as the paper's
+		// do), which is what lets the Fig. 5 state machine's cross-launch
+		// memory converge; default to two invocations.
+		launches := p.launches
+		if launches == 0 {
+			launches = 2
+		}
+		var ls []isa.Launch
+		for i := 0; i < launches; i++ {
+			ls = append(ls, isa.Launch{
+				Kernel:      p.name + "_kernel",
+				Dim:         isa.Dim3{Grid: p.grid, Block: p.block},
+				SharedBytes: p.smemWords * 4,
+				Params:      []uint32{out, data, uint32(words - 1), uint32(p.iters)},
+			})
+		}
+		return ls, nil
+	}
+	return register(w)
+}
+
+// chainModules generates the kernel + device-function library.
+func chainModules(p *chainParams) []*kir.Module {
+	main := &kir.Module{Name: p.name + "_main"}
+	lib := &kir.Module{Name: p.name + "_lib"}
+
+	for lvl := 0; lvl < p.depth; lvl++ {
+		if p.indirect && lvl == 1 {
+			lib.AddFunc(chainFunc(p, lvl, "a"))
+			lib.AddFunc(chainFunc(p, lvl, "b"))
+			continue
+		}
+		lib.AddFunc(chainFunc(p, lvl, ""))
+	}
+	main.AddFunc(chainKernel(p))
+	return []*kir.Module{main, lib}
+}
+
+func funcName(p *chainParams, lvl int, variant string) string {
+	return fmt.Sprintf("%s_f%d%s", p.name, lvl, variant)
+}
+
+// chainFunc builds the device function at one chain level.
+//
+// Contract: arg in R4, result in R4; R5 (data), R6 (mask), R7 (aux)
+// read-only. Callee-saved registers are written before any read, which
+// the CARS renaming requires of well-formed ABI code.
+func chainFunc(p *chainParams, lvl int, variant string) *kir.Func {
+	c := p.saved(lvl)
+	if c < 1 {
+		c = 1
+	}
+	b := kir.NewFunc(funcName(p, lvl, variant)).SetCalleeSaved(c)
+
+	b.Mov(16, 4) // save the argument
+	for k := 1; k < c; k++ {
+		b.IAddI(uint8(16+k), uint8(16+k-1), int32(lvl*7+k*13+1))
+	}
+	// ALU work mixing the saved registers back into R4.
+	for i := 0; i < p.funcALU; i++ {
+		src := uint8(16 + i%c)
+		switch i % 3 {
+		case 0:
+			b.IMad(4, 4, src, src)
+		case 1:
+			b.Xor(4, 4, src)
+		default:
+			b.IAddI(4, 4, int32(i*31+lvl))
+		}
+	}
+	loads := p.funcLoads
+	if p.funcLoadEvery > 0 && lvl%p.funcLoadEvery == 0 {
+		loads++
+	}
+	if lvl == p.depth-1 {
+		loads += p.leafLoads
+	}
+	for i := 0; i < loads; i++ {
+		// Gather a data word selected by the running value, confined to
+		// the first 1/32nd of the footprint: the gathers supply global
+		// *bandwidth* pressure (scattered sectors) without growing the
+		// capacity working set beyond roughly one L1.
+		b.And(2, 4, 6)
+		b.ShrI(2, 2, 5)
+		b.ShlI(2, 2, 2)
+		b.IAdd(2, 5, 2)
+		b.LdG(3, 2, 0)
+		b.IAdd(4, 4, 3)
+	}
+	if lvl < p.depth-1 {
+		b.IAddI(4, 4, int32(lvl+1))
+		if p.indirect && lvl == 0 {
+			// Dispatch through the function pointer in R7 (set by the
+			// kernel to a warp-uniform type's implementation).
+			b.CallIndirect(7, funcName(p, 1, "a"), funcName(p, 1, "b"))
+		} else {
+			b.Call(funcName(p, lvl+1, ""))
+		}
+	}
+	if variant == "b" {
+		b.XorI(4, 4, 0x5A5A)
+	}
+	b.IAdd(4, 4, 16) // fold the saved argument back in
+	if c >= 2 {
+		b.Xor(4, 4, uint8(16+c-1))
+	}
+	b.Ret()
+	return b.MustBuild()
+}
+
+// Kernel register map (beyond the conventions in the package comment):
+//
+//	R16 acc   R17 tidGlobal  R18 pattern base  R19 out address
+//	R20 loop counter (builder)  R21 iters  R22 laneID  R23 totalThreads
+//	R24 warp type / fnptr       R25.. filler kernel-resident state
+func chainKernel(p *chainParams) *kir.Func {
+	b := kir.NewKernel(p.name + "_kernel")
+	if p.extraLocalWords > 0 {
+		b.SetExtraLocalBytes(p.extraLocalWords * 4)
+	}
+
+	b.S2R(8, isa.SrTID).
+		S2R(9, isa.SrCTAID).
+		S2R(10, isa.SrNTID).
+		S2R(22, isa.SrLaneID).
+		IMad(17, 9, 10, 8) // tidGlobal
+	b.S2R(11, isa.SrNCTAID).
+		IMul(23, 10, 11) // totalThreads
+	// out address = R4 + 4*tidGlobal
+	b.ShlI(12, 17, 2).IAdd(19, 4, 12)
+	b.MovI(16, 0)     // acc
+	b.Mov(21, 7)      // iters (kernel param R7)
+	b.ShrI(18, 17, 5) // global warp id
+	if p.pattern == patRegion {
+		b.IMulI(18, 18, int32(p.regionWords))
+	}
+	if p.indirect {
+		// Warp-uniform "object type": even warps call variant a.
+		b.ShrI(12, 17, 5).AndI(12, 12, 1)
+		b.SetPI(0, isa.CmpEQ, 12, 0)
+		b.MovFuncIdx(13, funcName(p, 1, "a"))
+		b.MovFuncIdx(14, funcName(p, 1, "b"))
+		b.Sel(24, 13, 14, 0)
+	}
+	// Inflate the kernel's base register demand (distinct live values).
+	for k := 0; k < p.kernelRegs; k++ {
+		b.IAddI(uint8(25+k), 17, int32(k+1))
+	}
+	if p.smemWords > 0 {
+		// Stage a slice of data into shared memory, then barrier.
+		b.AndI(12, 8, int32(p.smemWords-1)).ShlI(12, 12, 2)
+		b.ShlI(13, 8, 2)
+		b.IAdd(13, 5, 13)
+		b.LdG(14, 13, 0)
+		b.StS(12, 0, 14)
+		b.Bar()
+	}
+
+	b.For(20, 21, func(b *kir.Builder) {
+		// Index computation per pattern → R8 (word index).
+		switch p.pattern {
+		case patStream:
+			b.IMad(8, 20, 23, 17).And(8, 8, 6)
+		case patRegion:
+			// Hashed line within the warp's region: reuse without the
+			// cyclic-LRU pathology a sequential sweep of an over-capacity
+			// set produces (hit rate degrades gracefully as regions
+			// overflow the L1 instead of collapsing to zero).
+			b.IMulI(2, 20, 40503).
+				Xor(2, 2, 18).
+				ShrI(3, 2, 9).Xor(2, 2, 3).
+				AndI(2, 2, int32(p.regionWords/32-1)).
+				ShlI(2, 2, 5).
+				IAdd(2, 2, 22).
+				IAdd(8, 18, 2).And(8, 8, 6)
+		case patRandLine:
+			b.IMulI(2, 18, int32(-1640531535)).
+				IMulI(3, 20, 40503).
+				IAdd(2, 2, 3).
+				ShrI(3, 2, 13).Xor(2, 2, 3).
+				And(2, 2, 6).ShrI(2, 2, 5).ShlI(2, 2, 5).
+				IAdd(8, 2, 22)
+		case patGather:
+			b.IMulI(2, 17, int32(-1640531535)).
+				IMulI(3, 20, 40503).
+				Xor(2, 2, 3).
+				ShrI(3, 2, 11).Xor(2, 2, 3).
+				And(8, 2, 6)
+		}
+		b.ShlI(9, 8, 2).IAdd(9, 5, 9)
+		for l := 0; l < p.kernelLoads; l++ {
+			b.LdG(10, 9, int32(l*128))
+			b.IAdd(16, 16, 10)
+		}
+		for i := 0; i < p.kernelALU; i++ {
+			b.IMad(16, 16, 10, 17)
+		}
+		if p.smemWords > 0 {
+			b.AndI(12, 16, int32(p.smemWords-1)).ShlI(12, 12, 2)
+			b.LdS(13, 12, 0)
+			b.IAdd(16, 16, 13)
+		}
+		if p.extraLocalWords > 0 {
+			for e := 0; e < p.extraLocalWords; e++ {
+				b.StL(1, int32(e*4), 16)
+			}
+			b.LdL(2, 1, 0)
+			b.IAdd(16, 16, 2)
+		}
+		if p.depth > 0 {
+			b.Xor(4, 16, 17)
+			if p.indirect {
+				b.Mov(7, 24) // function pointer for level-0 dispatch
+			}
+			b.Call(funcName(p, 0, ""))
+			b.IAdd(16, 16, 4)
+		}
+		if p.barrierEvery == 1 {
+			b.Bar()
+		} else if p.barrierEvery > 1 {
+			// Barrier every Nth iteration (N a power of two); the
+			// predicate is block-uniform so every thread agrees.
+			b.AndI(2, 20, int32(p.barrierEvery-1))
+			b.SetPI(6, isa.CmpEQ, 2, 0)
+			b.If(6, func(b *kir.Builder) { b.Bar() }, nil)
+		}
+	})
+	b.StG(19, 0, 16)
+	b.Exit()
+	return b.MustBuild()
+}

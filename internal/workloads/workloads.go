@@ -1,0 +1,117 @@
+// Package workloads defines the 22 function-calling applications of
+// Table I as synthetic kernels for the simulator.
+//
+// The paper's evaluation depends on each workload's call depth, call
+// frequency (CPKI), working-set size, locality class, and occupancy —
+// not on the exact arithmetic it performs — so each workload here is a
+// generated kernel parameterised to land in the same region of that
+// space, tagged with the paper's reported numbers for comparison
+// (Table I) and its dominant speedup factor (Table II).
+//
+// Register conventions inside generated code (matching internal/abi):
+//
+//   - R0..R3   scratch within a single function body
+//   - R4       argument / return value for device functions
+//   - R5..R7   read-only globals handed down call chains (data pointer,
+//     footprint mask, aux) — never written by device functions
+//   - R8..R15  kernel-body temporaries, dead across call sites
+//   - R16..    callee-saved; device functions write before reading
+//     (required for CARS renaming transparency, see internal/cars)
+package workloads
+
+import (
+	"fmt"
+	"sync"
+
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/sim"
+)
+
+// Workload is one benchmark application.
+type Workload struct {
+	Name  string
+	Suite string
+
+	// Modules returns the pre-ABI compilation units (separate
+	// compilation: one main module plus a common device-function
+	// library module, as the paper compiles its workloads, §V-A).
+	Modules func() []*kir.Module
+
+	// Setup allocates and initialises device memory on the GPU and
+	// returns the launches the application performs.
+	Setup func(g *sim.GPU) ([]isa.Launch, error)
+
+	// The output region (global words holding results, for cross-
+	// configuration equivalence checks) is recorded by Setup. Device
+	// memory allocation is deterministic, so every run of a workload
+	// yields the same region; the mutex only guards the Go-level write
+	// when the experiment harness runs configurations concurrently.
+	outputMu    sync.Mutex
+	outputAddr  uint32
+	outputWords int
+
+	// Paper-reported reference points (Table I / Table II).
+	PaperCallDepth int
+	PaperCPKI      float64
+	SpeedupFactor  string
+}
+
+// setOutput records the result region during Setup.
+func (w *Workload) setOutput(addr uint32, words int) {
+	w.outputMu.Lock()
+	w.outputAddr, w.outputWords = addr, words
+	w.outputMu.Unlock()
+}
+
+// Output returns the result region recorded by Setup.
+func (w *Workload) Output(g *sim.GPU) []uint32 {
+	w.outputMu.Lock()
+	addr, words := w.outputAddr, w.outputWords
+	w.outputMu.Unlock()
+	out := make([]uint32, words)
+	copy(out, g.Global()[addr/4:int(addr/4)+words])
+	return out
+}
+
+var registry []*Workload
+
+func register(w *Workload) *Workload {
+	registry = append(registry, w)
+	return w
+}
+
+// All returns the 22 workloads in Table I order.
+func All() []*Workload { return registry }
+
+// ByName finds a workload.
+func ByName(name string) (*Workload, error) {
+	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// Names lists all workload names in order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, w := range registry {
+		out[i] = w.Name
+	}
+	return out
+}
+
+// fillData initialises a global array with a deterministic pseudo-
+// random pattern so runs are reproducible.
+func fillData(g *sim.GPU, addr uint32, words int) {
+	glob := g.Global()
+	x := uint32(0x2545F491)
+	for i := 0; i < words; i++ {
+		x ^= x << 13
+		x ^= x >> 17
+		x ^= x << 5
+		glob[addr/4+uint32(i)] = x&0xFFFF + 1
+	}
+}

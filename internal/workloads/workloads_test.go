@@ -1,0 +1,156 @@
+package workloads_test
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/config"
+	"carsgo/internal/sim"
+	"carsgo/internal/stats"
+	"carsgo/internal/workloads"
+)
+
+func runOn(t *testing.T, w *workloads.Workload, cfg sim.Config, mode abi.Mode) (*stats.Kernel, []uint32) {
+	t.Helper()
+	prog, err := abi.Link(mode, w.Modules()...)
+	if err != nil {
+		t.Fatalf("%s: link: %v", w.Name, err)
+	}
+	gpu, err := sim.New(cfg, prog)
+	if err != nil {
+		t.Fatalf("%s: new: %v", w.Name, err)
+	}
+	launches, err := w.Setup(gpu)
+	if err != nil {
+		t.Fatalf("%s: setup: %v", w.Name, err)
+	}
+	agg := &stats.Kernel{Name: w.Name}
+	for _, l := range launches {
+		st, err := gpu.Run(l)
+		if err != nil {
+			t.Fatalf("%s: run %s: %v", w.Name, l.Kernel, err)
+		}
+		agg.Merge(st)
+	}
+	return agg, w.Output(gpu)
+}
+
+func TestRegistryComplete(t *testing.T) {
+	if got := len(workloads.All()); got != 22 {
+		t.Fatalf("registry has %d workloads, want 22 (Table I)", got)
+	}
+	want := []string{"PTA", "DMR", "MST", "SSSP", "CFD", "TRAF", "GOL",
+		"NBD", "COLI", "STUT", "RAY", "LULESH", "FIB", "Bert_LT",
+		"Bert_AtScore", "Bert_AtOp", "Bert_FC", "Resnet_FP", "Resnet_WG",
+		"SVR", "KMEAN", "RF"}
+	for i, name := range workloads.Names() {
+		if name != want[i] {
+			t.Errorf("workload %d = %s, want %s", i, name, want[i])
+		}
+	}
+}
+
+// TestAllWorkloadsBaselineVsCARS is the semantic-transparency check:
+// every workload must compute bit-identical results under the baseline
+// spill/fill ABI and under CARS renaming.
+func TestAllWorkloadsBaselineVsCARS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-suite transparency check skipped in -short mode")
+	}
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			base, baseOut := runOn(t, w, config.V100(), abi.Baseline)
+			crs, carsOut := runOn(t, w, config.WithCARS(config.V100()), abi.CARS)
+			if len(baseOut) != len(carsOut) {
+				t.Fatalf("output sizes differ: %d vs %d", len(baseOut), len(carsOut))
+			}
+			for i := range baseOut {
+				if baseOut[i] != carsOut[i] {
+					t.Fatalf("out[%d]: baseline %#x, CARS %#x", i, baseOut[i], carsOut[i])
+				}
+			}
+			if w.Name != "LULESH" && base.Calls == 0 {
+				t.Errorf("workload performed no calls")
+			}
+			t.Logf("%s: baseline %d cycles, CARS %d cycles (%.2fx), CPKI %.1f, depth %d",
+				w.Name, base.Cycles, crs.Cycles,
+				float64(base.Cycles)/float64(crs.Cycles), base.CPKI(), base.MaxCallDepth)
+		})
+	}
+}
+
+func TestFIBComputesFibonacci(t *testing.T) {
+	w, err := workloads.ByName("FIB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, out := runOn(t, w, config.V100(), abi.Baseline)
+	for tid, v := range out {
+		n := tid&7 + 1
+		if want := workloads.FibRef(n); v != want {
+			t.Fatalf("fib(%d) = %d, want %d (tid %d)", n, v, want, tid)
+		}
+	}
+}
+
+// TestLTOEquivalence checks full inlining preserves results on a
+// direct-call workload and an indirect-dispatch one (where the
+// polymorphic sites must survive as real calls).
+func TestLTOEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("LTO equivalence skipped in -short mode")
+	}
+	for _, name := range []string{"SSSP", "COLI"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			w, err := workloads.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, base := runOn(t, w, config.V100(), abi.Baseline)
+			flat, err := abi.InlineAll(w.Modules()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := abi.Link(abi.Baseline, flat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gpu, err := sim.New(config.V100(), prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			launches, err := w.Setup(gpu)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, l := range launches {
+				if _, err := gpu.Run(l); err != nil {
+					t.Fatal(err)
+				}
+			}
+			lto := w.Output(gpu)
+			for i := range base {
+				if base[i] != lto[i] {
+					t.Fatalf("LTO diverges at out[%d]: %#x vs %#x", i, base[i], lto[i])
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadClassKnobs pins each workload's declared bottleneck class
+// to the memory pattern knobs that implement it.
+func TestWorkloadClassKnobs(t *testing.T) {
+	for _, w := range workloads.All() {
+		if w.SpeedupFactor == "" {
+			t.Errorf("%s: no Table II class", w.Name)
+		}
+		if w.PaperCPKI <= 0 && w.Name != "PTA" {
+			t.Errorf("%s: no paper CPKI", w.Name)
+		}
+	}
+}
