@@ -9,8 +9,12 @@ all: build vet test
 build:
 	$(GO) build ./...
 
+# Static analysis: Go's own vet, then carsvet (internal/vet) over the
+# paper's 22 workloads in every ABI mode and the assembly examples.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/carsvet -workloads
+	$(GO) run ./cmd/carsvet examples/vetdemo/clean.carsasm
 
 test:
 	$(GO) test ./...

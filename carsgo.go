@@ -116,7 +116,9 @@ func run(cfg Config, w *workloads.Workload, lto bool) (*Result, error) {
 	return res, nil
 }
 
-// Compile links a workload's modules for the configuration's ABI mode.
+// Compile links a workload's modules for the configuration's ABI mode
+// and runs the static verifier over the result (abi.LinkStrict): a
+// program with vet errors never reaches the simulator.
 func Compile(cfg Config, modules []*kir.Module, lto bool) (*isa.Program, error) {
 	if lto {
 		if cfg.CARSEnabled {
@@ -128,7 +130,7 @@ func Compile(cfg Config, modules []*kir.Module, lto bool) (*isa.Program, error) 
 		if err != nil {
 			return nil, err
 		}
-		return abi.Link(abi.Baseline, flat)
+		return abi.LinkStrict(abi.Baseline, flat)
 	}
 	mode := abi.Baseline
 	switch {
@@ -137,7 +139,7 @@ func Compile(cfg Config, modules []*kir.Module, lto bool) (*isa.Program, error) 
 	case cfg.SharedSpillABI:
 		mode = abi.SharedSpill
 	}
-	return abi.Link(mode, modules...)
+	return abi.LinkStrict(mode, modules...)
 }
 
 // NewGPU builds a simulator for a custom program (see examples).

@@ -18,6 +18,7 @@ import (
 	"carsgo/internal/abi"
 	"carsgo/internal/asm"
 	"carsgo/internal/binfmt"
+	"carsgo/internal/vet"
 )
 
 func main() {
@@ -25,6 +26,7 @@ func main() {
 	mode := flag.String("mode", "baseline", "ABI mode: baseline, cars, or smem")
 	disasm := flag.Bool("d", false, "disassemble a binary image")
 	format := flag.Bool("fmt", false, "reformat assembly source")
+	novet := flag.Bool("novet", false, "skip static verification of the source and linked program")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -77,9 +79,19 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown mode %q", *mode))
 	}
+	if !*novet {
+		if err := vetDiags(vet.Modules(m)); err != nil {
+			fail(err)
+		}
+	}
 	prog, err := abi.Link(abiMode, m)
 	if err != nil {
 		fail(err)
+	}
+	if !*novet {
+		if err := vetDiags(vet.Program(prog)); err != nil {
+			fail(err)
+		}
 	}
 	if *out == "" {
 		fail(fmt.Errorf("-o required when assembling"))
@@ -97,6 +109,16 @@ func main() {
 	st, _ := os.Stat(*out)
 	fmt.Printf("assembled %d functions (%s ABI) -> %s (%d bytes)\n",
 		len(prog.Funcs), abiMode, *out, st.Size())
+}
+
+// vetDiags prints every diagnostic and folds errors into one failure;
+// warnings and infos are advisory here (carsvet treats warnings as
+// failures, but an assembler should still emit what it can).
+func vetDiags(diags []vet.Diagnostic) error {
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, "carsasm:", d)
+	}
+	return vet.ErrorOrNil(diags)
 }
 
 func fail(err error) {

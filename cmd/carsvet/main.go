@@ -1,0 +1,178 @@
+// Command carsvet runs the internal/vet static verifier over linked
+// binary images, assembly sources, or the paper's built-in workloads,
+// and disassembles the region around each error so the offending
+// instructions are visible without a separate carsasm -d pass.
+//
+// Usage:
+//
+//	carsvet prog.bin                  # vet a linked binary image
+//	carsvet kernel.s                  # pre-ABI vet + link & vet each mode
+//	carsvet -mode cars kernel.s       # restrict to one ABI mode
+//	carsvet -workloads                # vet all 22 paper workloads
+//
+// Inputs are sniffed, not judged by extension: files starting with the
+// "CARS" magic are binary images, anything else is assembly text.
+// Exit status is 0 when everything vets clean (no errors or warnings),
+// 1 otherwise.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/asm"
+	"carsgo/internal/binfmt"
+	"carsgo/internal/isa"
+	"carsgo/internal/vet"
+	"carsgo/internal/workloads"
+)
+
+var allModes = []abi.Mode{abi.Baseline, abi.CARS, abi.SharedSpill}
+
+func main() {
+	mode := flag.String("mode", "all", "ABI mode for assembly inputs: baseline, cars, smem, or all")
+	wl := flag.Bool("workloads", false, "vet the paper's built-in workloads in every ABI mode")
+	flag.Parse()
+
+	modes, err := parseModes(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsvet:", err)
+		os.Exit(2)
+	}
+	if !*wl && flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "carsvet: no inputs (pass files or -workloads)")
+		os.Exit(2)
+	}
+
+	dirty := false
+	if *wl {
+		dirty = vetWorkloads(modes) || dirty
+	}
+	for _, path := range flag.Args() {
+		dirty = vetFile(path, modes) || dirty
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}
+
+func parseModes(s string) ([]abi.Mode, error) {
+	switch s {
+	case "all":
+		return allModes, nil
+	case "baseline":
+		return []abi.Mode{abi.Baseline}, nil
+	case "cars":
+		return []abi.Mode{abi.CARS}, nil
+	case "smem":
+		return []abi.Mode{abi.SharedSpill}, nil
+	}
+	return nil, fmt.Errorf("unknown mode %q", s)
+}
+
+// vetFile vets one input and reports whether it was dirty.
+func vetFile(path string, modes []abi.Mode) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsvet:", err)
+		return true
+	}
+	if bytes.HasPrefix(raw, binfmt.Magic[:]) {
+		prog, err := binfmt.Read(bytes.NewReader(raw))
+		if err != nil {
+			fmt.Printf("%s: %v\n", path, err)
+			return true
+		}
+		return report(path, prog, vet.Program(prog))
+	}
+
+	m, err := asm.ParseString(string(raw))
+	if err != nil {
+		fmt.Printf("%s: %v\n", path, err)
+		return true
+	}
+	dirty := report(path, nil, vet.Modules(m))
+	for _, mode := range modes {
+		prog, err := abi.Link(mode, m)
+		if err != nil {
+			fmt.Printf("%s [%s]: link: %v\n", path, mode, err)
+			dirty = true
+			continue
+		}
+		dirty = report(fmt.Sprintf("%s [%s]", path, mode), prog, vet.Program(prog)) || dirty
+	}
+	return dirty
+}
+
+func vetWorkloads(modes []abi.Mode) bool {
+	dirty := false
+	for _, w := range workloads.All() {
+		mods := w.Modules()
+		dirty = report(w.Name+" [pre-abi]", nil, vet.Modules(mods...)) || dirty
+		for _, mode := range modes {
+			prog, err := abi.Link(mode, mods...)
+			if err != nil {
+				// The shared-spill ABI legitimately rejects recursive
+				// workloads: a static frame cannot hold an unbounded
+				// call chain.
+				if mode == abi.SharedSpill && strings.Contains(err.Error(), "recursive") {
+					continue
+				}
+				fmt.Printf("%s [%s]: link: %v\n", w.Name, mode, err)
+				dirty = true
+				continue
+			}
+			dirty = report(fmt.Sprintf("%s [%s]", w.Name, mode), prog, vet.Program(prog)) || dirty
+		}
+	}
+	if !dirty {
+		fmt.Printf("%d workloads vet clean\n", len(workloads.All()))
+	}
+	return dirty
+}
+
+// report prints diagnostics for one vetted unit, with a disassembly
+// excerpt around every error when the linked program is available.
+// Info-level diagnostics do not make the unit dirty.
+func report(label string, prog *isa.Program, diags []vet.Diagnostic) bool {
+	dirty := false
+	for _, d := range diags {
+		fmt.Printf("%s: %s\n", label, d)
+		if d.Sev >= vet.SevWarning {
+			dirty = true
+		}
+		if d.Sev == vet.SevError && prog != nil && d.Index >= 0 {
+			excerpt(prog, d.Func, d.Index)
+		}
+	}
+	return dirty
+}
+
+// excerpt disassembles the two instructions either side of index in
+// the named function, marking the diagnosed one.
+func excerpt(p *isa.Program, fn string, index int) {
+	for _, f := range p.Funcs {
+		if f.Name != fn {
+			continue
+		}
+		lo, hi := index-2, index+2
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > len(f.Code)-1 {
+			hi = len(f.Code) - 1
+		}
+		for i := lo; i <= hi; i++ {
+			marker := " "
+			if i == index {
+				marker = ">"
+			}
+			fmt.Printf("  %s %4d  %s\n", marker, i, f.Code[i].String())
+		}
+		return
+	}
+}

@@ -62,7 +62,7 @@ func buildModule() *kir.Module {
 }
 
 func run(cfg carsgo.Config, mode abi.Mode) (cycles int64, spills uint64, out []uint32) {
-	prog, err := abi.Link(mode, buildModule())
+	prog, err := abi.LinkStrict(mode, buildModule())
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -59,7 +59,7 @@ func fibRef(n int) uint32 {
 }
 
 func main() {
-	prog, err := abi.Link(abi.CARS, fibModule())
+	prog, err := abi.LinkStrict(abi.CARS, fibModule())
 	if err != nil {
 		log.Fatal(err)
 	}

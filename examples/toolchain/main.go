@@ -64,11 +64,11 @@ func main() {
 	modules := buildModules()
 
 	// Separate compilation + link, both ABIs.
-	baseProg, err := abi.Link(abi.Baseline, modules...)
+	baseProg, err := abi.LinkStrict(abi.Baseline, modules...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	carsProg, err := abi.Link(abi.CARS, modules...)
+	carsProg, err := abi.LinkStrict(abi.CARS, modules...)
 	if err != nil {
 		log.Fatal(err)
 	}

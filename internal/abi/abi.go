@@ -24,6 +24,7 @@ import (
 	"carsgo/internal/callgraph"
 	"carsgo/internal/isa"
 	"carsgo/internal/kir"
+	"carsgo/internal/vet"
 )
 
 // Register convention constants.
@@ -199,6 +200,23 @@ func Link(mode Mode, modules ...*kir.Module) (*isa.Program, error) {
 
 	if err := prog.Validate(); err != nil {
 		return nil, err
+	}
+	return prog, nil
+}
+
+// LinkStrict links like Link and then runs the static verifier over
+// the result (internal/vet), rejecting the program if any
+// error-severity diagnostic is found: uninitialized reads, clobbered
+// callee-saved registers, unbalanced push/pop paths, broken
+// spill/fill pairing, or call-graph stack demand beyond the declared
+// FRUs. Warnings and the recursion Info diagnostic do not reject.
+func LinkStrict(mode Mode, modules ...*kir.Module) (*isa.Program, error) {
+	prog, err := Link(mode, modules...)
+	if err != nil {
+		return nil, err
+	}
+	if err := vet.ErrorOrNil(vet.Program(prog)); err != nil {
+		return nil, fmt.Errorf("abi: program failed verification: %w", err)
 	}
 	return prog, nil
 }

@@ -88,14 +88,14 @@ func Analyze(p *isa.Program, kernel string) (*Analysis, error) {
 		if n.Func.RegsUsed > a.MaxRegs {
 			a.MaxRegs = n.Func.RegsUsed
 		}
+		if n.OnCycle {
+			a.Cyclic = true
+		}
 		if fi == root {
 			continue
 		}
 		if n.FRU > a.MaxFRU {
 			a.MaxFRU = n.FRU
-		}
-		if n.OnCycle {
-			a.Cyclic = true
 		}
 	}
 	return a, nil

@@ -194,3 +194,26 @@ func TestStringRendering(t *testing.T) {
 		}
 	}
 }
+
+// TestRootOnCycleDetected is a regression test: when the root itself
+// sits on the only cycle (a kernel whose indirect-call candidate set
+// includes itself), Cyclic must still be reported — downstream
+// consumers (the vet stack-demand pass) rely on it to avoid treating
+// an unbounded graph as finite.
+func TestRootOnCycleDetected(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("k")
+	k.MovFuncIdx(9, "k").CallIndirect(9, "k").Exit()
+	m.AddFunc(k.MustBuild())
+	prog, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := callgraph.Analyze(prog, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Cyclic {
+		t.Fatal("self-calling root not reported as cyclic")
+	}
+}

@@ -153,7 +153,7 @@ func TestProgramValidate(t *testing.T) {
 	mk := func() *Program {
 		return &Program{
 			Funcs: []*Function{
-				{Name: "k", IsKernel: true, RegsUsed: 8, Code: []Instruction{
+				{Name: "k", IsKernel: true, RegsUsed: 8, Callees: []int{1}, Code: []Instruction{
 					{Op: OpCall, Callee: 1, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg},
 					{Op: OpExit, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg},
 				}},
@@ -179,8 +179,39 @@ func TestProgramValidate(t *testing.T) {
 	}
 	p = mk()
 	p.Funcs[0].Code[0] = Instruction{Op: OpBra, Target: 99, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg}
+	p.Funcs[0].Callees = nil
 	if err := p.Validate(); err == nil {
 		t.Error("out-of-range branch target accepted")
+	}
+	p = mk()
+	p.Funcs[0].Callees = []int{9}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range callee entry accepted")
+	}
+	p = mk()
+	p.Funcs[0].Callees = []int{1, 1}
+	if err := p.Validate(); err == nil {
+		t.Error("callee entry count mismatch accepted")
+	}
+	p = mk()
+	p.Funcs[1].IndirectTargets = [][]int{{0, 1}}
+	if err := p.Validate(); err == nil {
+		t.Error("indirect candidate sets without CALLI sites accepted")
+	}
+	p = mk()
+	p.Funcs[1].Code = []Instruction{
+		{Op: OpCallI, Callee: -1, Dst: NoReg, SrcA: 8, SrcB: NoReg, SrcC: NoReg},
+		{Op: OpRet, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg},
+	}
+	p.Funcs[1].IndirectTargets = [][]int{{99}}
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range indirect candidate accepted")
+	}
+	p = mk()
+	p.Funcs[0].Code[0] = Instruction{Op: OpBra, Pred: 3, Target: 1, Target2: -2, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg}
+	p.Funcs[0].Callees = nil
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range reconvergence target accepted")
 	}
 }
 

@@ -106,16 +106,24 @@ func (p *Program) FuncByName(name string) *Function {
 }
 
 // Validate checks structural invariants of the linked program: call
-// targets in range, branch targets within the function, and register
-// operands below the function's declared usage.
+// targets in range, branch targets within the function, register
+// operands below the function's declared usage, and the per-site call
+// metadata (Callees, IndirectTargets) consistent with the code and in
+// range — indirect targets outside the program would otherwise only
+// surface as a fault when the simulator resolves the call.
 func (p *Program) Validate() error {
 	for fi, f := range p.Funcs {
+		calls, indirects := 0, 0
 		for ii := range f.Code {
 			in := &f.Code[ii]
-			if in.Op == OpCall {
+			switch in.Op {
+			case OpCall:
 				if in.Callee < 0 || in.Callee >= len(p.Funcs) {
 					return fmt.Errorf("isa: %s[%d]: call target %d out of range", f.Name, ii, in.Callee)
 				}
+				calls++
+			case OpCallI:
+				indirects++
 			}
 			if in.Op == OpBra || in.Op == OpSSY {
 				t := in.Target
@@ -125,6 +133,10 @@ func (p *Program) Validate() error {
 				if t < 0 || t > len(f.Code) {
 					return fmt.Errorf("isa: %s[%d]: branch target %d out of range", f.Name, ii, t)
 				}
+				if in.Op == OpBra && in.Pred != NoPred &&
+					(in.Target2 < 0 || in.Target2 > len(f.Code)) {
+					return fmt.Errorf("isa: %s[%d]: reconvergence target %d out of range", f.Name, ii, in.Target2)
+				}
 			}
 			for _, r := range in.Reads(nil) {
 				if int(r) >= MaxArchRegs {
@@ -133,6 +145,24 @@ func (p *Program) Validate() error {
 			}
 			if in.Dst != NoReg && int(in.Dst) >= MaxArchRegs {
 				return fmt.Errorf("isa: %s[%d]: dest register R%d exceeds limit", f.Name, ii, in.Dst)
+			}
+		}
+		if len(f.Callees) != calls {
+			return fmt.Errorf("isa: %s: %d direct call sites but %d callee entries", f.Name, calls, len(f.Callees))
+		}
+		for si, ti := range f.Callees {
+			if ti < 0 || ti >= len(p.Funcs) {
+				return fmt.Errorf("isa: %s: callee entry %d targets function %d, out of range", f.Name, si, ti)
+			}
+		}
+		if len(f.IndirectTargets) != indirects {
+			return fmt.Errorf("isa: %s: %d indirect call sites but %d candidate sets", f.Name, indirects, len(f.IndirectTargets))
+		}
+		for si, cands := range f.IndirectTargets {
+			for _, ti := range cands {
+				if ti < 0 || ti >= len(p.Funcs) {
+					return fmt.Errorf("isa: %s: indirect candidate set %d targets function %d, out of range", f.Name, si, ti)
+				}
 			}
 		}
 		if f.RegsUsed > MaxArchRegs {

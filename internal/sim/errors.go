@@ -1,0 +1,45 @@
+package sim
+
+import "fmt"
+
+// ExecError is a structured functional-execution fault: a condition
+// the program's own code caused (divergent indirect target, invalid
+// function index, register-stack misuse) rather than a simulator bug.
+// It names the launch, the SM and warp that faulted, and the faulting
+// instruction so callers can report or triage without a stack trace.
+// GPU.Run returns it as its error value.
+type ExecError struct {
+	Kernel string // launched kernel name
+	SM     int    // SM the warp was resident on
+	Warp   int    // global warp id within the launch
+	Func   string // function containing the faulting instruction
+	PC     int    // instruction index within Func
+	Msg    string
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("sim: kernel %q: warp %d on SM %d at %s[%d]: %s",
+		e.Kernel, e.Warp, e.SM, e.Func, e.PC, e.Msg)
+}
+
+// execFault aborts the current launch with an ExecError carrying the
+// warp's current function and PC. The fault unwinds the simulation
+// loop as a panic and is recovered into GPU.Run's error return — the
+// functional core stays free of error plumbing on its hot paths.
+func (s *SM) execFault(w *Warp, format string, args ...any) {
+	e := &ExecError{SM: s.id, Msg: fmt.Sprintf(format, args...)}
+	if s.gpu.launch != nil {
+		e.Kernel = s.gpu.launch.Kernel
+	}
+	if w != nil {
+		e.Warp = w.GWID
+		if !w.SIMT.Empty() {
+			top := w.SIMT.Top()
+			e.PC = top.PC
+			if top.Func >= 0 && top.Func < len(s.gpu.Prog.Funcs) {
+				e.Func = s.gpu.Prog.Funcs[top.Func].Name
+			}
+		}
+	}
+	panic(e)
+}

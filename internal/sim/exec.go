@@ -209,7 +209,7 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 		// call; the micro-op costs its issue slot only.
 		if !cfg.WindowedStacks {
 			if err := w.CStack.Push(int(in.Imm)); err != nil {
-				panic("sim: " + err.Error())
+				s.execFault(w, "%v", err)
 			}
 		}
 		w.SIMT.Advance()
@@ -217,7 +217,7 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 	case isa.OpPop:
 		if !cfg.WindowedStacks {
 			if err := w.CStack.Pop(int(in.Imm)); err != nil {
-				panic("sim: " + err.Error())
+				s.execFault(w, "%v", err)
 			}
 		}
 		w.SIMT.Advance()
@@ -350,11 +350,13 @@ func (s *SM) indirectTarget(w *Warp, in *isa.Instruction, guard uint32) int {
 		if target < 0 {
 			target = v
 		} else if v != target {
-			panic("sim: divergent indirect call target within a warp")
+			s.execFault(w, "divergent indirect call target within the warp (R%d holds both %d and %d)",
+				in.SrcA, target, v)
 		}
 	}
 	if target < 0 || target >= len(s.gpu.Prog.Funcs) {
-		panic(fmt.Sprintf("sim: indirect call to invalid function %d", target))
+		s.execFault(w, "indirect call to invalid function index %d (program has %d functions)",
+			target, len(s.gpu.Prog.Funcs))
 	}
 	return target
 }
@@ -489,7 +491,7 @@ func (s *SM) execShared(now int64, w *Warp, in *isa.Instruction, guard uint32) {
 		}
 		word := (addrs[l] + uint32(in.Imm)) / 4
 		if int(word) >= len(b.Shared) {
-			panic(fmt.Sprintf("sim: shared access word %d beyond %d", word, len(b.Shared)))
+			s.execFault(w, "shared-memory access at word %d beyond the block's %d words", word, len(b.Shared))
 		}
 		if isLoad {
 			dst[l] = b.Shared[word]

@@ -117,7 +117,18 @@ func (g *GPU) CodeBytes() uint64 {
 }
 
 // Run executes one kernel launch to completion and returns its stats.
-func (g *GPU) Run(launch isa.Launch) (*stats.Kernel, error) {
+// Functional-execution faults (see ExecError) surface as the returned
+// error rather than a panic.
+func (g *GPU) Run(launch isa.Launch) (st *stats.Kernel, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			ee, ok := r.(*ExecError)
+			if !ok {
+				panic(r) // simulator bug: keep the stack trace
+			}
+			st, err = nil, ee
+		}
+	}()
 	kf, err := g.Prog.Kernel(launch.Kernel)
 	if err != nil {
 		return nil, err
@@ -220,7 +231,7 @@ func (g *GPU) Run(launch isa.Launch) (*stats.Kernel, error) {
 	g.Sys.RunEvents(cycle + g.Cfg.Mem.DRAMLatency + 10_000)
 	g.clock = cycle
 
-	st := g.kernelStats
+	st = g.kernelStats
 	st.Cycles = cycle - start
 	for i, sm := range g.sms {
 		st.L1D.Accesses = addClass(st.L1D.Accesses, sm.l1d.Stats().Accesses, l1dBefore[i].Accesses)

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"errors"
 	"testing"
 
 	"carsgo/internal/abi"
@@ -180,10 +181,11 @@ func TestContextSwitchPath(t *testing.T) {
 	}
 }
 
-// TestDivergentIndirectPanics pins down the documented limitation:
-// lane-divergent indirect targets are rejected loudly, not silently
+// TestDivergentIndirectError pins down the documented limitation:
+// lane-divergent indirect targets are rejected loudly — as a
+// structured ExecError naming the kernel, warp, and PC — not silently
 // serialised.
-func TestDivergentIndirectPanics(t *testing.T) {
+func TestDivergentIndirectError(t *testing.T) {
 	m := &kir.Module{Name: "m"}
 	k := kir.NewKernel("main")
 	// Target index = laneid & 1: divergent within the warp.
@@ -209,12 +211,51 @@ func TestDivergentIndirectPanics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("divergent indirect call did not panic")
-		}
-	}()
-	gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 32}})
+	_, err = gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 32}})
+	if err == nil {
+		t.Fatal("divergent indirect call did not error")
+	}
+	var ee *sim.ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("divergent indirect call returned %T (%v), want *sim.ExecError", err, err)
+	}
+	if ee.Kernel != "main" {
+		t.Errorf("ExecError.Kernel = %q, want main", ee.Kernel)
+	}
+	if ee.Func != "main" || ee.PC < 0 {
+		t.Errorf("ExecError does not locate the fault: func %q pc %d", ee.Func, ee.PC)
+	}
+}
+
+// TestInvalidIndirectTargetError checks the other indirect-call fault:
+// a run-time function index outside the program.
+func TestInvalidIndirectTargetError(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("main")
+	k.MovI(9, 1000). // far beyond the linked function count
+			CallIndirect(9, "va").
+			Exit()
+	m.AddFunc(k.MustBuild())
+	va := kir.NewFunc("va")
+	va.IAddI(4, 4, 1).Ret()
+	m.AddFunc(va.MustBuild())
+
+	prog, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpu, err := sim.New(config.V100(), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = gpu.Run(isa.Launch{Kernel: "main", Dim: isa.Dim3{Grid: 1, Block: 32}})
+	var ee *sim.ExecError
+	if !errors.As(err, &ee) {
+		t.Fatalf("invalid indirect target returned %T (%v), want *sim.ExecError", err, err)
+	}
+	if ee.Kernel != "main" || ee.Warp != 0 {
+		t.Errorf("ExecError = %+v, want kernel main warp 0", ee)
+	}
 }
 
 func TestUnlimitedRegsLiftOccupancy(t *testing.T) {

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"fmt"
-
 	"carsgo/internal/isa"
 	"carsgo/internal/mem"
 	"carsgo/internal/simt"
@@ -414,7 +412,8 @@ func (s *SM) tryIssue(now int64, w *Warp) bool {
 	top := w.SIMT.Top()
 	code := s.gpu.Prog.Funcs[top.Func].Code
 	if top.PC >= len(code) {
-		panic(fmt.Sprintf("sim: PC %d past end of %s", top.PC, s.gpu.Prog.Funcs[top.Func].Name))
+		s.execFault(w, "PC %d past the end of %s (%d instructions)", top.PC,
+			s.gpu.Prog.Funcs[top.Func].Name, len(code))
 	}
 	in := &code[top.PC]
 

@@ -35,7 +35,7 @@ func (s *SM) carsCall(now int64, w *Warp, fru int) {
 func (s *SM) carsEnsure(now int64, w *Warp, fru int) {
 	ops, err := w.CStack.EnsureSpace(fru)
 	if err != nil {
-		panic("sim: " + err.Error())
+		s.execFault(w, "%v", err)
 	}
 	if len(ops) == 0 {
 		return
@@ -53,7 +53,7 @@ func (s *SM) carsEnsure(now int64, w *Warp, fru int) {
 func (s *SM) carsRet(now int64, w *Warp) {
 	fill, err := w.CStack.Ret()
 	if err != nil {
-		panic("sim: " + err.Error())
+		s.execFault(w, "%v", err)
 	}
 	if fill != nil {
 		s.stats().TrapFillSlots += uint64(fill.Count)

@@ -1,0 +1,37 @@
+package vet_test
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/asm"
+	"carsgo/internal/vet"
+)
+
+// FuzzVet drives the whole front half of the toolchain with arbitrary
+// assembly: anything the assembler accepts must flow through the
+// pre-ABI verifier, the linker in every mode, and the linked-program
+// verifier without panicking. Diagnostics (including errors) are fine;
+// crashes are not.
+func FuzzVet(f *testing.F) {
+	f.Add(".kernel k\nEXIT\n")
+	f.Add(".func f\n@!P3 IADDI R4, R4, 1\nRET\n")
+	f.Add(".kernel k\nloop:\nBRA loop\nEXIT\n")
+	f.Add(".kernel k\nCALLI [R8], a, b\nEXIT\n.func a\nRET\n.func b\nRET\n")
+	f.Add(".func helper callee_saved=1\nMOV R16, R4\nIADD R4, R4, R16\nRET\n.kernel main\nMOV R4, R8\nCALL helper\nEXIT\n")
+	f.Add(".func f callee_saved=2\nMOV R16, R4\nCALL f\nIADD R4, R4, R16\nRET\n.kernel main\nCALL f\nEXIT\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := asm.ParseString(src)
+		if err != nil {
+			return
+		}
+		vet.Modules(m)
+		for _, mode := range []abi.Mode{abi.Baseline, abi.CARS, abi.SharedSpill} {
+			p, err := abi.Link(mode, m)
+			if err != nil {
+				continue
+			}
+			vet.Program(p)
+		}
+	})
+}

@@ -1,0 +1,245 @@
+// Package vet statically verifies programs against the repo's calling
+// convention: the correctness backbone for the CARS ABI.
+//
+// The verifier runs over both linked isa.Programs and pre-link
+// kir.Modules. For each function it constructs a control-flow graph
+// from the branch/return/exit instructions and runs forward dataflow
+// analyses over it:
+//
+//   - must-defined registers: flags reads of registers that may be
+//     uninitialized on some path (read-before-def)
+//   - must-preserved registers: flags writes to callee-saved registers
+//     (R16..) that were not first spilled or pushed
+//   - must-filled registers: flags return paths that do not restore a
+//     spilled callee-saved register
+//   - register-stack depth: checks push/pop balance on every path to
+//     RET, PUSHRFP-before-call pairing, and that the push depth never
+//     exceeds the declared callee-saved count (the FRU)
+//
+// Program-level checks compare the call-graph-wide worst-case register-
+// stack demand against the allocator watermarks (internal/callgraph);
+// unbounded recursion is reported at Info severity — it is legal under
+// CARS, falling back to the circular-stack spill trap (§III-C).
+//
+// Results are structured Diagnostics so tools can filter by severity
+// or check; abi.LinkStrict, cmd/carsasm, and cmd/carsvet all consume
+// them.
+package vet
+
+import (
+	"fmt"
+	"strings"
+
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+)
+
+// Severity ranks a diagnostic. A program "vets clean" when it has no
+// Error or Warning diagnostics; Info diagnostics (e.g. recursion) are
+// advisory and never fail a strict link.
+type Severity int
+
+// Severity levels, ordered from least to most severe.
+const (
+	SevInfo Severity = iota
+	SevWarning
+	SevError
+)
+
+func (s Severity) String() string {
+	switch s {
+	case SevInfo:
+		return "info"
+	case SevWarning:
+		return "warning"
+	case SevError:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Check identifies the analysis that produced a diagnostic, so tools
+// can filter by class.
+type Check string
+
+// The diagnostic taxonomy (see DESIGN.md §6).
+const (
+	CheckValidate     Check = "validate"      // isa.Program.Validate failed
+	CheckStructure    Check = "structure"     // malformed function shape
+	CheckUnreachable  Check = "unreachable"   // code no path reaches
+	CheckUninitRead   Check = "uninit-read"   // read-before-def
+	CheckDeadSpill    Check = "dead-spill"    // spill store never filled back
+	CheckSpillPair    Check = "spill-pairing" // fill/store mismatch or bad slot
+	CheckCalleeSaved  Check = "callee-saved"  // clobbered or unrestored R16+
+	CheckStackBalance Check = "stack-balance" // push/pop imbalance on a path
+	CheckPushRFP      Check = "pushrfp"       // call without PUSHRFP pairing
+	CheckModeMismatch Check = "mode-mismatch" // op illegal under the ABI mode
+	CheckStackDepth   Check = "stack-depth"   // demand exceeds declared FRUs
+	CheckRecursion    Check = "recursion"     // unbounded stack (trap fallback)
+	CheckCallSite     Check = "call-site"     // call metadata inconsistent
+)
+
+// Diagnostic is one finding. Index is the instruction index within
+// Func, or -1 for whole-function / whole-program findings.
+type Diagnostic struct {
+	Sev   Severity
+	Func  string
+	Index int
+	Check Check
+	Msg   string
+}
+
+func (d Diagnostic) String() string {
+	loc := d.Func
+	if loc == "" {
+		loc = "<program>"
+	}
+	if d.Index >= 0 {
+		loc = fmt.Sprintf("%s[%d]", loc, d.Index)
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", d.Sev, loc, d.Msg, d.Check)
+}
+
+// HasErrors reports whether any diagnostic is an Error.
+func HasErrors(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Clean reports whether the diagnostics contain no Errors or Warnings.
+func Clean(diags []Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev >= SevWarning {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrorOrNil folds the Error-severity diagnostics into a single error,
+// or nil when there are none.
+func ErrorOrNil(diags []Diagnostic) error {
+	var msgs []string
+	for _, d := range diags {
+		if d.Sev == SevError {
+			msgs = append(msgs, d.String())
+		}
+	}
+	if len(msgs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("vet: %d error(s):\n  %s", len(msgs), strings.Join(msgs, "\n  "))
+}
+
+// progMode is the ABI mode a linked program was compiled under,
+// derived from program metadata so vet does not import internal/abi
+// (abi imports vet for LinkStrict).
+type progMode int
+
+const (
+	modeBaseline progMode = iota
+	modeCARS
+	modeSmem
+)
+
+func (m progMode) String() string {
+	switch m {
+	case modeCARS:
+		return "cars"
+	case modeSmem:
+		return "smem-spill"
+	}
+	return "baseline"
+}
+
+func modeOf(p *isa.Program) progMode {
+	switch {
+	case p.CARS:
+		return modeCARS
+	case p.SmemSpillPerThread > 0:
+		return modeSmem
+	}
+	return modeBaseline
+}
+
+// Program verifies a linked program. It validates structural
+// invariants first (a program failing isa.Program.Validate gets a
+// single validate error, since later analyses assume in-range
+// operands), then runs the per-function CFG/dataflow checks and the
+// program-wide call-graph stack-depth check.
+func Program(p *isa.Program) []Diagnostic {
+	if p == nil || len(p.Funcs) == 0 {
+		return []Diagnostic{{Sev: SevError, Index: -1, Check: CheckStructure,
+			Msg: "program has no functions"}}
+	}
+	if err := p.Validate(); err != nil {
+		return []Diagnostic{{Sev: SevError, Index: -1, Check: CheckValidate, Msg: err.Error()}}
+	}
+	mode := modeOf(p)
+	var diags []Diagnostic
+	sums := make([]*funcSummary, len(p.Funcs))
+	for fi, f := range p.Funcs {
+		v := &funcVet{
+			name:        f.Name,
+			code:        f.Code,
+			isKernel:    f.IsKernel,
+			calleeSaved: f.CalleeSaved,
+			frameBytes:  f.LocalFrameBytes,
+			smemFrame:   4 * f.CalleeSaved,
+			mode:        mode,
+			linked:      true,
+		}
+		v.run()
+		diags = append(diags, v.diags...)
+		sums[fi] = &v.summary
+		// Call targets must be device functions: a kernel ends in
+		// EXIT, so a call into one never returns to its caller.
+		// Validate range-checks these indices; only the shape is left.
+		for _, ti := range f.Callees {
+			if p.Funcs[ti].IsKernel {
+				diags = append(diags, Diagnostic{Sev: SevError, Func: f.Name, Index: -1,
+					Check: CheckCallSite,
+					Msg:   fmt.Sprintf("calls kernel %s: kernels end with EXIT and never return", p.Funcs[ti].Name)})
+			}
+		}
+		for _, cands := range f.IndirectTargets {
+			for _, ti := range cands {
+				if p.Funcs[ti].IsKernel {
+					diags = append(diags, Diagnostic{Sev: SevError, Func: f.Name, Index: -1,
+						Check: CheckCallSite,
+						Msg:   fmt.Sprintf("indirect-call candidate %s is a kernel: kernels end with EXIT and never return", p.Funcs[ti].Name)})
+				}
+			}
+		}
+	}
+	if mode == modeCARS {
+		diags = append(diags, checkStackDemand(p, sums)...)
+	}
+	return diags
+}
+
+// Modules verifies pre-ABI modules before lowering: read-before-def,
+// writes outside the declared callee-saved window, unreachable code,
+// malformed call metadata, and shape errors the abi pass would
+// otherwise turn into lowering failures or runtime panics.
+func Modules(mods ...*kir.Module) []Diagnostic {
+	var diags []Diagnostic
+	for _, m := range mods {
+		for _, f := range m.Funcs {
+			v := &funcVet{
+				name:        f.Name,
+				code:        f.Code,
+				isKernel:    f.IsKernel,
+				calleeSaved: f.CalleeSaved,
+				preABI:      f,
+			}
+			v.run()
+			diags = append(diags, v.diags...)
+		}
+	}
+	return diags
+}

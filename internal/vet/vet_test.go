@@ -1,0 +1,305 @@
+package vet_test
+
+import (
+	"strings"
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/vet"
+)
+
+// callModule is the shared fixture: a kernel calling a device function
+// with two callee-saved registers. It links and vets clean in every
+// mode; the negative tests seed violations by mutating the result.
+func callModule() *kir.Module {
+	m := &kir.Module{Name: "m"}
+	leaf := kir.NewFunc("leaf").SetCalleeSaved(2)
+	leaf.MovI(16, 1).MovI(17, 2).IAdd(4, 16, 17).Ret()
+	m.AddFunc(leaf.MustBuild())
+	k := kir.NewKernel("main")
+	k.MovI(4, 7).Call("leaf").StG(4, 0, 4).Exit()
+	m.AddFunc(k.MustBuild())
+	return m
+}
+
+func link(t *testing.T, mode abi.Mode, m *kir.Module) *isa.Program {
+	t.Helper()
+	p, err := abi.Link(mode, m)
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	return p
+}
+
+// mutate replaces the first instruction of fn matching op with a NOP
+// and fails the test if none exists.
+func mutate(t *testing.T, p *isa.Program, fn string, op isa.Op) {
+	t.Helper()
+	for fi := range p.Funcs {
+		if p.Funcs[fi].Name != fn {
+			continue
+		}
+		for i := range p.Funcs[fi].Code {
+			if p.Funcs[fi].Code[i].Op == op {
+				p.Funcs[fi].Code[i] = isa.Instruction{
+					Op: isa.OpNop, Dst: isa.NoReg, SrcA: isa.NoReg,
+					SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred,
+				}
+				return
+			}
+		}
+	}
+	t.Fatalf("no %s in %s to mutate", op, fn)
+}
+
+func TestVetCleanFixtures(t *testing.T) {
+	if diags := vet.Modules(callModule()); !vet.Clean(diags) {
+		t.Fatalf("pre-ABI fixture not clean: %v", diags)
+	}
+	for _, mode := range []abi.Mode{abi.Baseline, abi.CARS, abi.SharedSpill} {
+		p := link(t, mode, callModule())
+		if diags := vet.Program(p); !vet.Clean(diags) {
+			t.Fatalf("%v fixture not clean: %v", mode, diags)
+		}
+	}
+}
+
+// TestVetDetectsSeededViolations covers the five seeded violation
+// classes plus the auxiliary analyses, one mutated program per row.
+func TestVetDetectsSeededViolations(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func(t *testing.T) []vet.Diagnostic
+		want    vet.Check
+		wantSev vet.Severity
+	}{
+		{
+			// Class 1: unbalanced push/pop — the epilogue POP is
+			// removed, so the register stack is non-empty at RET.
+			name: "unbalanced-stack-ops",
+			build: func(t *testing.T) []vet.Diagnostic {
+				p := link(t, abi.CARS, callModule())
+				mutate(t, p, "leaf", isa.OpPop)
+				return vet.Program(p)
+			},
+			want: vet.CheckStackBalance, wantSev: vet.SevError,
+		},
+		{
+			// Class 1 variant: the PUSH is removed, so the POP
+			// releases registers no path pushed.
+			name: "pop-exceeds-push",
+			build: func(t *testing.T) []vet.Diagnostic {
+				p := link(t, abi.CARS, callModule())
+				mutate(t, p, "leaf", isa.OpPush)
+				return vet.Program(p)
+			},
+			want: vet.CheckStackBalance, wantSev: vet.SevError,
+		},
+		{
+			// Class 2: a CALL without its PUSHRFP loses the caller's
+			// frame pointer.
+			name: "missing-pushrfp",
+			build: func(t *testing.T) []vet.Diagnostic {
+				p := link(t, abi.CARS, callModule())
+				mutate(t, p, "main", isa.OpPushRFP)
+				return vet.Program(p)
+			},
+			want: vet.CheckPushRFP, wantSev: vet.SevError,
+		},
+		{
+			// Class 3: a device function that writes R17 while
+			// declaring only one callee-saved register clobbers its
+			// caller's value. Caught pre-ABI...
+			name: "clobbered-callee-saved-preabi",
+			build: func(t *testing.T) []vet.Diagnostic {
+				m := &kir.Module{Name: "m"}
+				f := kir.NewFunc("f").SetCalleeSaved(1)
+				f.MovI(17, 5).IAdd(4, 4, 17).Ret()
+				m.AddFunc(f.MustBuild())
+				k := kir.NewKernel("main")
+				k.Call("f").Exit()
+				m.AddFunc(k.MustBuild())
+				return vet.Modules(m)
+			},
+			want: vet.CheckCalleeSaved, wantSev: vet.SevError,
+		},
+		{
+			// ...and post-link, where the abi pass spilled only the
+			// declared window.
+			name: "clobbered-callee-saved-linked",
+			build: func(t *testing.T) []vet.Diagnostic {
+				m := &kir.Module{Name: "m"}
+				f := kir.NewFunc("f").SetCalleeSaved(1)
+				f.MovI(17, 5).IAdd(4, 4, 17).Ret()
+				m.AddFunc(f.MustBuild())
+				k := kir.NewKernel("main")
+				k.Call("f").Exit()
+				m.AddFunc(k.MustBuild())
+				return vet.Program(link(t, abi.Baseline, m))
+			},
+			want: vet.CheckCalleeSaved, wantSev: vet.SevError,
+		},
+		{
+			// Class 4: reading a callee-saved register before any
+			// path defines it.
+			name: "uninitialized-register-read",
+			build: func(t *testing.T) []vet.Diagnostic {
+				m := &kir.Module{Name: "m"}
+				f := kir.NewFunc("f").SetCalleeSaved(1)
+				f.IAdd(4, 4, 16).MovI(16, 0).Ret()
+				m.AddFunc(f.MustBuild())
+				k := kir.NewKernel("main")
+				k.Call("f").Exit()
+				m.AddFunc(k.MustBuild())
+				return vet.Program(link(t, abi.Baseline, m))
+			},
+			want: vet.CheckUninitRead, wantSev: vet.SevError,
+		},
+		{
+			// Class 5: an indirect-call candidate set pointing past
+			// the linked function table. Validate rejects it before
+			// any dataflow runs.
+			name: "out-of-range-indirect-target",
+			build: func(t *testing.T) []vet.Diagnostic {
+				m := &kir.Module{Name: "m"}
+				k := kir.NewKernel("main")
+				k.MovFuncIdx(9, "va").CallIndirect(9, "va").Exit()
+				m.AddFunc(k.MustBuild())
+				va := kir.NewFunc("va")
+				va.IAddI(4, 4, 1).Ret()
+				m.AddFunc(va.MustBuild())
+				p := link(t, abi.Baseline, m)
+				for fi := range p.Funcs {
+					if len(p.Funcs[fi].IndirectTargets) > 0 {
+						p.Funcs[fi].IndirectTargets[0][0] = 99
+						return vet.Program(p)
+					}
+				}
+				t.Fatal("no indirect call site in linked program")
+				return nil
+			},
+			want: vet.CheckValidate, wantSev: vet.SevError,
+		},
+		{
+			// A function that declares a callee-saved register it
+			// never writes: with the epilogue fill removed, the
+			// prologue store is provably dead.
+			name: "dead-spill-store",
+			build: func(t *testing.T) []vet.Diagnostic {
+				m := &kir.Module{Name: "m"}
+				f := kir.NewFunc("f").SetCalleeSaved(1)
+				f.IAddI(4, 4, 1).Ret()
+				m.AddFunc(f.MustBuild())
+				k := kir.NewKernel("main")
+				k.Call("f").Exit()
+				m.AddFunc(k.MustBuild())
+				p := link(t, abi.Baseline, m)
+				mutate(t, p, "f", isa.OpLdL)
+				return vet.Program(p)
+			},
+			want: vet.CheckDeadSpill, wantSev: vet.SevWarning,
+		},
+		{
+			name: "unrestored-callee-saved",
+			build: func(t *testing.T) []vet.Diagnostic {
+				p := link(t, abi.Baseline, callModule())
+				mutate(t, p, "leaf", isa.OpLdL)
+				return vet.Program(p)
+			},
+			want: vet.CheckCalleeSaved, wantSev: vet.SevError,
+		},
+		{
+			// Code no path reaches, straight off an EXIT.
+			name: "unreachable-code",
+			build: func(t *testing.T) []vet.Diagnostic {
+				p := link(t, abi.Baseline, callModule())
+				for fi := range p.Funcs {
+					if p.Funcs[fi].Name == "main" {
+						p.Funcs[fi].Code = append(p.Funcs[fi].Code, isa.Instruction{
+							Op: isa.OpNop, Dst: isa.NoReg, SrcA: isa.NoReg,
+							SrcB: isa.NoReg, SrcC: isa.NoReg, Pred: isa.NoPred,
+						})
+					}
+				}
+				return vet.Program(p)
+			},
+			want: vet.CheckUnreachable, wantSev: vet.SevWarning,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := tc.build(t)
+			for _, d := range diags {
+				if d.Check == tc.want && d.Sev == tc.wantSev {
+					if d.String() == "" {
+						t.Error("diagnostic renders empty")
+					}
+					return
+				}
+			}
+			t.Fatalf("no %s diagnostic at %s; got %v", tc.want, tc.wantSev, diags)
+		})
+	}
+}
+
+// TestVetRecursionInfo: unbounded recursion is legal under CARS (the
+// hardware traps to the memory fallback) so vet reports it as Info —
+// visible in -v output, but still "clean".
+func TestVetRecursionInfo(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	f := kir.NewFunc("f").SetCalleeSaved(1)
+	f.MovI(16, 1).Call("f").IAdd(4, 4, 16).Ret()
+	m.AddFunc(f.MustBuild())
+	k := kir.NewKernel("main")
+	k.Call("f").Exit()
+	m.AddFunc(k.MustBuild())
+	p := link(t, abi.CARS, m)
+	diags := vet.Program(p)
+	if !vet.Clean(diags) {
+		t.Fatalf("recursive CARS program should vet clean: %v", diags)
+	}
+	found := false
+	for _, d := range diags {
+		if d.Check == vet.CheckRecursion && d.Sev == vet.SevInfo {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no recursion info diagnostic; got %v", diags)
+	}
+}
+
+func TestErrorOrNil(t *testing.T) {
+	p := link(t, abi.CARS, callModule())
+	if err := vet.ErrorOrNil(vet.Program(p)); err != nil {
+		t.Fatalf("clean program: %v", err)
+	}
+	mutate(t, p, "leaf", isa.OpPop)
+	err := vet.ErrorOrNil(vet.Program(p))
+	if err == nil {
+		t.Fatal("mutated program produced no error")
+	}
+	if !strings.Contains(err.Error(), "stack-balance") {
+		t.Errorf("error does not name the failing check: %v", err)
+	}
+}
+
+// TestLinkStrictRejects closes the loop: the strict linker surfaces
+// vet errors without running any simulation.
+func TestLinkStrictRejects(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	f := kir.NewFunc("f").SetCalleeSaved(1)
+	f.IAdd(4, 4, 16).MovI(16, 0).Ret()
+	m.AddFunc(f.MustBuild())
+	k := kir.NewKernel("main")
+	k.Call("f").Exit()
+	m.AddFunc(k.MustBuild())
+	if _, err := abi.LinkStrict(abi.Baseline, m); err == nil {
+		t.Fatal("LinkStrict accepted a function reading an uninitialized register")
+	}
+	if _, err := abi.LinkStrict(abi.CARS, callModule()); err != nil {
+		t.Fatalf("LinkStrict rejected a clean module: %v", err)
+	}
+}

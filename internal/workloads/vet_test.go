@@ -1,0 +1,42 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/vet"
+)
+
+// TestWorkloadsVetClean is the suite-wide acceptance gate for the
+// static verifier: every Table-I workload must vet without errors or
+// warnings, both pre-link and linked under every ABI mode. Info
+// diagnostics (the recursion trap-fallback note on FIB) are allowed.
+func TestWorkloadsVetClean(t *testing.T) {
+	for _, w := range All() {
+		mods := w.Modules()
+		for _, d := range vet.Modules(mods...) {
+			if d.Sev >= vet.SevWarning {
+				t.Errorf("%s (pre-ABI): %s", w.Name, d)
+			}
+		}
+		for _, mode := range []abi.Mode{abi.Baseline, abi.CARS, abi.SharedSpill} {
+			prog, err := abi.Link(mode, mods...)
+			if err != nil {
+				// Recursive workloads cannot compile under the
+				// shared-spill ABI; that rejection is the expected
+				// behaviour, not a vet failure.
+				if mode == abi.SharedSpill && strings.Contains(err.Error(), "recursive") {
+					continue
+				}
+				t.Errorf("%s/%s: link: %v", w.Name, mode, err)
+				continue
+			}
+			for _, d := range vet.Program(prog) {
+				if d.Sev >= vet.SevWarning {
+					t.Errorf("%s/%s: %s", w.Name, mode, d)
+				}
+			}
+		}
+	}
+}
