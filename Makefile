@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test test-short bench experiments examples clean
+.PHONY: all build vet lint san test test-short bench experiments examples clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	$(GO) build ./...
@@ -15,6 +15,17 @@ vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/carsvet -workloads
 	$(GO) run ./cmd/carsvet examples/vetdemo/clean.carsasm
+
+# Repo-custom analyzers (internal/lint) over the simulator hot paths.
+lint:
+	$(GO) run ./cmd/carslint
+
+# Static/dynamic differential harness: every workload in every ABI
+# mode under the shadow sanitizer (internal/san); vet's bounds must
+# dominate the observed dynamic behaviour. Takes a few minutes.
+san:
+	$(GO) run ./cmd/carsvet -diff
+	$(GO) run ./cmd/carsvet -diff examples/vetdemo/clean.carsasm
 
 test:
 	$(GO) test ./...

@@ -6,10 +6,15 @@
 //	carsim -w MST                 # baseline V100
 //	carsim -w MST -config cars    # V100 + CARS
 //	carsim -w PTA -config 10mb -v
+//	carsim -w FIB -config cars -san
 //	carsim -list                  # workload names
 //
 // Configurations: base, cars, ideal, 10mb, allhit, swl<N>, 3070,
 // 3070cars, lto.
+//
+// -san runs the workload with the internal/san shadow sanitizer
+// attached and checks the static/dynamic dominance invariant instead
+// of printing performance statistics; exit status 1 on any finding.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"carsgo"
 	"carsgo/internal/config"
 	"carsgo/internal/mem"
+	"carsgo/internal/san"
 	"carsgo/internal/stats"
 	"carsgo/internal/workloads"
 )
@@ -66,6 +72,7 @@ func main() {
 	list := flag.Bool("list", false, "list workloads and exit")
 	verbose := flag.Bool("v", false, "print per-launch stats")
 	occupancy := flag.Bool("occupancy", false, "print the occupancy calculation per launch and exit")
+	sanitize := flag.Bool("san", false, "run under the shadow sanitizer and check static/dynamic dominance")
 	flag.Parse()
 
 	if *list {
@@ -93,6 +100,10 @@ func main() {
 		printOccupancy(w, cfg)
 		return
 	}
+	if *sanitize {
+		runSanitized(w, cfg, lto)
+		return
+	}
 	var res *carsgo.Result
 	if lto {
 		res, err = carsgo.RunLTO(cfg, w)
@@ -110,6 +121,36 @@ func main() {
 			printStats(w, cfg, st, 0)
 		}
 	}
+}
+
+// runSanitized executes the workload with the shadow sanitizer
+// attached and reports any dynamic ABI violation or static-bound
+// dominance failure.
+func runSanitized(w *workloads.Workload, cfg carsgo.Config, lto bool) {
+	prog, err := carsgo.Compile(cfg, w.Modules(), lto)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	s, rep, err := san.RunProgram(prog, cfg, w.Setup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsim:", err)
+		os.Exit(1)
+	}
+	diags := s.Diags()
+	violations := san.Check(rep, s, prog.CARS)
+	for _, d := range diags {
+		fmt.Printf("sanitizer: %s [%s pc=%d]\n", d, d.Func, d.PC)
+	}
+	for _, v := range violations {
+		fmt.Printf("dominance: %s\n", v)
+	}
+	if len(diags) > 0 || len(violations) > 0 {
+		os.Exit(1)
+	}
+	obs := s.Observations()
+	fmt.Printf("%s on %s: sanitizer silent, static bounds dominate (%d functions, %d kernels observed)\n",
+		w.Name, cfg.Name, len(obs.Funcs), len(obs.Kernels))
 }
 
 // printOccupancy shows the §II occupancy factors for every launch of

@@ -1,0 +1,40 @@
+// Command carslint runs the repo's custom analyzers (internal/lint)
+// over the simulator's hot-path packages. With no arguments it checks
+// internal/sim and internal/cars — the packages where a stray panic
+// would take down a whole multi-launch run instead of surfacing as a
+// *sim.ExecError. Pass directories to check something else.
+//
+// Exit status 1 when any finding is reported.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"carsgo/internal/lint"
+)
+
+func main() {
+	flag.Parse()
+	dirs := flag.Args()
+	if len(dirs) == 0 {
+		dirs = []string{"internal/sim", "internal/cars"}
+	}
+	dirty := false
+	for _, dir := range dirs {
+		diags, err := lint.RunDir(lint.NoNakedPanic, dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carslint:", err)
+			os.Exit(2)
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			dirty = true
+		}
+	}
+	if dirty {
+		os.Exit(1)
+	}
+	fmt.Printf("carslint: %s clean\n", lint.NoNakedPanic.Name)
+}

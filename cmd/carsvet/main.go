@@ -9,6 +9,20 @@
 //	carsvet kernel.s                  # pre-ABI vet + link & vet each mode
 //	carsvet -mode cars kernel.s       # restrict to one ABI mode
 //	carsvet -workloads                # vet all 22 paper workloads
+//	carsvet -json kernel.s            # machine-readable per-function report
+//	carsvet -diff                     # static/dynamic differential harness
+//	carsvet -diff kernel.s            # ... on a file, via a smoke launch
+//
+// -json emits the full vet.ProgramReport for every vetted unit —
+// per-function MaxStackDepth/SpillBytes/live ranges, per-kernel stack
+// demand, and the normalized diagnostics — as a JSON array with stable
+// field order.
+//
+// -diff runs programs on the simulator with the internal/san shadow
+// sanitizer attached and checks that every static vet bound dominates
+// the observed dynamic behaviour (built-in workloads by default, or
+// the given files under a smoke launch). Exit status 1 if any
+// sanitizer diagnostic or dominance violation surfaces.
 //
 // Inputs are sniffed, not judged by extension: files starting with the
 // "CARS" magic are binary images, anything else is assembly text.
@@ -18,30 +32,51 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"carsgo/internal/abi"
 	"carsgo/internal/asm"
 	"carsgo/internal/binfmt"
 	"carsgo/internal/isa"
+	"carsgo/internal/san"
+	"carsgo/internal/sim"
 	"carsgo/internal/vet"
 	"carsgo/internal/workloads"
 )
 
-var allModes = []abi.Mode{abi.Baseline, abi.CARS, abi.SharedSpill}
+var jsonOut bool
+
+// jsonUnit is one vetted unit in -json output. Field order is the
+// stable output contract.
+type jsonUnit struct {
+	Unit      string             `json:"unit"`
+	Mode      string             `json:"mode,omitempty"`
+	LinkError string             `json:"linkError,omitempty"`
+	Report    *vet.ProgramReport `json:"report,omitempty"`
+	Diags     []vet.Diagnostic   `json:"diags,omitempty"` // pre-ABI units
+}
+
+var units []jsonUnit
 
 func main() {
 	mode := flag.String("mode", "all", "ABI mode for assembly inputs: baseline, cars, smem, or all")
 	wl := flag.Bool("workloads", false, "vet the paper's built-in workloads in every ABI mode")
+	jsonFlag := flag.Bool("json", false, "emit machine-readable vet reports as JSON")
+	diff := flag.Bool("diff", false, "run the static/dynamic differential harness under the shadow sanitizer")
 	flag.Parse()
+	jsonOut = *jsonFlag
 
 	modes, err := parseModes(*mode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carsvet:", err)
 		os.Exit(2)
+	}
+	if *diff {
+		os.Exit(runDiff(flag.Args()))
 	}
 	if !*wl && flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "carsvet: no inputs (pass files or -workloads)")
@@ -55,15 +90,113 @@ func main() {
 	for _, path := range flag.Args() {
 		dirty = vetFile(path, modes) || dirty
 	}
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(units); err != nil {
+			fmt.Fprintln(os.Stderr, "carsvet:", err)
+			os.Exit(2)
+		}
+	}
 	if dirty {
 		os.Exit(1)
 	}
 }
 
+// runDiff executes the differential harness: built-in workloads when
+// no files are given, otherwise each file under a smoke launch.
+func runDiff(paths []string) int {
+	if len(paths) == 0 {
+		_, ok, err := san.DiffWorkloads(nil, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carsvet:", err)
+			return 2
+		}
+		if !ok {
+			return 1
+		}
+		fmt.Println("differential harness: static bounds dominate, sanitizer silent")
+		return 0
+	}
+	status := 0
+	for _, path := range paths {
+		if !diffFile(path) {
+			status = 1
+		}
+	}
+	return status
+}
+
+// diffFile runs one assembly file under the sanitizer in every
+// linkable ABI mode and reports sanitizer findings plus dominance
+// violations. It runs the program even when vet rejects it statically:
+// watching a broken program misbehave dynamically is the point.
+func diffFile(path string) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsvet:", err)
+		return false
+	}
+	m, err := asm.ParseString(string(raw))
+	if err != nil {
+		fmt.Printf("%s: %v\n", path, err)
+		return false
+	}
+	clean := true
+	for _, mode := range abi.Modes {
+		prog, err := abi.Link(mode, m)
+		if err != nil {
+			if errors.Is(err, abi.ErrRecursive) {
+				fmt.Printf("skip %s [%s] (recursive call graph)\n", path, mode)
+				continue
+			}
+			fmt.Printf("%s [%s]: link: %v\n", path, mode, err)
+			clean = false
+			continue
+		}
+		rep := vet.Report(prog)
+		cfg := san.ConfigFor(mode)
+		cfg.GlobalMemWords = 1 << 16 // a smoke launch touches almost nothing
+		g, err := sim.New(cfg, prog)
+		if err != nil {
+			fmt.Printf("%s [%s]: %v\n", path, mode, err)
+			clean = false
+			continue
+		}
+		s := san.New(prog)
+		g.San = s
+		launch, err := san.SmokeLaunch(prog)
+		if err != nil {
+			fmt.Printf("%s [%s]: %v\n", path, mode, err)
+			clean = false
+			continue
+		}
+		if _, err := g.Run(launch); err != nil {
+			fmt.Printf("%s [%s]: run: %v\n", path, mode, err)
+			clean = false
+			continue
+		}
+		diags := s.Diags()
+		violations := san.Check(rep, s, prog.CARS)
+		for _, d := range diags {
+			fmt.Printf("%s [%s]: sanitizer: %s [%s pc=%d]\n", path, mode, d, d.Func, d.PC)
+		}
+		for _, v := range violations {
+			fmt.Printf("%s [%s]: dominance: %s\n", path, mode, v)
+		}
+		if len(diags) == 0 && len(violations) == 0 {
+			fmt.Printf("ok   %s [%s]\n", path, mode)
+		} else {
+			clean = false
+		}
+	}
+	return clean
+}
+
 func parseModes(s string) ([]abi.Mode, error) {
 	switch s {
 	case "all":
-		return allModes, nil
+		return abi.Modes, nil
 	case "baseline":
 		return []abi.Mode{abi.Baseline}, nil
 	case "cars":
@@ -72,6 +205,49 @@ func parseModes(s string) ([]abi.Mode, error) {
 		return []abi.Mode{abi.SharedSpill}, nil
 	}
 	return nil, fmt.Errorf("unknown mode %q", s)
+}
+
+// emit records a linked unit's report (JSON mode) or prints its
+// diagnostics (text mode), returning whether the unit was dirty.
+func emit(label, mode string, prog *isa.Program, rep *vet.ProgramReport, linkErr error) bool {
+	if jsonOut {
+		u := jsonUnit{Unit: label, Mode: mode, Report: rep}
+		if linkErr != nil {
+			u.LinkError = linkErr.Error()
+		}
+		units = append(units, u)
+		if linkErr != nil {
+			return true
+		}
+		return dirtyDiags(rep.Diags)
+	}
+	tag := label
+	if mode != "" {
+		tag = fmt.Sprintf("%s [%s]", label, mode)
+	}
+	if linkErr != nil {
+		fmt.Printf("%s: link: %v\n", tag, linkErr)
+		return true
+	}
+	return report(tag, prog, rep.Diags)
+}
+
+// emitPreABI handles the separate-compilation vet pass over modules.
+func emitPreABI(label string, diags []vet.Diagnostic) bool {
+	if jsonOut {
+		units = append(units, jsonUnit{Unit: label, Diags: diags})
+		return dirtyDiags(diags)
+	}
+	return report(label, nil, diags)
+}
+
+func dirtyDiags(diags []vet.Diagnostic) bool {
+	for _, d := range diags {
+		if d.Sev >= vet.SevWarning {
+			return true
+		}
+	}
+	return false
 }
 
 // vetFile vets one input and reports whether it was dirty.
@@ -87,7 +263,7 @@ func vetFile(path string, modes []abi.Mode) bool {
 			fmt.Printf("%s: %v\n", path, err)
 			return true
 		}
-		return report(path, prog, vet.Program(prog))
+		return emit(path, "", prog, vet.Report(prog), nil)
 	}
 
 	m, err := asm.ParseString(string(raw))
@@ -95,15 +271,14 @@ func vetFile(path string, modes []abi.Mode) bool {
 		fmt.Printf("%s: %v\n", path, err)
 		return true
 	}
-	dirty := report(path, nil, vet.Modules(m))
+	dirty := emitPreABI(path+" [pre-abi]", vet.Modules(m))
 	for _, mode := range modes {
 		prog, err := abi.Link(mode, m)
 		if err != nil {
-			fmt.Printf("%s [%s]: link: %v\n", path, mode, err)
-			dirty = true
+			dirty = emit(path, mode.String(), nil, nil, err) || dirty
 			continue
 		}
-		dirty = report(fmt.Sprintf("%s [%s]", path, mode), prog, vet.Program(prog)) || dirty
+		dirty = emit(path, mode.String(), prog, vet.Report(prog), nil) || dirty
 	}
 	return dirty
 }
@@ -112,24 +287,23 @@ func vetWorkloads(modes []abi.Mode) bool {
 	dirty := false
 	for _, w := range workloads.All() {
 		mods := w.Modules()
-		dirty = report(w.Name+" [pre-abi]", nil, vet.Modules(mods...)) || dirty
+		dirty = emitPreABI(w.Name+" [pre-abi]", vet.Modules(mods...)) || dirty
 		for _, mode := range modes {
 			prog, err := abi.Link(mode, mods...)
 			if err != nil {
 				// The shared-spill ABI legitimately rejects recursive
 				// workloads: a static frame cannot hold an unbounded
 				// call chain.
-				if mode == abi.SharedSpill && strings.Contains(err.Error(), "recursive") {
+				if errors.Is(err, abi.ErrRecursive) {
 					continue
 				}
-				fmt.Printf("%s [%s]: link: %v\n", w.Name, mode, err)
-				dirty = true
+				dirty = emit(w.Name, mode.String(), nil, nil, err) || dirty
 				continue
 			}
-			dirty = report(fmt.Sprintf("%s [%s]", w.Name, mode), prog, vet.Program(prog)) || dirty
+			dirty = emit(w.Name, mode.String(), prog, vet.Report(prog), nil) || dirty
 		}
 	}
-	if !dirty {
+	if !dirty && !jsonOut {
 		fmt.Printf("%d workloads vet clean\n", len(workloads.All()))
 	}
 	return dirty

@@ -18,6 +18,7 @@
 package abi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -74,6 +75,16 @@ func (m Mode) String() string {
 	}
 	return "baseline"
 }
+
+// Modes lists every ABI mode, in declaration order, for tools that
+// link the same modules under each mode (carsvet, the differential
+// harness, transparency tests).
+var Modes = []Mode{Baseline, CARS, SharedSpill}
+
+// ErrRecursive is wrapped by Link when the shared-memory spill ABI
+// rejects a recursive kernel; callers use errors.Is to skip the
+// combination instead of string-matching the message.
+var ErrRecursive = errors.New("recursive call graph")
 
 // RegSmemSP is the shared-memory spill stack pointer register used by
 // the SharedSpill mode. Generated code must not clobber it.
@@ -232,7 +243,7 @@ func sizeSmemSpill(p *isa.Program) error {
 			return err
 		}
 		if a.Cyclic {
-			return fmt.Errorf("abi: kernel %q is recursive; the shared-memory spill ABI needs a static frame bound", name)
+			return fmt.Errorf("abi: kernel %q has a %w; the shared-memory spill ABI needs a static frame bound", name, ErrRecursive)
 		}
 		// Deepest chain of callee-saved bytes (the saved-RFP slot is a
 		// CARS concept; shared spills store only the registers).

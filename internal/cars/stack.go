@@ -40,6 +40,7 @@ type Stack struct {
 	RSP    int // absolute top of stack
 	RFP    int // absolute current frame pointer
 	Bottom int // lowest register-resident absolute slot
+	MaxRSP int // high-water mark of RSP over the warp's lifetime
 
 	frames []Frame
 }
@@ -48,6 +49,7 @@ type Stack struct {
 func (s *Stack) Reset(slots int) {
 	s.Slots = slots
 	s.RSP, s.RFP, s.Bottom = 0, 0, 0
+	s.MaxRSP = 0
 	s.frames = s.frames[:0]
 }
 
@@ -112,6 +114,9 @@ func (s *Stack) Call() {
 	s.frames = append(s.frames, Frame{Start: s.RSP, End: s.RSP + 1, SavedRFP: s.RFP})
 	s.RSP++
 	s.RFP = s.RSP
+	if s.RSP > s.MaxRSP {
+		s.MaxRSP = s.RSP
+	}
 }
 
 // Push allocates-and-renames n callee-saved registers in the current
@@ -125,6 +130,9 @@ func (s *Stack) Push(n int) error {
 	}
 	s.RSP += n
 	s.frames[len(s.frames)-1].End = s.RSP
+	if s.RSP > s.MaxRSP {
+		s.MaxRSP = s.RSP
+	}
 	return nil
 }
 
@@ -225,4 +233,7 @@ func (s *Stack) CallWindow(size int) {
 	s.RSP++
 	s.RFP = s.RSP
 	s.RSP = s.RFP + size - 1
+	if s.RSP > s.MaxRSP {
+		s.MaxRSP = s.RSP
+	}
 }

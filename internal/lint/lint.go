@@ -1,0 +1,193 @@
+// Package lint hosts the repo's custom static checks for the
+// simulator's Go sources, shaped after golang.org/x/tools/go/analysis
+// (Analyzer / Pass / Diagnostic) but built purely on the standard
+// library's go/ast and go/parser so the module stays dependency-free.
+//
+// The one analyzer today is NoNakedPanic: the simulator's hot paths
+// (internal/sim, internal/cars) must not abort the process with a
+// bare panic. Functional-execution faults are required to flow
+// through (*SM).execFault, which panics a structured *ExecError that
+// GPU.Run recovers into an error return. Two shapes are therefore
+// allowed:
+//
+//   - any panic inside a function declaration named execFault
+//     (the single sanctioned throw site), and
+//   - re-panicking a recovered value — panic(r) where r was assigned
+//     from recover() in the same function — which preserves real
+//     simulator bugs' stack traces.
+//
+// Everything else is a finding. Test files are exempt.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned for editor navigation.
+type Diagnostic struct {
+	Pos     token.Position
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message)
+}
+
+// Pass carries one analysis unit — a parsed set of files sharing a
+// FileSet — to an Analyzer's Run, mirroring analysis.Pass.
+type Pass struct {
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Report func(Diagnostic)
+}
+
+// Analyzer describes one static check, mirroring analysis.Analyzer.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// NoNakedPanic forbids bare panics on the simulator's hot paths; see
+// the package comment for the two allowed shapes.
+var NoNakedPanic = &Analyzer{
+	Name: "nonakedpanic",
+	Doc:  "forbid naked panic() on simulator hot paths; faults must use execFault or re-panic a recovered value",
+	Run:  runNoNakedPanic,
+}
+
+// funcCtx is one lexical function (declaration or literal) on the
+// walk stack, with the identifiers it assigned from recover().
+type funcCtx struct {
+	declName   string
+	recoverIDs map[*ast.Object]bool
+}
+
+func runNoNakedPanic(pass *Pass) error {
+	for _, file := range pass.Files {
+		var stack []*funcCtx
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				stack = append(stack, &funcCtx{declName: n.Name.Name, recoverIDs: map[*ast.Object]bool{}})
+				if n.Body != nil {
+					ast.Inspect(n.Body, walk)
+				}
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.FuncLit:
+				stack = append(stack, &funcCtx{recoverIDs: map[*ast.Object]bool{}})
+				ast.Inspect(n.Body, walk)
+				stack = stack[:len(stack)-1]
+				return false
+			case *ast.AssignStmt:
+				// r := recover() / r = recover()
+				if len(n.Rhs) == 1 && isCallTo(n.Rhs[0], "recover") && len(stack) > 0 {
+					top := stack[len(stack)-1]
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok && id.Obj != nil {
+							top.recoverIDs[id.Obj] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				if !isIdentCall(n, "panic") {
+					return true
+				}
+				if allowedPanic(n, stack) {
+					return true
+				}
+				pass.Report(Diagnostic{
+					Pos:     pass.Fset.Position(n.Pos()),
+					Message: "naked panic on a hot path: fault through execFault (or re-panic a recovered value)",
+				})
+			}
+			return true
+		}
+		ast.Inspect(file, walk)
+	}
+	return nil
+}
+
+// allowedPanic implements the two sanctioned shapes, searching the
+// enclosing functions innermost-first.
+func allowedPanic(call *ast.CallExpr, stack []*funcCtx) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].declName == "execFault" {
+			return true
+		}
+	}
+	if len(call.Args) == 1 {
+		if id, ok := call.Args[0].(*ast.Ident); ok && id.Obj != nil {
+			for i := len(stack) - 1; i >= 0; i-- {
+				if stack[i].recoverIDs[id.Obj] {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isIdentCall(call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+func isCallTo(e ast.Expr, name string) bool {
+	call, ok := e.(*ast.CallExpr)
+	return ok && isIdentCall(call, name)
+}
+
+// RunFiles parses the given Go sources and applies the analyzer.
+func RunFiles(a *Analyzer, paths []string) ([]Diagnostic, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, p := range paths {
+		// Mode 0 keeps object resolution on: the recover-ident
+		// allowance matches ast.Object identities.
+		f, err := parser.ParseFile(fset, p, nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var diags []Diagnostic
+	pass := &Pass{Fset: fset, Files: files, Report: func(d Diagnostic) { diags = append(diags, d) }}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return diags, nil
+}
+
+// RunDir applies the analyzer to every non-test Go file in dir.
+func RunDir(a *Analyzer, dir string) ([]Diagnostic, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	return RunFiles(a, paths)
+}

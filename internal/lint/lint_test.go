@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runSrc writes one source file and applies NoNakedPanic to it.
+func runSrc(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunFiles(NoNakedPanic, []string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return diags
+}
+
+func TestNoNakedPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want int
+	}{
+		{
+			name: "naked panic flagged",
+			src:  "package p\nfunc f() { panic(\"boom\") }\n",
+			want: 1,
+		},
+		{
+			name: "execFault throw site allowed",
+			src:  "package p\nfunc execFault() { panic(42) }\n",
+			want: 0,
+		},
+		{
+			name: "closure inside execFault allowed",
+			src:  "package p\nfunc execFault() { func() { panic(1) }() }\n",
+			want: 0,
+		},
+		{
+			name: "re-panic of recovered value allowed",
+			src:  "package p\nfunc f() { defer func() { if r := recover(); r != nil { panic(r) } }() }\n",
+			want: 0,
+		},
+		{
+			name: "re-panic allowed across nested literal",
+			src:  "package p\nfunc f() { r := recover(); func() { panic(r) }() }\n",
+			want: 0,
+		},
+		{
+			name: "panic of non-recovered ident flagged",
+			src:  "package p\nfunc f() { r := 3; panic(r) }\n",
+			want: 1,
+		},
+		{
+			name: "recover in another function does not license",
+			src:  "package p\nfunc g() interface{} { return recover() }\nfunc f(r interface{}) { panic(r) }\n",
+			want: 1,
+		},
+		{
+			name: "two naked panics two findings",
+			src:  "package p\nfunc f() { panic(1) }\nfunc g() { panic(2) }\n",
+			want: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			diags := runSrc(t, tc.src)
+			if len(diags) != tc.want {
+				t.Errorf("got %d findings, want %d: %v", len(diags), tc.want, diags)
+			}
+			for _, d := range diags {
+				if !strings.Contains(d.String(), "naked panic") {
+					t.Errorf("diagnostic text unexpected: %s", d)
+				}
+			}
+		})
+	}
+}
+
+// TestRunDirSkipsTests: _test.go files may panic freely.
+func TestRunDirSkipsTests(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte("package p\nfunc f() {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a_test.go"), []byte("package p\nfunc g() { panic(1) }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags, err := RunDir(NoNakedPanic, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("test file findings leaked: %v", diags)
+	}
+}
+
+// TestHotPathsClean is the gate `make lint` enforces in CI: the
+// simulator and register-stack packages carry no naked panics.
+func TestHotPathsClean(t *testing.T) {
+	for _, dir := range []string{"../sim", "../cars"} {
+		diags, err := RunDir(NoNakedPanic, dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s", d)
+		}
+	}
+}

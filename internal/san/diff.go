@@ -1,0 +1,236 @@
+package san
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/config"
+	"carsgo/internal/isa"
+	"carsgo/internal/sim"
+	"carsgo/internal/vet"
+	"carsgo/internal/workloads"
+)
+
+// This file is the static/dynamic differential harness: it runs a
+// program under the shadow sanitizer and checks that internal/vet's
+// static bounds dominate everything the machine actually did. A clean
+// program must produce zero sanitizer diagnostics, and for every
+// function and kernel the static worst case must be at least the
+// observed dynamic maximum — if the dynamic machine ever exceeds a
+// static bound, one of the two models is wrong.
+
+// ErrNoFit reports that a launch cannot be scheduled under the given
+// configuration: its shared-memory demand (including the per-thread
+// shared-spill frame) exceeds a single SM's capacity, so no block
+// would ever be admitted.
+var ErrNoFit = errors.New("launch exceeds shared-memory capacity")
+
+// DiffResult is the outcome of one workload under one ABI mode.
+type DiffResult struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	// Skipped marks mode/workload pairs that legitimately cannot run:
+	// recursion under the shared-spill ABI, or a spill frame too large
+	// for shared memory. Reason says which.
+	Skipped bool         `json:"skipped,omitempty"`
+	Reason  string       `json:"reason,omitempty"`
+	Diags   []Diag       `json:"diags,omitempty"`
+	Obs     Observations `json:"obs"`
+	// Violations lists dominance failures: places the dynamic machine
+	// exceeded a static bound. Empty means the invariant held.
+	Violations []string `json:"violations,omitempty"`
+}
+
+// OK reports whether the run upheld the differential invariant.
+func (r *DiffResult) OK() bool {
+	return r.Skipped || (len(r.Diags) == 0 && len(r.Violations) == 0)
+}
+
+// ConfigFor builds the simulator configuration matching an ABI mode.
+func ConfigFor(mode abi.Mode) sim.Config {
+	switch mode {
+	case abi.CARS:
+		return config.WithCARS(config.V100())
+	case abi.SharedSpill:
+		return config.WithSharedSpill(config.V100())
+	default:
+		return config.V100()
+	}
+}
+
+// RunProgram executes the given launches on a fresh GPU with a shadow
+// sanitizer attached and returns the sanitizer plus the vet report it
+// was checked against. setup runs after GPU construction and before
+// the launches (device-memory initialisation); it may be nil.
+func RunProgram(prog *isa.Program, cfg sim.Config,
+	setup func(g *sim.GPU) ([]isa.Launch, error)) (*Sanitizer, *vet.ProgramReport, error) {
+	rep := vet.Report(prog)
+	for _, d := range rep.Diags {
+		if d.Sev >= vet.SevError {
+			return nil, rep, fmt.Errorf("san: program does not vet: %s", d)
+		}
+	}
+	g, err := sim.New(cfg, prog)
+	if err != nil {
+		return nil, rep, err
+	}
+	s := New(prog)
+	g.San = s
+	launches, err := setup(g)
+	if err != nil {
+		return nil, rep, err
+	}
+	for _, l := range launches {
+		need := l.SharedBytes + prog.SmemSpillPerThread*l.Dim.Block
+		if !cfg.UnlimitedSmem && need > cfg.SharedMemBytes {
+			return nil, rep, fmt.Errorf("san: launch %s: %w (needs %dB, SM has %dB)",
+				l.Kernel, ErrNoFit, need, cfg.SharedMemBytes)
+		}
+		if _, err := g.Run(l); err != nil {
+			return nil, rep, fmt.Errorf("san: launch %s: %w", l.Kernel, err)
+		}
+	}
+	return s, rep, nil
+}
+
+// Check compares the sanitizer's dynamic observations against vet's
+// static report and returns every dominance violation found.
+func Check(rep *vet.ProgramReport, s *Sanitizer, cars bool) []string {
+	var out []string
+	obs := s.Observations()
+	for _, fo := range obs.Funcs {
+		fr := rep.Func(fo.Func)
+		if fr == nil {
+			out = append(out, fmt.Sprintf("%s: observed dynamically but absent from the static report", fo.Func))
+			continue
+		}
+		if cars && fo.MaxStackDepth > fr.MaxStackDepth {
+			out = append(out, fmt.Sprintf("%s: dynamic rename depth %d exceeds static MaxStackDepth %d",
+				fo.Func, fo.MaxStackDepth, fr.MaxStackDepth))
+		}
+		if !cars && fr.SpillBytes >= 0 && fo.MaxSpillBytes > fr.SpillBytes {
+			out = append(out, fmt.Sprintf("%s: dynamic spill traffic %dB exceeds static SpillBytes %dB",
+				fo.Func, fo.MaxSpillBytes, fr.SpillBytes))
+		}
+	}
+	for _, ko := range obs.Kernels {
+		kr := rep.Kernel(ko.Kernel)
+		if kr == nil {
+			if cars {
+				out = append(out, fmt.Sprintf("%s: kernel observed dynamically but absent from the static report", ko.Kernel))
+			}
+			continue
+		}
+		if kr.StackSlots >= 0 && ko.MaxRSP > kr.StackSlots {
+			out = append(out, fmt.Sprintf("%s: dynamic MaxRSP %d exceeds static stack demand %d",
+				ko.Kernel, ko.MaxRSP, kr.StackSlots))
+		}
+		if !kr.TrapReachable && ko.TrapSpillSlots > 0 {
+			out = append(out, fmt.Sprintf("%s: vet proved the spill trap unreachable but it spilled %d slot(s)",
+				ko.Kernel, ko.TrapSpillSlots))
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RunWorkload runs one built-in workload under one ABI mode with the
+// sanitizer attached and checks the differential invariant.
+func RunWorkload(w *workloads.Workload, mode abi.Mode) (*DiffResult, error) {
+	res := &DiffResult{Workload: w.Name, Mode: mode.String()}
+	prog, err := abi.Link(mode, w.Modules()...)
+	if err != nil {
+		if errors.Is(err, abi.ErrRecursive) {
+			// Recursive workloads cannot compile under the shared-spill
+			// ABI; the rejection is the expected behaviour.
+			res.Skipped = true
+			res.Reason = "recursive call graph"
+			return res, nil
+		}
+		return nil, err
+	}
+	s, rep, err := RunProgram(prog, ConfigFor(mode), w.Setup)
+	if err != nil {
+		if errors.Is(err, ErrNoFit) {
+			// The static shared-spill frame is too large for the target
+			// SM. The program is rejected by capacity, not by the ABI.
+			res.Skipped = true
+			res.Reason = "shared-spill frame exceeds shared memory"
+			return res, nil
+		}
+		return nil, err
+	}
+	res.Diags = s.Diags()
+	res.Obs = s.Observations()
+	res.Violations = Check(rep, s, prog.CARS)
+	return res, nil
+}
+
+// DiffWorkloads runs the differential harness over the named workloads
+// (all of them when names is empty) in every linkable ABI mode,
+// reporting progress to out (which may be io.Discard). It returns the
+// per-run results and whether every run upheld the invariant.
+func DiffWorkloads(names []string, out io.Writer) ([]*DiffResult, bool, error) {
+	var list []*workloads.Workload
+	if len(names) == 0 {
+		list = workloads.All()
+	} else {
+		for _, n := range names {
+			w, err := workloads.ByName(n)
+			if err != nil {
+				return nil, false, err
+			}
+			list = append(list, w)
+		}
+	}
+	var results []*DiffResult
+	ok := true
+	for _, w := range list {
+		for _, mode := range abi.Modes {
+			res, err := RunWorkload(w, mode)
+			if err != nil {
+				return results, false, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
+			}
+			results = append(results, res)
+			switch {
+			case res.Skipped:
+				fmt.Fprintf(out, "skip %-14s %-9s (%s)\n", w.Name, res.Mode, res.Reason)
+			case res.OK():
+				fmt.Fprintf(out, "ok   %-14s %-9s\n", w.Name, res.Mode)
+			default:
+				ok = false
+				fmt.Fprintf(out, "FAIL %-14s %-9s\n", w.Name, res.Mode)
+				for _, d := range res.Diags {
+					fmt.Fprintf(out, "     %s [%s pc=%d]\n", d, d.Func, d.PC)
+				}
+				for _, v := range res.Violations {
+					fmt.Fprintf(out, "     dominance: %s\n", v)
+				}
+			}
+		}
+	}
+	return results, ok, nil
+}
+
+// SmokeLaunch builds a minimal launch for a program's first kernel
+// (alphabetically): one block of 64 threads with zeroed parameters.
+// It gives file-based inputs to carsvet -diff and the sanitizer tests
+// something to execute without a workload-specific setup.
+func SmokeLaunch(prog *isa.Program) (isa.Launch, error) {
+	var kernels []string
+	for name := range prog.Kernels {
+		kernels = append(kernels, name)
+	}
+	if len(kernels) == 0 {
+		return isa.Launch{}, fmt.Errorf("san: program has no kernels")
+	}
+	sort.Strings(kernels)
+	return isa.Launch{
+		Kernel: kernels[0],
+		Dim:    isa.Dim3{Grid: 1, Block: 64},
+		Params: make([]uint32, 8),
+	}, nil
+}

@@ -1,0 +1,329 @@
+package san
+
+import (
+	"strings"
+	"testing"
+
+	"carsgo/internal/isa"
+)
+
+// Unit tests drive the Monitor hooks directly with hand-built event
+// sequences, one per diagnostic kind, so each check is covered by a
+// known-bad input independent of the simulator.
+
+// testProg builds a tiny linked program shape: one kernel (index 0)
+// and one device function (index 1) with two callee-saved registers.
+func testProg(cars bool) *isa.Program {
+	return &isa.Program{
+		Funcs: []*isa.Function{
+			{Name: "main", IsKernel: true, RegsUsed: 18},
+			{Name: "leaf", RegsUsed: 18, CalleeSaved: 2},
+		},
+		Kernels: map[string]int{"main": 0},
+		CARS:    cars,
+	}
+}
+
+func lanes(vals ...uint32) *[isa.WarpSize]uint32 {
+	var a [isa.WarpSize]uint32
+	copy(a[:], vals)
+	return &a
+}
+
+// regFile is a trivial RegVals backing store for hook-level tests.
+type regFile map[uint8][isa.WarpSize]uint32
+
+func (f regFile) vals(r uint8) *[isa.WarpSize]uint32 {
+	a := f[r]
+	return &a
+}
+
+func kinds(s *Sanitizer) []Kind {
+	var out []Kind
+	for _, d := range s.Diags() {
+		out = append(out, d.Kind)
+	}
+	return out
+}
+
+func wantKind(t *testing.T, s *Sanitizer, want Kind) {
+	t.Helper()
+	for _, d := range s.Diags() {
+		if d.Kind == want {
+			return
+		}
+	}
+	t.Errorf("no %s diagnostic; got %v", want, kinds(s))
+}
+
+func wantClean(t *testing.T, s *Sanitizer) {
+	t.Helper()
+	for _, d := range s.Diags() {
+		t.Errorf("unexpected diagnostic: %s [%s pc=%d]", d, d.Func, d.PC)
+	}
+}
+
+// startWarp begins a kernel warp with a CARS stack of the given size.
+func startWarp(s *Sanitizer, slots int) {
+	s.WarpStart(0, 0, slots, fullMask)
+}
+
+// enterLeaf walks warp 0 through a complete call into func 1 with one
+// pushed register, mirroring the micro-op sequence the simulator
+// reports: CallBegin, CallEnd (saved-RFP consumed), then PUSH 1.
+func enterLeaf(s *Sanitizer, rf regFile) {
+	s.CallBegin(0, 0, 10, 1, 2, rf.vals)
+	s.CallEnd(0, 1, 1)
+	s.StackPush(0, 1, 0, 1, 1, 2)
+}
+
+func TestUninitReadStatic(t *testing.T) {
+	s := New(testProg(false))
+	startWarp(s, 0)
+	// R0..R15 are warp-start defined; R20 is not.
+	s.RegRead(0, 0, 3, isa.OpIAdd, 5, fullMask)
+	wantClean(t, s)
+	s.RegRead(0, 0, 4, isa.OpIAdd, 20, fullMask)
+	wantKind(t, s, KindUninitRead)
+}
+
+func TestUninitReadPerLane(t *testing.T) {
+	s := New(testProg(false))
+	startWarp(s, 0)
+	s.RegWrite(0, 0, 1, 20, 0x0000FFFF) // lower half only
+	s.RegRead(0, 0, 2, isa.OpIAdd, 20, 0x0000FFFF)
+	wantClean(t, s)
+	s.RegRead(0, 0, 3, isa.OpIAdd, 20, fullMask) // upper half uninitialized
+	wantKind(t, s, KindUninitRead)
+}
+
+func TestUninitReadFreshPush(t *testing.T) {
+	s := New(testProg(true))
+	rf := regFile{}
+	startWarp(s, 8)
+	enterLeaf(s, rf)
+	// R16 renames to a freshly pushed slot: uninitialized until written.
+	s.RegRead(0, 1, 1, isa.OpIAdd, 16, fullMask)
+	wantKind(t, s, KindUninitRead)
+
+	s = New(testProg(true))
+	startWarp(s, 8)
+	enterLeaf(s, rf)
+	s.RegWrite(0, 1, 1, 16, fullMask)
+	s.RegRead(0, 1, 2, isa.OpIAdd, 16, fullMask)
+	wantClean(t, s)
+}
+
+func TestOutOfWindowAccess(t *testing.T) {
+	s := New(testProg(true))
+	startWarp(s, 8)
+	enterLeaf(s, regFile{})
+	// Only one register pushed: R17 is outside the renamed window.
+	s.RegWrite(0, 1, 2, 17, fullMask)
+	wantKind(t, s, KindABIClobber)
+	s.RegRead(0, 1, 3, isa.OpIAdd, 18, fullMask)
+	wantKind(t, s, KindUninitRead)
+}
+
+func TestABIClobberSnapshot(t *testing.T) {
+	rf := regFile{16: {7, 7}, 17: {9}}
+	s := New(testProg(false))
+	startWarp(s, 0)
+	s.CallBegin(0, 0, 10, 1, 2, rf.vals)
+	rf[17] = [isa.WarpSize]uint32{42} // callee clobbers R17 and returns
+	s.Return(0, 1, 20, 0, 0, rf.vals)
+	wantKind(t, s, KindABIClobber)
+
+	rf[17] = [isa.WarpSize]uint32{9} // restored: clean round trip
+	s = New(testProg(false))
+	startWarp(s, 0)
+	s.CallBegin(0, 0, 10, 1, 2, rf.vals)
+	s.Return(0, 1, 20, 0, 0, rf.vals)
+	wantClean(t, s)
+}
+
+func TestBaselineWindowWrite(t *testing.T) {
+	s := New(testProg(false))
+	startWarp(s, 0)
+	s.CallBegin(0, 0, 10, 1, 2, regFile{}.vals)
+	s.RegWrite(0, 1, 1, 17, fullMask) // inside leaf's 2-register window
+	wantClean(t, s)
+	s.RegWrite(0, 1, 2, 20, fullMask) // outside: physically the caller's
+	wantKind(t, s, KindABIClobber)
+	// Kernels own their whole register range.
+	s = New(testProg(false))
+	startWarp(s, 0)
+	s.RegWrite(0, 0, 1, 20, fullMask)
+	wantClean(t, s)
+}
+
+func TestBaselinePerActivationInit(t *testing.T) {
+	// The caller initialized R16, but each activation must still write
+	// its window registers before reading them; the caller's view comes
+	// back on return.
+	rf := regFile{}
+	s := New(testProg(false))
+	startWarp(s, 0)
+	s.RegWrite(0, 0, 1, 16, fullMask)
+	s.CallBegin(0, 0, 2, 1, 2, rf.vals)
+	s.RegRead(0, 1, 0, isa.OpIAdd, 16, fullMask)
+	wantKind(t, s, KindUninitRead)
+
+	s = New(testProg(false))
+	startWarp(s, 0)
+	s.RegWrite(0, 0, 1, 16, fullMask)
+	s.CallBegin(0, 0, 2, 1, 2, rf.vals)
+	s.Return(0, 1, 9, 0, 0, rf.vals)
+	s.RegRead(0, 0, 3, isa.OpIAdd, 16, fullMask) // caller's R16 still defined
+	wantClean(t, s)
+}
+
+func TestSpillPairAndStaleFill(t *testing.T) {
+	rf := regFile{}
+	s := New(testProg(false))
+	startWarp(s, 0)
+	s.CallBegin(0, 0, 10, 1, 2, rf.vals)
+
+	// Fill with no store at the offset: stale.
+	s.SpillFill(0, 1, 5, 16, 0, fullMask, lanes(1))
+	wantKind(t, s, KindStaleFill)
+
+	// Store R16, fill R17 from the same offset: mispaired.
+	s.SpillStore(0, 1, 6, 16, 4, fullMask, lanes(11, 22))
+	s.SpillFill(0, 1, 7, 17, 4, fullMask, lanes(11, 22))
+	wantKind(t, s, KindSpillPair)
+
+	// Values coming back differ from what was stored: stale.
+	s.SpillStore(0, 1, 8, 18, 8, fullMask, lanes(5, 5))
+	s.SpillFill(0, 1, 9, 18, 8, fullMask, lanes(5, 6))
+	found := false
+	for _, d := range s.Diags() {
+		if d.Kind == KindStaleFill && strings.Contains(d.Msg, "offset 8") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("value-mismatch fill not flagged: %v", s.Diags())
+	}
+}
+
+func TestSpillRoundTripClean(t *testing.T) {
+	rf := regFile{}
+	s := New(testProg(false))
+	startWarp(s, 0)
+	s.CallBegin(0, 0, 10, 1, 2, rf.vals)
+	s.SpillStore(0, 1, 1, 16, 0, fullMask, lanes(3, 1, 4))
+	s.SpillStore(0, 1, 2, 17, 4, fullMask, lanes(1, 5, 9))
+	s.SpillFill(0, 1, 8, 16, 0, fullMask, lanes(3, 1, 4))
+	s.SpillFill(0, 1, 9, 17, 4, fullMask, lanes(1, 5, 9))
+	s.Return(0, 1, 10, 0, 0, rf.vals)
+	wantClean(t, s)
+}
+
+func TestSpillBytesObserved(t *testing.T) {
+	rf := regFile{}
+	s := New(testProg(false))
+	startWarp(s, 0)
+	s.CallBegin(0, 0, 10, 1, 2, rf.vals)
+	s.SpillStore(0, 1, 1, 16, 0, fullMask, lanes(1))
+	s.SpillStore(0, 1, 2, 17, 4, fullMask, lanes(2))
+	obs := s.Observations()
+	var leaf *FuncObs
+	for i := range obs.Funcs {
+		if obs.Funcs[i].Func == "leaf" {
+			leaf = &obs.Funcs[i]
+		}
+	}
+	if leaf == nil || leaf.MaxSpillBytes != 8 || leaf.Calls != 1 {
+		t.Errorf("leaf observations wrong: %+v", obs.Funcs)
+	}
+}
+
+func TestStackMismatch(t *testing.T) {
+	s := New(testProg(true))
+	startWarp(s, 8)
+	s.CallBegin(0, 0, 10, 1, 2, regFile{}.vals)
+	// Architectural pointers disagree with the shadow's RFP/RSP=1/1.
+	s.CallEnd(0, 2, 3)
+	wantKind(t, s, KindStackMismatch)
+}
+
+func TestCallUnderflow(t *testing.T) {
+	s := New(testProg(true))
+	startWarp(s, 8)
+	s.Return(0, 1, 20, 0, 0, regFile{}.vals)
+	wantKind(t, s, KindCallUnderflow)
+}
+
+func TestTrapDivergence(t *testing.T) {
+	s := New(testProg(true))
+	startWarp(s, 8)
+	// No call in flight predicts a spill: any trap slot is divergent.
+	s.TrapSlot(0, false, 0, lanes(1))
+	wantKind(t, s, KindTrapDivergence)
+}
+
+func TestTrapRoundTrip(t *testing.T) {
+	// A stack of 2 slots forces the first frame out when the second
+	// call needs space: the shadow must predict the spill, match the
+	// fill on return, and stay silent for the faithful sequence.
+	s := New(testProg(true))
+	rf := regFile{}
+	startWarp(s, 2)
+	enterLeaf(s, rf)                    // frame [0,2): saved-RFP + 1 push
+	s.CallBegin(0, 1, 5, 1, 2, rf.vals) // needs 2 slots: spills frame [0,2)
+	s.TrapSlot(0, false, 0, lanes(7))   // predicted spill, slot 0
+	s.TrapSlot(0, false, 1, lanes(8))   // predicted spill, slot 1
+	s.CallEnd(0, 3, 3)                  // shadow Call: RFP=RSP=3
+	s.StackPush(0, 1, 0, 1, 3, 4)       // frame [2,4)
+	s.StackPop(0, 1, 8, 1, 3, 3)        // callee pops before return
+	s.TrapSlot(0, true, 0, lanes(7))    // fill back frame [0,2)
+	s.TrapSlot(0, true, 1, lanes(8))    // values intact
+	s.Return(0, 1, 9, 1, 2, rf.vals)    // rewind into the outer frame
+	wantClean(t, s)
+
+	// Same sequence, but the fill returns a corrupted value.
+	s = New(testProg(true))
+	startWarp(s, 2)
+	enterLeaf(s, rf)
+	s.CallBegin(0, 1, 5, 1, 2, rf.vals)
+	s.TrapSlot(0, false, 0, lanes(7))
+	s.TrapSlot(0, false, 1, lanes(8))
+	s.CallEnd(0, 3, 3)
+	s.StackPush(0, 1, 0, 1, 3, 4)
+	s.StackPop(0, 1, 8, 1, 3, 3)
+	s.TrapSlot(0, true, 0, lanes(666)) // not what was spilled
+	s.TrapSlot(0, true, 1, lanes(8))
+	s.Return(0, 1, 9, 1, 2, rf.vals)
+	wantKind(t, s, KindStaleFill)
+}
+
+func TestDiagDedup(t *testing.T) {
+	s := New(testProg(false))
+	startWarp(s, 0)
+	for i := 0; i < 100; i++ {
+		s.RegRead(0, 0, 4, isa.OpIAdd, 20, fullMask)
+	}
+	ds := s.Diags()
+	if len(ds) != 1 {
+		t.Fatalf("expected one deduplicated diagnostic, got %d", len(ds))
+	}
+	if ds[0].Count != 100 {
+		t.Errorf("count = %d, want 100", ds[0].Count)
+	}
+	if !strings.Contains(ds[0].String(), "x100") {
+		t.Errorf("String() omits the repeat count: %s", ds[0])
+	}
+}
+
+func TestObservationsSorted(t *testing.T) {
+	s := New(testProg(true))
+	startWarp(s, 8)
+	s.CallBegin(0, 0, 1, 1, 2, regFile{}.vals)
+	obs := s.Observations()
+	for i := 1; i < len(obs.Funcs); i++ {
+		if obs.Funcs[i-1].Func > obs.Funcs[i].Func {
+			t.Errorf("Funcs not sorted: %v", obs.Funcs)
+		}
+	}
+}

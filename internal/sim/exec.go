@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"fmt"
 	"math"
 	"math/bits"
 
@@ -52,6 +51,10 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 	st.ThreadInstructions += uint64(bits.OnesCount32(guard))
 	if s.gpu.Trace != nil {
 		s.gpu.Trace.OnIssue(s.id, w.GWID, top.Func, pc, in.Op, guard)
+	}
+	mon := s.gpu.San
+	if mon != nil {
+		s.monReads(mon, w, in, top.Func, pc, guard)
 	}
 
 	// Register-file energy: one 128B access per operand.
@@ -154,10 +157,24 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 
 	case isa.OpLdL, isa.OpStL:
 		s.execLocal(now, w, in, guard)
+		if mon != nil && in.Spill {
+			if in.Op == isa.OpStL {
+				mon.SpillStore(w.GWID, top.Func, pc, in.SrcC, in.Imm, guard, w.reg(in.SrcC))
+			} else {
+				mon.SpillFill(w.GWID, top.Func, pc, in.Dst, in.Imm, guard, w.reg(in.Dst))
+			}
+		}
 		w.SIMT.Advance()
 
 	case isa.OpLdS, isa.OpStS:
 		s.execShared(now, w, in, guard)
+		if mon != nil && in.Spill {
+			if in.Op == isa.OpStS {
+				mon.SpillStore(w.GWID, top.Func, pc, in.SrcC, in.Imm, guard, w.reg(in.SrcC))
+			} else {
+				mon.SpillFill(w.GWID, top.Func, pc, in.Dst, in.Imm, guard, w.reg(in.Dst))
+			}
+		}
 		w.SIMT.Advance()
 
 	case isa.OpBra:
@@ -166,10 +183,17 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 
 	case isa.OpCall:
 		st.Calls++
+		if mon != nil {
+			// Before the rename: regs still resolves the caller's window.
+			mon.CallBegin(w.GWID, top.Func, pc, in.Callee, in.FRU, w.reg)
+		}
 		if cfg.CARSEnabled {
 			s.carsCall(now, w, in.FRU)
 		}
 		w.SIMT.Call(in.Callee, pc+1)
+		if mon != nil {
+			mon.CallEnd(w.GWID, w.CStack.RFP, w.CStack.RSP)
+		}
 		w.DynCallDepth++
 		if w.DynCallDepth > st.MaxCallDepth {
 			st.MaxCallDepth = w.DynCallDepth
@@ -179,10 +203,16 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 	case isa.OpCallI:
 		st.Calls++
 		target := s.indirectTarget(w, in, guard)
+		if mon != nil {
+			mon.CallBegin(w.GWID, top.Func, pc, target, in.FRU, w.reg)
+		}
 		if cfg.CARSEnabled {
 			s.carsCall(now, w, in.FRU)
 		}
 		w.SIMT.Call(target, pc+1)
+		if mon != nil {
+			mon.CallEnd(w.GWID, w.CStack.RFP, w.CStack.RSP)
+		}
 		w.DynCallDepth++
 		if w.DynCallDepth > st.MaxCallDepth {
 			st.MaxCallDepth = w.DynCallDepth
@@ -195,6 +225,9 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 			w.DynCallDepth--
 			if cfg.CARSEnabled {
 				s.carsRet(now, w)
+			}
+			if mon != nil {
+				mon.Return(w.GWID, top.Func, pc, w.CStack.RFP, w.CStack.RSP, w.reg)
 			}
 		}
 		w.Wake = maxI64(w.Wake, now+2+ctrlExtra)
@@ -211,6 +244,9 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 			if err := w.CStack.Push(int(in.Imm)); err != nil {
 				s.execFault(w, "%v", err)
 			}
+			if mon != nil {
+				mon.StackPush(w.GWID, top.Func, pc, int(in.Imm), w.CStack.RFP, w.CStack.RSP)
+			}
 		}
 		w.SIMT.Advance()
 
@@ -218,6 +254,9 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 		if !cfg.WindowedStacks {
 			if err := w.CStack.Pop(int(in.Imm)); err != nil {
 				s.execFault(w, "%v", err)
+			}
+			if mon != nil {
+				mon.StackPop(w.GWID, top.Func, pc, int(in.Imm), w.CStack.RFP, w.CStack.RSP)
 			}
 		}
 		w.SIMT.Advance()
@@ -229,7 +268,11 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 		s.execExit(now, w)
 
 	default:
-		panic(fmt.Sprintf("sim: unimplemented op %s", in.Op))
+		s.execFault(w, "unimplemented op %s", in.Op)
+	}
+
+	if mon != nil && in.WritesReg() {
+		mon.RegWrite(w.GWID, top.Func, pc, in.Dst, guard)
 	}
 }
 
@@ -262,56 +305,60 @@ func (s *SM) execALU(w *Warp, in *isa.Instruction, guard uint32) {
 		if c != nil {
 			cv = c[l]
 		}
-		dst[l] = evalALU(in.Op, av, bv, cv, imm)
+		v, ok := evalALU(in.Op, av, bv, cv, imm)
+		if !ok {
+			s.execFault(w, "op %s reached the ALU without an evaluation rule", in.Op)
+		}
+		dst[l] = v
 	}
 }
 
-func evalALU(op isa.Op, a, b, c, imm uint32) uint32 {
+func evalALU(op isa.Op, a, b, c, imm uint32) (uint32, bool) {
 	switch op {
 	case isa.OpIAdd:
-		return a + b
+		return a + b, true
 	case isa.OpISub:
-		return a - b
+		return a - b, true
 	case isa.OpIMul:
-		return a * b
+		return a * b, true
 	case isa.OpIMad:
-		return a*b + c
+		return a*b + c, true
 	case isa.OpIMin:
 		if int32(a) < int32(b) {
-			return a
+			return a, true
 		}
-		return b
+		return b, true
 	case isa.OpIMax:
 		if int32(a) > int32(b) {
-			return a
+			return a, true
 		}
-		return b
+		return b, true
 	case isa.OpAnd:
-		return a & b
+		return a & b, true
 	case isa.OpOr:
-		return a | b
+		return a | b, true
 	case isa.OpXor:
-		return a ^ b
+		return a ^ b, true
 	case isa.OpShl:
-		return a << (b & 31)
+		return a << (b & 31), true
 	case isa.OpShr:
-		return a >> (b & 31)
+		return a >> (b & 31), true
 	case isa.OpMov:
-		return a
+		return a, true
 	case isa.OpMovI:
-		return imm
+		return imm, true
 	case isa.OpFAdd:
-		return f2u(u2f(a) + u2f(b))
+		return f2u(u2f(a) + u2f(b)), true
 	case isa.OpFMul:
-		return f2u(u2f(a) * u2f(b))
+		return f2u(u2f(a) * u2f(b)), true
 	case isa.OpFFma:
-		return f2u(u2f(a)*u2f(b) + u2f(c))
+		return f2u(u2f(a)*u2f(b) + u2f(c)), true
 	case isa.OpFRcp:
-		return f2u(1 / u2f(a))
+		return f2u(1 / u2f(a)), true
 	case isa.OpFSqr:
-		return f2u(float32(math.Sqrt(float64(u2f(a)))))
+		return f2u(float32(math.Sqrt(float64(u2f(a))))), true
 	}
-	panic("sim: bad ALU op")
+	return 0, false
 }
 
 func u2f(x uint32) float32 { return math.Float32frombits(x) }

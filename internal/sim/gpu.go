@@ -40,6 +40,10 @@ type GPU struct {
 	// Trace receives issue events when non-nil (see TraceSink).
 	Trace TraceSink
 
+	// San receives architectural-state events when non-nil (see
+	// Monitor); internal/san implements it as a shadow sanitizer.
+	San Monitor
+
 	Controller *cars.Controller
 
 	sms       []*SM
@@ -138,6 +142,12 @@ func (g *GPU) Run(launch isa.Launch) (st *stats.Kernel, err error) {
 	}
 	if launch.Dim.Block > g.Cfg.MaxThreadsPerSM {
 		return nil, fmt.Errorf("sim: block of %d threads exceeds SM capacity", launch.Dim.Block)
+	}
+	if g.San != nil && g.Cfg.WindowedStacks {
+		// Windowed stacks skip the PUSH/POP micro-ops and rename whole
+		// fixed-size windows, so the shadow stack's exact-FRU model
+		// would diverge from the architectural pointers by design.
+		return nil, fmt.Errorf("sim: the sanitizer does not model windowed register stacks")
 	}
 
 	g.launch = &launch
@@ -315,6 +325,9 @@ func (g *GPU) completeBlock(now int64, s *SM, b *Block) {
 		g.kstate.Record(b.LevelIdx, dur, len(s.blocks))
 	}
 	for _, w := range b.Warps {
+		if w.CStack.MaxRSP > st.MaxRSP {
+			st.MaxRSP = w.CStack.MaxRSP
+		}
 		if w.HasRegs {
 			s.regAlloc.Release(w.RegBase, w.RegCount)
 			w.HasRegs = false

@@ -1,0 +1,77 @@
+package sim
+
+import "carsgo/internal/isa"
+
+// RegVals resolves an architectural register to its current physical
+// lane values through the warp's rename mapping. Monitors must copy
+// the array if they keep it: the arena is live simulator state.
+type RegVals func(r uint8) *[isa.WarpSize]uint32
+
+// Monitor observes the architectural side-effects of execution:
+// register reads and writes (with their active lane masks), CARS
+// rename traffic (calls, returns, PUSH/POP with the resulting
+// RFP/RSP), baseline/shared spill stores and fills, and circular-
+// stack trap spills. The shadow sanitizer (internal/san) implements
+// it to maintain an independent model of the machine and cross-check
+// every transition; the interface lives here so the simulator does
+// not import its own checkers.
+//
+// All hooks are warp-granular and run synchronously on the simulator
+// goroutine during the functional execution of the instruction:
+//
+//   - RegRead fires before the instruction's effects, once per source
+//     operand actually consumed (spill-store data operands are
+//     exempt, matching vet's read-before-def analysis; SEL reports
+//     its two sources under the per-lane masks that select them).
+//   - RegWrite fires after the destination holds its new value.
+//   - CallBegin fires before the register stack renames, so regs
+//     still resolves through the caller's window; CallEnd fires after
+//     with the new architectural RFP/RSP.
+//   - Return fires only when the SIMT stack releases the frame (all
+//     divergent paths rejoined), after the architectural rename
+//     rewinds.
+//   - StackPush/StackPop fire after the PUSH/POP micro-op commits.
+//   - SpillStore/SpillFill fire for spill-flagged local/shared
+//     accesses with the transferred lane values.
+//   - TrapSlot fires once per register-stack slot the circular-stack
+//     trap moves between the rename arena and local memory.
+type Monitor interface {
+	WarpStart(gwid, fn, stackSlots int, active uint32)
+	RegRead(gwid, fn, pc int, op isa.Op, r uint8, lanes uint32)
+	RegWrite(gwid, fn, pc int, r uint8, lanes uint32)
+	CallBegin(gwid, fn, pc, callee, fru int, regs RegVals)
+	CallEnd(gwid, rfp, rsp int)
+	Return(gwid, fn, pc, rfp, rsp int, regs RegVals)
+	StackPush(gwid, fn, pc, n, rfp, rsp int)
+	StackPop(gwid, fn, pc, n, rfp, rsp int)
+	SpillStore(gwid, fn, pc int, r uint8, off int32, lanes uint32, vals *[isa.WarpSize]uint32)
+	SpillFill(gwid, fn, pc int, r uint8, off int32, lanes uint32, vals *[isa.WarpSize]uint32)
+	TrapSlot(gwid int, fill bool, abs int, vals *[isa.WarpSize]uint32)
+}
+
+// monReads reports the instruction's register uses to the monitor
+// before execution, mirroring the read-before-def exemptions in
+// internal/vet: a spill store's data operand saves a possibly-
+// uninitialized callee-saved register by design, and SEL consumes
+// each source only on the lanes its predicate selects.
+func (s *SM) monReads(mon Monitor, w *Warp, in *isa.Instruction, fn, pc int, guard uint32) {
+	switch in.Op {
+	case isa.OpSel:
+		sel := w.Preds[in.Pred]
+		if in.PNeg {
+			sel = ^sel
+		}
+		mon.RegRead(w.GWID, fn, pc, in.Op, in.SrcA, guard&sel)
+		mon.RegRead(w.GWID, fn, pc, in.Op, in.SrcB, guard&^sel)
+		return
+	case isa.OpPush, isa.OpPop, isa.OpPushRFP:
+		return
+	}
+	var buf [3]uint8
+	for _, r := range in.Reads(buf[:0]) {
+		if in.Spill && in.Op.IsStore() && r == in.SrcC {
+			continue
+		}
+		mon.RegRead(w.GWID, fn, pc, in.Op, r, guard)
+	}
+}

@@ -256,6 +256,12 @@ func (s *SM) loadParams(w *Warp) {
 			r[l] = uint32(s.gpu.launch.SharedBytes + (tid+1)*spill)
 		}
 	}
+	// loadParams runs exactly once per fresh architectural state (warp
+	// admission or first register activation), never on context-switch
+	// resume, so it is the warp-birth event for the sanitizer.
+	if mon := s.gpu.San; mon != nil {
+		mon.WarpStart(w.GWID, s.gpu.kernelFunc, w.CStack.Slots, w.SIMT.Top().Mask)
+	}
 }
 
 // blockTailMask returns the active mask for warp wi of a block with n

@@ -87,6 +87,9 @@ func (s *SM) injectSpill(now int64, w *Warp, op cars.SpillOp) {
 		// The trap handler's injected LDL/STL instructions are part of
 		// the dynamic instruction stream (Fig. 13's spill/fill bars).
 		st.Instructions[stats.CatSpillFill]++
+		if mon := s.gpu.San; mon != nil {
+			mon.TrapSlot(w.GWID, op.Fill, abs, slotVals)
+		}
 	}
 	s.enqueueTrap(w, op.Fill, accesses)
 }

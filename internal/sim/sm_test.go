@@ -118,18 +118,23 @@ func TestEvalALU(t *testing.T) {
 		{isa.OpMov, 9, 0, 0, 9},
 	}
 	for _, cse := range cases {
-		if got := evalALU(cse.op, cse.a, cse.b, cse.c, cse.b); got != cse.want {
-			t.Errorf("%s(%d,%d,%d) = %d, want %d", cse.op, cse.a, cse.b, cse.c, got, cse.want)
+		got, ok := evalALU(cse.op, cse.a, cse.b, cse.c, cse.b)
+		if !ok || got != cse.want {
+			t.Errorf("%s(%d,%d,%d) = %d,%v, want %d", cse.op, cse.a, cse.b, cse.c, got, ok, cse.want)
 		}
 	}
 	// Float ops round-trip through bit casts.
-	if got := evalALU(isa.OpFAdd, f2u(1.5), f2u(2.25), 0, 0); u2f(got) != 3.75 {
+	if got, _ := evalALU(isa.OpFAdd, f2u(1.5), f2u(2.25), 0, 0); u2f(got) != 3.75 {
 		t.Errorf("FADD = %v", u2f(got))
 	}
-	if got := evalALU(isa.OpFFma, f2u(2), f2u(3), f2u(1), 0); u2f(got) != 7 {
+	if got, _ := evalALU(isa.OpFFma, f2u(2), f2u(3), f2u(1), 0); u2f(got) != 7 {
 		t.Errorf("FFMA = %v", u2f(got))
 	}
-	if got := evalALU(isa.OpFSqr, f2u(9), 0, 0, 0); u2f(got) != 3 {
+	if got, _ := evalALU(isa.OpFSqr, f2u(9), 0, 0, 0); u2f(got) != 3 {
 		t.Errorf("FSQRT = %v", u2f(got))
+	}
+	// Ops without an evaluation rule report failure instead of panicking.
+	if _, ok := evalALU(isa.OpBra, 0, 0, 0, 0); ok {
+		t.Error("evalALU(OpBra) reported ok")
 	}
 }

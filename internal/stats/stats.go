@@ -74,6 +74,11 @@ type Kernel struct {
 	// MaxCallDepth observed dynamically.
 	MaxCallDepth int
 
+	// MaxRSP is the highest absolute register-stack pointer any warp
+	// reached (CARS): the dynamic counterpart of vet's static
+	// per-kernel stack-demand bound.
+	MaxRSP int
+
 	// L1D aggregates the data-cache stats across SMs; L1I likewise.
 	L1D mem.CacheStats
 	L1I mem.CacheStats
@@ -152,6 +157,9 @@ func (k *Kernel) Merge(o *Kernel) {
 	k.Calls += o.Calls
 	if o.MaxCallDepth > k.MaxCallDepth {
 		k.MaxCallDepth = o.MaxCallDepth
+	}
+	if o.MaxRSP > k.MaxRSP {
+		k.MaxRSP = o.MaxRSP
 	}
 	mergeCache(&k.L1D, &o.L1D)
 	mergeCache(&k.L1I, &o.L1I)

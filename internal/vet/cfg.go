@@ -1,6 +1,10 @@
 package vet
 
-import "carsgo/internal/isa"
+import (
+	"math/bits"
+
+	"carsgo/internal/isa"
+)
 
 // block is one basic block: the half-open instruction range
 // [start, end), its successor block indices, and whether control can
@@ -137,6 +141,31 @@ func (s *regset) intersect(o *regset) {
 	}
 }
 
+func (s *regset) union(o *regset) {
+	for i := range s {
+		s[i] |= o[i]
+	}
+}
+
+func (s *regset) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// forEach calls fn for every register in the set, in ascending order.
+func (s *regset) forEach(fn func(r uint8)) {
+	for wi, w := range s {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(uint8(wi*64 + b))
+			w &^= 1 << b
+		}
+	}
+}
+
 func allRegs() regset {
 	var s regset
 	for i := range s {
@@ -199,4 +228,85 @@ func (c *cfg) forwardMust(entry regset, transfer func(i int, s *regset)) []regse
 		}
 	}
 	return in
+}
+
+// backwardMay runs a backward any-path ("may") dataflow to fixpoint:
+// a block's out-state is the union of its successors' in-states, and
+// transfer applies one instruction's effect bottom-up. Blocks that
+// leave the function (RET/EXIT or control past the end) additionally
+// merge the exit state into their out-state. It returns the out-state
+// of every block, from which callers re-walk block bodies backward.
+func (c *cfg) backwardMay(exit regset, transfer func(i int, s *regset)) []regset {
+	nb := len(c.blocks)
+	in := make([]regset, nb)
+	out := make([]regset, nb)
+	if nb == 0 {
+		return out
+	}
+
+	terminal := func(b *block) bool {
+		if b.pastEnd || len(b.succs) == 0 {
+			return true
+		}
+		last := &c.code[b.end-1]
+		return last.Op == isa.OpRet || last.Op == isa.OpExit
+	}
+
+	inWork := make([]bool, nb)
+	var work []int
+	for bi := nb - 1; bi >= 0; bi-- {
+		if c.reach[bi] {
+			work = append(work, bi)
+			inWork[bi] = true
+		}
+	}
+	for len(work) > 0 {
+		bi := work[0]
+		work = work[1:]
+		inWork[bi] = false
+		b := &c.blocks[bi]
+
+		var st regset
+		if terminal(b) {
+			st = exit
+		}
+		for _, s := range b.succs {
+			st.union(&in[s])
+		}
+		out[bi] = st
+		for i := b.end - 1; i >= b.start; i-- {
+			transfer(i, &st)
+		}
+		if st != in[bi] {
+			in[bi] = st
+			for _, p := range b.preds {
+				if !inWork[p] {
+					inWork[p] = true
+					work = append(work, p)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// onCycle reports whether block bi can reach itself through one or
+// more edges, i.e. whether its instructions may execute more than once
+// per activation.
+func (c *cfg) onCycle(bi int) bool {
+	seen := make([]bool, len(c.blocks))
+	work := append([]int(nil), c.blocks[bi].succs...)
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		if s == bi {
+			return true
+		}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		work = append(work, c.blocks[s].succs...)
+	}
+	return false
 }

@@ -17,11 +17,18 @@ type callSite struct {
 	indirect int // ordinal among the function's OpCallI sites; -1 = direct
 }
 
-// funcSummary feeds the program-wide stack-demand check.
+// funcSummary feeds the program-wide stack-demand check and the
+// machine-readable FuncReport.
 type funcSummary struct {
 	ok       bool // stack analysis completed without errors
 	maxDepth int  // largest net push depth at any point
 	sites    []callSite
+
+	spillBytes int          // static spill-store traffic bound; -1 = unbounded
+	maxLive    int          // peak live-register pressure
+	ranges     []LiveRange  // per-register live spans
+	siteLive   map[int]int  // call index -> callee-saved values live across
+	callSites  []SiteReport // report form of sites + siteLive
 }
 
 // funcVet verifies one function. It serves both linked functions and
@@ -64,6 +71,7 @@ func (v *funcVet) run() {
 	}
 	if v.preABI != nil {
 		v.checkModuleCallSites()
+		v.checkDeadWindow()
 		return
 	}
 	switch v.mode {
@@ -71,8 +79,13 @@ func (v *funcVet) run() {
 		v.checkStack()
 	default:
 		v.checkSpills()
+		v.spillBound()
 		v.summary.ok = true
 	}
+	// Liveness runs after the stack analysis so CARS call sites carry
+	// their push depths; it feeds the report and the over-wide-push
+	// and live-across checks.
+	v.analyzeLiveness()
 }
 
 // checkStructure flags shape problems: control running past the end
@@ -294,9 +307,15 @@ func (v *funcVet) checkSpills() {
 		}
 	}
 	for r := 0; r < isa.MaxArchRegs; r++ {
-		if storedRegs[uint8(r)] && !filledRegs[uint8(r)] && !clobbered[uint8(r)] {
+		switch {
+		case storedRegs[uint8(r)] && !filledRegs[uint8(r)] && !clobbered[uint8(r)]:
 			v.diag(SevWarning, -1, CheckDeadSpill,
 				"R%d is spilled but never filled back nor clobbered: dead spill store", r)
+		case storedRegs[uint8(r)] && filledRegs[uint8(r)] && !clobbered[uint8(r)]:
+			// The body restores a value it never modified: the whole
+			// save/restore pair is dead memory traffic.
+			v.diag(SevWarning, -1, CheckDeadSave,
+				"R%d is saved and restored but never modified: the spill/fill pair is dead traffic", r)
 		}
 	}
 
@@ -481,11 +500,17 @@ func (v *funcVet) checkModuleCallSites() {
 // checkStackDemand compares, per kernel, the call-graph-wide
 // worst-case register-stack demand (from the real push depths at each
 // call site) against the high-watermark slot budget the allocator
-// derives from declared FRUs. Recursion makes the true demand
-// unbounded; that is legal under CARS — the circular stack spills its
-// bottom through a software trap — and is reported as Info.
-func checkStackDemand(p *isa.Program, sums []*funcSummary) []Diagnostic {
+// derives from declared FRUs, and builds the per-kernel report.
+// Recursion makes the true demand unbounded; that is legal under CARS
+// — the circular stack spills its bottom through a software trap —
+// and is reported as Info. Two more advisory findings come out of the
+// same analysis: when the demand fits even the low-watermark
+// allocation the spill trap is statically unreachable, and when the
+// liveness-sharpened demand undercuts the architectural one the
+// windows are wider than the values actually carried across calls.
+func checkStackDemand(p *isa.Program, sums []*funcSummary) ([]Diagnostic, []KernelReport) {
 	var diags []Diagnostic
+	var reports []KernelReport
 	names := make([]string, 0, len(p.Kernels))
 	for name := range p.Kernels {
 		names = append(names, name)
@@ -498,10 +523,13 @@ func checkStackDemand(p *isa.Program, sums []*funcSummary) []Diagnostic {
 				Check: CheckStackDepth, Msg: err.Error()})
 			continue
 		}
+		budget := an.StackSlots(an.HighWatermark())
 		if an.Cyclic {
 			diags = append(diags, Diagnostic{Sev: SevInfo, Func: name, Index: -1, Check: CheckRecursion,
 				Msg: "recursive call graph: worst-case register-stack depth is unbounded and " +
 					"requires trap fallback (deep calls spill through the circular-stack trap)"})
+			reports = append(reports, KernelReport{Kernel: name, StackSlots: -1,
+				TightStackSlots: -1, Budget: budget, TrapReachable: true})
 			continue
 		}
 		usable := true
@@ -514,14 +542,26 @@ func checkStackDemand(p *isa.Program, sums []*funcSummary) []Diagnostic {
 			continue
 		}
 		demand := stackDemand(p, sums, an.Root)
-		budget := an.StackSlots(an.HighWatermark())
+		tight := stackDemandTight(p, sums, an.Root)
+		low := an.StackSlots(an.LowWatermark())
 		if demand > budget {
 			diags = append(diags, Diagnostic{Sev: SevError, Func: name, Index: -1, Check: CheckStackDepth,
 				Msg: fmt.Sprintf("worst-case register-stack demand is %d slots but the high watermark budgets %d: "+
 					"the declared FRUs underestimate the real stack", demand, budget)})
+		} else if demand <= low {
+			diags = append(diags, Diagnostic{Sev: SevInfo, Func: name, Index: -1, Check: CheckTrapPath,
+				Msg: fmt.Sprintf("worst-case register-stack demand (%d slots) fits the low-watermark allocation (%d): "+
+					"the circular-stack spill trap is statically unreachable", demand, low)})
 		}
+		if tight < demand {
+			diags = append(diags, Diagnostic{Sev: SevInfo, Func: name, Index: -1, Check: CheckLiveAcross,
+				Msg: fmt.Sprintf("liveness bounds the stack demand a narrower-window lowering could reach at %d of %d slots: "+
+					"callers keep fewer values live across calls than their windows hold", tight, demand)})
+		}
+		reports = append(reports, KernelReport{Kernel: name, StackSlots: demand,
+			TightStackSlots: tight, Budget: budget, TrapReachable: demand > low})
 	}
-	return diags
+	return diags, reports
 }
 
 // stackDemand computes the worst-case register-stack slots consumed

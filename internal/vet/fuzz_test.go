@@ -20,13 +20,16 @@ func FuzzVet(f *testing.F) {
 	f.Add(".kernel k\nCALLI [R8], a, b\nEXIT\n.func a\nRET\n.func b\nRET\n")
 	f.Add(".func helper callee_saved=1\nMOV R16, R4\nIADD R4, R4, R16\nRET\n.kernel main\nMOV R4, R8\nCALL helper\nEXIT\n")
 	f.Add(".func f callee_saved=2\nMOV R16, R4\nCALL f\nIADD R4, R4, R16\nRET\n.kernel main\nCALL f\nEXIT\n")
+	// Liveness stressor: values live across a call, a predicated
+	// partial write, and an over-wide window in one function.
+	f.Add(".func g\nRET\n.func f callee_saved=3\nMOV R16, R4\nMOV R17, R4\nISETP P1, R16, R17\nCALL g\n@P1 MOV R17, R16\nIADD R4, R16, R17\nRET\n.kernel main\nCALL f\nEXIT\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		m, err := asm.ParseString(src)
 		if err != nil {
 			return
 		}
 		vet.Modules(m)
-		for _, mode := range []abi.Mode{abi.Baseline, abi.CARS, abi.SharedSpill} {
+		for _, mode := range abi.Modes {
 			p, err := abi.Link(mode, m)
 			if err != nil {
 				continue

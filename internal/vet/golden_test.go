@@ -1,0 +1,89 @@
+package vet_test
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/vet"
+	"carsgo/internal/workloads"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden vet report")
+
+const goldenPath = "testdata/workloads.golden"
+
+// renderReport is the stable text projection of a ProgramReport used
+// for the golden comparison: per-function bounds, per-kernel stack
+// demand, and every diagnostic, in the report's deterministic order.
+func renderReport(b *strings.Builder, rep *vet.ProgramReport) {
+	for i := range rep.Funcs {
+		f := &rep.Funcs[i]
+		fmt.Fprintf(b, "func %s kernel=%v saved=%d depth=%d spill=%d maxlive=%d\n",
+			f.Func, f.Kernel, f.CalleeSaved, f.MaxStackDepth, f.SpillBytes, f.MaxLive)
+	}
+	for i := range rep.Kernels {
+		k := &rep.Kernels[i]
+		fmt.Fprintf(b, "kernel %s slots=%d tight=%d budget=%d trap=%v\n",
+			k.Kernel, k.StackSlots, k.TightStackSlots, k.Budget, k.TrapReachable)
+	}
+	for _, d := range rep.Diags {
+		fmt.Fprintf(b, "diag %s\n", d)
+	}
+}
+
+// TestGoldenWorkloadReports locks the verifier's output on the whole
+// Table-I corpus: any change to the abstract interpretation — bounds,
+// liveness, diagnostics — must show up as a reviewed golden diff.
+// Regenerate with: go test ./internal/vet/ -run Golden -update
+func TestGoldenWorkloadReports(t *testing.T) {
+	var b strings.Builder
+	for _, w := range workloads.All() {
+		mods := w.Modules()
+		for _, mode := range abi.Modes {
+			prog, err := abi.Link(mode, mods...)
+			if err != nil {
+				if errors.Is(err, abi.ErrRecursive) {
+					fmt.Fprintf(&b, "== %s [%s] skip: recursive\n", w.Name, mode)
+					continue
+				}
+				t.Fatalf("%s/%s: %v", w.Name, mode, err)
+			}
+			fmt.Fprintf(&b, "== %s [%s]\n", w.Name, mode)
+			renderReport(&b, vet.Report(prog))
+		}
+	}
+	got := b.String()
+
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gl) || i < len(wl); i++ {
+		var g, w string
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if g != w {
+			t.Fatalf("golden mismatch at line %d:\n  got:  %s\n  want: %s\n(regenerate with -update)", i+1, g, w)
+		}
+	}
+	t.Fatal("golden mismatch (regenerate with -update)")
+}

@@ -1,0 +1,231 @@
+package vet_test
+
+import (
+	"testing"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/kir"
+	"carsgo/internal/vet"
+)
+
+// has reports whether diags contains a (check, severity) pair.
+func has(diags []vet.Diagnostic, check vet.Check, sev vet.Severity) bool {
+	for _, d := range diags {
+		if d.Check == check && d.Sev == sev {
+			return true
+		}
+	}
+	return false
+}
+
+// TestLiveRanges pins down the liveness analysis on a straight-line
+// function: ranges must start at the defining write and end at the
+// last read, and MaxLive must count the peak overlap.
+func TestLiveRanges(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	f := kir.NewFunc("f").SetCalleeSaved(2)
+	// 0: MOV R16, #1      R16 live [0..3]
+	// 1: MOV R17, #2      R17 live [1..2]
+	// 2: IADD R4, R16, R17
+	// 3: IADD R4, R4, R16
+	// 4: RET
+	f.MovI(16, 1).MovI(17, 2).IAdd(4, 16, 17).IAdd(4, 4, 16).Ret()
+	m.AddFunc(f.MustBuild())
+	k := kir.NewKernel("main")
+	k.Call("f").StG(4, 0, 4).Exit()
+	m.AddFunc(k.MustBuild())
+
+	p, err := abi.Link(abi.Baseline, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := vet.Report(p)
+	fr := rep.Func("f")
+	if fr == nil {
+		t.Fatal("no report for f")
+	}
+	if fr.MaxLive < 2 {
+		t.Errorf("MaxLive = %d, want >= 2 (R16 and R17 overlap)", fr.MaxLive)
+	}
+	var r16, r17 *vet.LiveRange
+	for i := range fr.LiveRanges {
+		switch fr.LiveRanges[i].Reg {
+		case 16:
+			r16 = &fr.LiveRanges[i]
+		case 17:
+			r17 = &fr.LiveRanges[i]
+		}
+	}
+	if r16 == nil || r17 == nil {
+		t.Fatalf("missing live ranges for R16/R17: %+v", fr.LiveRanges)
+	}
+	if r16.End <= r17.End {
+		t.Errorf("R16 (last read later) must outlive R17: R16=%+v R17=%+v", r16, r17)
+	}
+	// R17 is consumed by the very next instruction, so a point range
+	// (Start == End) is legal; it must just be well-formed and inside
+	// R16's span.
+	if r17.Start > r17.End || r17.Start < r16.Start {
+		t.Errorf("R17 range malformed: R16=%+v R17=%+v", r16, r17)
+	}
+}
+
+// TestOverWidePush: under CARS the linker sizes the PUSH window from
+// the declared callee-saved count, so a function declaring more than
+// it references renames slots for nothing.
+func TestOverWidePush(t *testing.T) {
+	wide := func(calleeSaved int, useBoth bool) []vet.Diagnostic {
+		m := &kir.Module{Name: "m"}
+		f := kir.NewFunc("f").SetCalleeSaved(calleeSaved)
+		f.MovI(16, 1)
+		if useBoth {
+			f.MovI(17, 2).IAdd(4, 16, 17)
+		} else {
+			f.IAdd(4, 16, 16)
+		}
+		f.Ret()
+		m.AddFunc(f.MustBuild())
+		k := kir.NewKernel("main")
+		k.Call("f").Exit()
+		m.AddFunc(k.MustBuild())
+		p, err := abi.Link(abi.CARS, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vet.Program(p)
+	}
+	if diags := wide(2, false); !has(diags, vet.CheckOverPush, vet.SevWarning) {
+		t.Errorf("unreferenced R17 in a 2-wide PUSH not flagged: %v", diags)
+	}
+	if diags := wide(2, true); has(diags, vet.CheckOverPush, vet.SevWarning) {
+		t.Errorf("fully-referenced window flagged as over-wide: %v", diags)
+	}
+}
+
+// TestDeadSavePreABI: the pre-link analog — a declared callee-saved
+// window the body never touches costs save/restore traffic in every
+// ABI mode.
+func TestDeadSavePreABI(t *testing.T) {
+	build := func(touch bool) []vet.Diagnostic {
+		m := &kir.Module{Name: "m"}
+		f := kir.NewFunc("f").SetCalleeSaved(1)
+		if touch {
+			f.MovI(16, 3).IAdd(4, 4, 16)
+		} else {
+			f.IAddI(4, 4, 1)
+		}
+		f.Ret()
+		m.AddFunc(f.MustBuild())
+		k := kir.NewKernel("main")
+		k.Call("f").Exit()
+		m.AddFunc(k.MustBuild())
+		return vet.Modules(m)
+	}
+	if diags := build(false); !has(diags, vet.CheckDeadSave, vet.SevWarning) {
+		t.Errorf("untouched callee-saved window not flagged pre-ABI: %v", diags)
+	}
+	if diags := build(true); has(diags, vet.CheckDeadSave, vet.SevWarning) {
+		t.Errorf("used window flagged as dead save: %v", diags)
+	}
+}
+
+// TestTrapReachability: a shallow call chain fits the low-watermark
+// allocation, so vet proves the circular-stack spill trap dead; a
+// recursive graph keeps it reachable with unbounded demand.
+func TestTrapReachability(t *testing.T) {
+	shallow := &kir.Module{Name: "m"}
+	leaf := kir.NewFunc("leaf").SetCalleeSaved(1)
+	leaf.MovI(16, 1).IAdd(4, 4, 16).Ret()
+	shallow.AddFunc(leaf.MustBuild())
+	k := kir.NewKernel("main")
+	k.Call("leaf").Exit()
+	shallow.AddFunc(k.MustBuild())
+	p, err := abi.Link(abi.CARS, shallow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := vet.Report(p)
+	kr := rep.Kernel("main")
+	if kr == nil {
+		t.Fatal("no kernel report for main")
+	}
+	if kr.TrapReachable {
+		t.Errorf("one-deep call chain marked trap-reachable (demand %d, budget %d)", kr.StackSlots, kr.Budget)
+	}
+	if !has(rep.Diags, vet.CheckTrapPath, vet.SevInfo) {
+		t.Errorf("no trap-unreachable info diagnostic: %v", rep.Diags)
+	}
+
+	rec := &kir.Module{Name: "m"}
+	f := kir.NewFunc("f").SetCalleeSaved(1)
+	f.MovI(16, 1).Call("f").IAdd(4, 4, 16).Ret()
+	rec.AddFunc(f.MustBuild())
+	k2 := kir.NewKernel("main")
+	k2.Call("f").Exit()
+	rec.AddFunc(k2.MustBuild())
+	p2, err := abi.Link(abi.CARS, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2 := vet.Report(p2)
+	kr2 := rep2.Kernel("main")
+	if kr2 == nil {
+		t.Fatal("no kernel report for recursive main")
+	}
+	if !kr2.TrapReachable || kr2.StackSlots != -1 {
+		t.Errorf("recursive kernel: TrapReachable=%v StackSlots=%d, want true/-1", kr2.TrapReachable, kr2.StackSlots)
+	}
+}
+
+// TestLiveAcrossTightens: a caller whose window holds values that are
+// dead across its call sites admits a tighter liveness-sharpened
+// demand than the architectural worst case.
+func TestLiveAcrossTightens(t *testing.T) {
+	m := &kir.Module{Name: "m"}
+	leaf := kir.NewFunc("leaf").SetCalleeSaved(1)
+	leaf.MovI(16, 9).IAdd(4, 4, 16).Ret()
+	m.AddFunc(leaf.MustBuild())
+	// mid fills a 4-wide window but only R16 survives the call.
+	mid := kir.NewFunc("mid").SetCalleeSaved(4)
+	mid.MovI(16, 1).MovI(17, 2).MovI(18, 3).MovI(19, 4)
+	mid.IAdd(4, 17, 18).IAdd(4, 4, 19)
+	mid.Call("leaf").IAdd(4, 4, 16).Ret()
+	m.AddFunc(mid.MustBuild())
+	k := kir.NewKernel("main")
+	k.Call("mid").StG(4, 0, 4).Exit()
+	m.AddFunc(k.MustBuild())
+
+	p, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := vet.Report(p)
+	kr := rep.Kernel("main")
+	if kr == nil {
+		t.Fatal("no kernel report")
+	}
+	if kr.TightStackSlots >= kr.StackSlots {
+		t.Errorf("tight demand %d not sharper than architectural %d", kr.TightStackSlots, kr.StackSlots)
+	}
+	if !has(rep.Diags, vet.CheckLiveAcross, vet.SevInfo) {
+		t.Errorf("no live-across info diagnostic: %v", rep.Diags)
+	}
+}
+
+// TestNormalizeDedup: identical findings from overlapping analyses
+// collapse to one diagnostic, and the output order is deterministic.
+func TestNormalizeDedup(t *testing.T) {
+	in := []vet.Diagnostic{
+		{Sev: vet.SevWarning, Func: "b", Index: 3, Check: vet.CheckDeadSpill, Msg: "x"},
+		{Sev: vet.SevError, Func: "a", Index: 1, Check: vet.CheckUninitRead, Msg: "y"},
+		{Sev: vet.SevWarning, Func: "b", Index: 3, Check: vet.CheckDeadSpill, Msg: "x again"},
+		{Sev: vet.SevError, Func: "a", Index: 0, Check: vet.CheckUninitRead, Msg: "z"},
+	}
+	out := vet.Normalize(in)
+	if len(out) != 3 {
+		t.Fatalf("Normalize kept %d diags, want 3 (one duplicate dropped): %v", len(out), out)
+	}
+	if out[0].Func != "a" || out[0].Index != 0 || out[1].Index != 1 || out[2].Func != "b" {
+		t.Errorf("Normalize order not (func, index): %v", out)
+	}
+}

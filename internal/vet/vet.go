@@ -27,7 +27,9 @@
 package vet
 
 import (
+	"encoding/json"
 	"fmt"
+	"sort"
 	"strings"
 
 	"carsgo/internal/isa"
@@ -58,35 +60,43 @@ func (s Severity) String() string {
 	return fmt.Sprintf("severity(%d)", int(s))
 }
 
+// MarshalJSON renders the severity as its name, so machine output
+// stays readable and stable if the numeric order ever changes.
+func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
 // Check identifies the analysis that produced a diagnostic, so tools
 // can filter by class.
 type Check string
 
 // The diagnostic taxonomy (see DESIGN.md §6).
 const (
-	CheckValidate     Check = "validate"      // isa.Program.Validate failed
-	CheckStructure    Check = "structure"     // malformed function shape
-	CheckUnreachable  Check = "unreachable"   // code no path reaches
-	CheckUninitRead   Check = "uninit-read"   // read-before-def
-	CheckDeadSpill    Check = "dead-spill"    // spill store never filled back
-	CheckSpillPair    Check = "spill-pairing" // fill/store mismatch or bad slot
-	CheckCalleeSaved  Check = "callee-saved"  // clobbered or unrestored R16+
-	CheckStackBalance Check = "stack-balance" // push/pop imbalance on a path
-	CheckPushRFP      Check = "pushrfp"       // call without PUSHRFP pairing
-	CheckModeMismatch Check = "mode-mismatch" // op illegal under the ABI mode
-	CheckStackDepth   Check = "stack-depth"   // demand exceeds declared FRUs
-	CheckRecursion    Check = "recursion"     // unbounded stack (trap fallback)
-	CheckCallSite     Check = "call-site"     // call metadata inconsistent
+	CheckValidate     Check = "validate"         // isa.Program.Validate failed
+	CheckStructure    Check = "structure"        // malformed function shape
+	CheckUnreachable  Check = "unreachable"      // code no path reaches
+	CheckUninitRead   Check = "uninit-read"      // read-before-def
+	CheckDeadSpill    Check = "dead-spill"       // spill store never filled back
+	CheckSpillPair    Check = "spill-pairing"    // fill/store mismatch or bad slot
+	CheckCalleeSaved  Check = "callee-saved"     // clobbered or unrestored R16+
+	CheckStackBalance Check = "stack-balance"    // push/pop imbalance on a path
+	CheckPushRFP      Check = "pushrfp"          // call without PUSHRFP pairing
+	CheckModeMismatch Check = "mode-mismatch"    // op illegal under the ABI mode
+	CheckStackDepth   Check = "stack-depth"      // demand exceeds declared FRUs
+	CheckRecursion    Check = "recursion"        // unbounded stack (trap fallback)
+	CheckCallSite     Check = "call-site"        // call metadata inconsistent
+	CheckDeadSave     Check = "dead-save"        // save/restore of a never-touched reg
+	CheckOverPush     Check = "over-wide-push"   // PUSH window wider than referenced
+	CheckTrapPath     Check = "trap-unreachable" // spill trap statically dead
+	CheckLiveAcross   Check = "live-across"      // liveness-sharpened demand info
 )
 
 // Diagnostic is one finding. Index is the instruction index within
 // Func, or -1 for whole-function / whole-program findings.
 type Diagnostic struct {
-	Sev   Severity
-	Func  string
-	Index int
-	Check Check
-	Msg   string
+	Sev   Severity `json:"sev"`
+	Func  string   `json:"func"`
+	Index int      `json:"index"`
+	Check Check    `json:"check"`
+	Msg   string   `json:"msg"`
 }
 
 func (d Diagnostic) String() string {
@@ -166,20 +176,135 @@ func modeOf(p *isa.Program) progMode {
 	return modeBaseline
 }
 
+// SiteReport describes one call site in a function: the register-
+// stack depth pushed when control reaches it (CARS; 0 otherwise) and
+// how many callee-saved values are live across the call.
+type SiteReport struct {
+	Index      int `json:"index"`
+	Depth      int `json:"depth"`
+	LiveAcross int `json:"liveAcross"`
+}
+
+// FuncReport is the machine-readable per-function summary.
+// MaxStackDepth is the largest net PUSH depth on any path (CARS);
+// SpillBytes bounds per-activation spill-store traffic in bytes
+// (baseline/shared-spill), or -1 when a spill store sits on a loop
+// and the bound is unbounded.
+type FuncReport struct {
+	Func          string       `json:"func"`
+	Kernel        bool         `json:"kernel"`
+	CalleeSaved   int          `json:"calleeSaved"`
+	MaxStackDepth int          `json:"maxStackDepth"`
+	SpillBytes    int          `json:"spillBytes"`
+	MaxLive       int          `json:"maxLive"`
+	LiveRanges    []LiveRange  `json:"liveRanges,omitempty"`
+	CallSites     []SiteReport `json:"callSites,omitempty"`
+}
+
+// KernelReport is the per-kernel call-graph summary under CARS.
+// StackSlots is the architectural worst-case register-stack demand
+// (-1 when recursion makes it unbounded); TightStackSlots is the
+// liveness-sharpened advisory demand; Budget is the high-watermark
+// slot budget; TrapReachable reports whether the circular-stack spill
+// trap can fire at all under the smallest (low-watermark) allocation.
+type KernelReport struct {
+	Kernel          string `json:"kernel"`
+	StackSlots      int    `json:"stackSlots"`
+	TightStackSlots int    `json:"tightStackSlots"`
+	Budget          int    `json:"budget"`
+	TrapReachable   bool   `json:"trapReachable"`
+}
+
+// ProgramReport bundles everything vet knows about a linked program:
+// the normalized diagnostics plus the per-function and per-kernel
+// machine-readable summaries consumed by carsvet -json and the
+// static/dynamic differential harness (internal/san).
+type ProgramReport struct {
+	Mode    string         `json:"mode"`
+	Funcs   []FuncReport   `json:"funcs"`
+	Kernels []KernelReport `json:"kernels,omitempty"`
+	Diags   []Diagnostic   `json:"diags,omitempty"`
+}
+
+// Func returns the report for the named function, or nil.
+func (r *ProgramReport) Func(name string) *FuncReport {
+	for i := range r.Funcs {
+		if r.Funcs[i].Func == name {
+			return &r.Funcs[i]
+		}
+	}
+	return nil
+}
+
+// Kernel returns the report for the named kernel, or nil.
+func (r *ProgramReport) Kernel(name string) *KernelReport {
+	for i := range r.Kernels {
+		if r.Kernels[i].Kernel == name {
+			return &r.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// Normalize sorts diagnostics deterministically (function, index,
+// check, severity high-first, message) and collapses duplicates of the
+// same (func, index, check) triple, keeping the most severe instance —
+// per-path analyses can rediscover one defect once per return path or
+// per register, which would otherwise drown the report.
+func Normalize(diags []Diagnostic) []Diagnostic {
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Func != b.Func {
+			return a.Func < b.Func
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev
+		}
+		return a.Msg < b.Msg
+	})
+	out := diags[:0]
+	for _, d := range diags {
+		if n := len(out); n > 0 {
+			prev := out[n-1]
+			if prev.Func == d.Func && prev.Index == d.Index && prev.Check == d.Check {
+				continue
+			}
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // Program verifies a linked program. It validates structural
 // invariants first (a program failing isa.Program.Validate gets a
 // single validate error, since later analyses assume in-range
 // operands), then runs the per-function CFG/dataflow checks and the
 // program-wide call-graph stack-depth check.
 func Program(p *isa.Program) []Diagnostic {
+	return Report(p).Diags
+}
+
+// Report runs the same analyses as Program and returns the full
+// machine-readable report alongside the diagnostics.
+func Report(p *isa.Program) *ProgramReport {
+	rep := &ProgramReport{}
 	if p == nil || len(p.Funcs) == 0 {
-		return []Diagnostic{{Sev: SevError, Index: -1, Check: CheckStructure,
+		rep.Diags = []Diagnostic{{Sev: SevError, Index: -1, Check: CheckStructure,
 			Msg: "program has no functions"}}
+		return rep
 	}
 	if err := p.Validate(); err != nil {
-		return []Diagnostic{{Sev: SevError, Index: -1, Check: CheckValidate, Msg: err.Error()}}
+		rep.Diags = []Diagnostic{{Sev: SevError, Index: -1, Check: CheckValidate, Msg: err.Error()}}
+		return rep
 	}
 	mode := modeOf(p)
+	rep.Mode = mode.String()
 	var diags []Diagnostic
 	sums := make([]*funcSummary, len(p.Funcs))
 	for fi, f := range p.Funcs {
@@ -196,6 +321,17 @@ func Program(p *isa.Program) []Diagnostic {
 		v.run()
 		diags = append(diags, v.diags...)
 		sums[fi] = &v.summary
+		fr := FuncReport{
+			Func:          f.Name,
+			Kernel:        f.IsKernel,
+			CalleeSaved:   f.CalleeSaved,
+			MaxStackDepth: v.summary.maxDepth,
+			SpillBytes:    v.summary.spillBytes,
+			MaxLive:       v.summary.maxLive,
+			LiveRanges:    v.summary.ranges,
+			CallSites:     v.summary.callSites,
+		}
+		rep.Funcs = append(rep.Funcs, fr)
 		// Call targets must be device functions: a kernel ends in
 		// EXIT, so a call into one never returns to its caller.
 		// Validate range-checks these indices; only the shape is left.
@@ -217,9 +353,12 @@ func Program(p *isa.Program) []Diagnostic {
 		}
 	}
 	if mode == modeCARS {
-		diags = append(diags, checkStackDemand(p, sums)...)
+		d, kernels := checkStackDemand(p, sums)
+		diags = append(diags, d...)
+		rep.Kernels = kernels
 	}
-	return diags
+	rep.Diags = Normalize(diags)
+	return rep
 }
 
 // Modules verifies pre-ABI modules before lowering: read-before-def,
@@ -241,5 +380,5 @@ func Modules(mods ...*kir.Module) []Diagnostic {
 			diags = append(diags, v.diags...)
 		}
 	}
-	return diags
+	return Normalize(diags)
 }

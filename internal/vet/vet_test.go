@@ -58,7 +58,7 @@ func TestVetCleanFixtures(t *testing.T) {
 	if diags := vet.Modules(callModule()); !vet.Clean(diags) {
 		t.Fatalf("pre-ABI fixture not clean: %v", diags)
 	}
-	for _, mode := range []abi.Mode{abi.Baseline, abi.CARS, abi.SharedSpill} {
+	for _, mode := range abi.Modes {
 		p := link(t, mode, callModule())
 		if diags := vet.Program(p); !vet.Clean(diags) {
 			t.Fatalf("%v fixture not clean: %v", mode, diags)

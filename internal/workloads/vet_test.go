@@ -1,7 +1,7 @@
 package workloads
 
 import (
-	"strings"
+	"errors"
 	"testing"
 
 	"carsgo/internal/abi"
@@ -20,13 +20,13 @@ func TestWorkloadsVetClean(t *testing.T) {
 				t.Errorf("%s (pre-ABI): %s", w.Name, d)
 			}
 		}
-		for _, mode := range []abi.Mode{abi.Baseline, abi.CARS, abi.SharedSpill} {
+		for _, mode := range abi.Modes {
 			prog, err := abi.Link(mode, mods...)
 			if err != nil {
 				// Recursive workloads cannot compile under the
 				// shared-spill ABI; that rejection is the expected
 				// behaviour, not a vet failure.
-				if mode == abi.SharedSpill && strings.Contains(err.Error(), "recursive") {
+				if mode == abi.SharedSpill && errors.Is(err, abi.ErrRecursive) {
 					continue
 				}
 				t.Errorf("%s/%s: link: %v", w.Name, mode, err)
