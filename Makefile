@@ -11,10 +11,13 @@ build:
 
 # Static analysis: Go's own vet, then carsvet (internal/vet) over the
 # paper's 22 workloads in every ABI mode and the assembly examples.
+# The racy demo must keep FAILING: its shared race and divergent
+# barrier are the sync/race analyses' acceptance test.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/carsvet -workloads
 	$(GO) run ./cmd/carsvet examples/vetdemo/clean.carsasm
+	! $(GO) run ./cmd/carsvet -race examples/vetdemo/racy.carsasm
 
 # Repo-custom analyzers (internal/lint) over the simulator hot paths.
 lint:
@@ -22,7 +25,11 @@ lint:
 
 # Static/dynamic differential harness: every workload in every ABI
 # mode under the shadow sanitizer (internal/san); vet's bounds must
-# dominate the observed dynamic behaviour. Takes a few minutes.
+# dominate the observed dynamic behaviour, including the sync half —
+# kernels vet proved barrier-safe/race-free must run dynamically
+# silent, and the negative workloads (racy / barrier-divergent plus
+# clean twins) must be flagged by both sides or neither. Takes a few
+# minutes.
 san:
 	$(GO) run ./cmd/carsvet -diff
 	$(GO) run ./cmd/carsvet -diff examples/vetdemo/clean.carsasm

@@ -1,8 +1,16 @@
 // Command carslint runs the repo's custom analyzers (internal/lint)
-// over the simulator's hot-path packages. With no arguments it checks
-// internal/sim and internal/cars — the packages where a stray panic
-// would take down a whole multi-launch run instead of surfacing as a
-// *sim.ExecError. Pass directories to check something else.
+// over the simulator's Go sources. With no arguments each analyzer
+// checks its default packages:
+//
+//   - nonakedpanic: internal/sim and internal/cars, where a stray
+//     panic would take down a whole multi-launch run instead of
+//     surfacing as a *sim.ExecError;
+//   - uncheckedsimerror: the packages that launch programs or link
+//     modules (internal/san, internal/workloads, internal/experiments,
+//     cmd/carsvet, cmd/carsim), where a discarded GPU.Run or abi.Link
+//     error hides faults.
+//
+// Pass directories to run every analyzer over those instead.
 //
 // Exit status 1 when any finding is reported.
 package main
@@ -15,15 +23,23 @@ import (
 	"carsgo/internal/lint"
 )
 
+// checks pairs each analyzer with the directories it defends.
+var checks = []struct {
+	analyzer *lint.Analyzer
+	dirs     []string
+}{
+	{lint.NoNakedPanic, []string{"internal/sim", "internal/cars"}},
+	{lint.UncheckedSimError, []string{
+		"internal/san", "internal/workloads", "internal/experiments",
+		"cmd/carsvet", "cmd/carsim",
+	}},
+}
+
 func main() {
 	flag.Parse()
-	dirs := flag.Args()
-	if len(dirs) == 0 {
-		dirs = []string{"internal/sim", "internal/cars"}
-	}
 	dirty := false
-	for _, dir := range dirs {
-		diags, err := lint.RunDir(lint.NoNakedPanic, dir)
+	run := func(a *lint.Analyzer, dir string) {
+		diags, err := lint.RunDir(a, dir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "carslint:", err)
 			os.Exit(2)
@@ -33,8 +49,25 @@ func main() {
 			dirty = true
 		}
 	}
+	if dirs := flag.Args(); len(dirs) > 0 {
+		for _, c := range checks {
+			for _, dir := range dirs {
+				run(c.analyzer, dir)
+			}
+		}
+	} else {
+		for _, c := range checks {
+			for _, dir := range c.dirs {
+				run(c.analyzer, dir)
+			}
+		}
+	}
 	if dirty {
 		os.Exit(1)
 	}
-	fmt.Printf("carslint: %s clean\n", lint.NoNakedPanic.Name)
+	fmt.Print("carslint:")
+	for _, c := range checks {
+		fmt.Print(" ", c.analyzer.Name)
+	}
+	fmt.Println(" clean")
 }

@@ -10,6 +10,8 @@
 //	carsvet -mode cars kernel.s       # restrict to one ABI mode
 //	carsvet -workloads                # vet all 22 paper workloads
 //	carsvet -json kernel.s            # machine-readable per-function report
+//	carsvet -sync kernel.s            # per-kernel barrier/race verdicts
+//	carsvet -race kernel.s            # statically-detected race pairs
 //	carsvet -diff                     # static/dynamic differential harness
 //	carsvet -diff kernel.s            # ... on a file, via a smoke launch
 //
@@ -18,11 +20,19 @@
 // demand, and the normalized diagnostics — as a JSON array with stable
 // field order.
 //
+// -sync prints each kernel's synchronization verdicts — BarrierSafe
+// (every reachable BAR.SYNC provably executes convergently) and
+// RaceFree (no two shared-memory accesses in one barrier interval may
+// conflict) — and -race lists every may-racing access pair the affine
+// address analysis could not separate.
+//
 // -diff runs programs on the simulator with the internal/san shadow
 // sanitizer attached and checks that every static vet bound dominates
 // the observed dynamic behaviour (built-in workloads by default, or
-// the given files under a smoke launch). Exit status 1 if any
-// sanitizer diagnostic or dominance violation surfaces.
+// the given files under a smoke launch), then runs the deliberately-
+// broken negative workloads, which must be flagged by BOTH the static
+// verifier and the sanitizer. Exit status 1 if any sanitizer
+// diagnostic, dominance violation, or missed negative surfaces.
 //
 // Inputs are sniffed, not judged by extension: files starting with the
 // "CARS" magic are binary images, anything else is assembly text.
@@ -48,7 +58,11 @@ import (
 	"carsgo/internal/workloads"
 )
 
-var jsonOut bool
+var (
+	jsonOut bool
+	syncOut bool
+	raceOut bool
+)
 
 // jsonUnit is one vetted unit in -json output. Field order is the
 // stable output contract.
@@ -67,6 +81,8 @@ func main() {
 	wl := flag.Bool("workloads", false, "vet the paper's built-in workloads in every ABI mode")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable vet reports as JSON")
 	diff := flag.Bool("diff", false, "run the static/dynamic differential harness under the shadow sanitizer")
+	flag.BoolVar(&syncOut, "sync", false, "print per-kernel synchronization verdicts (barrier safety, race freedom)")
+	flag.BoolVar(&raceOut, "race", false, "print every statically-detected shared-memory race pair")
 	flag.Parse()
 	jsonOut = *jsonFlag
 
@@ -112,10 +128,15 @@ func runDiff(paths []string) int {
 			fmt.Fprintln(os.Stderr, "carsvet:", err)
 			return 2
 		}
-		if !ok {
+		_, negOK, err := san.DiffNegatives(os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "carsvet:", err)
+			return 2
+		}
+		if !ok || !negOK {
 			return 1
 		}
-		fmt.Println("differential harness: static bounds dominate, sanitizer silent")
+		fmt.Println("differential harness: static bounds dominate, sanitizer silent, negatives flagged on both sides")
 		return 0
 	}
 	status := 0
@@ -229,7 +250,28 @@ func emit(label, mode string, prog *isa.Program, rep *vet.ProgramReport, linkErr
 		fmt.Printf("%s: link: %v\n", tag, linkErr)
 		return true
 	}
-	return report(tag, prog, rep.Diags)
+	dirty := report(tag, prog, rep.Diags)
+	if syncOut || raceOut {
+		syncReport(tag, rep)
+	}
+	return dirty
+}
+
+// syncReport prints the per-kernel synchronization verdicts (-sync)
+// and the statically-detected race pairs (-race).
+func syncReport(tag string, rep *vet.ProgramReport) {
+	for i := range rep.Kernels {
+		k := &rep.Kernels[i]
+		if syncOut {
+			fmt.Printf("%s: sync %s barriersafe=%v racefree=%v shared=%d\n",
+				tag, k.Kernel, k.BarrierSafe, k.RaceFree, k.SharedAccesses)
+		}
+		if raceOut {
+			for _, p := range k.RacePairs {
+				fmt.Printf("%s: race %s [%d]~[%d] %s\n", tag, k.Kernel, p.First, p.Second, p.Kind)
+			}
+		}
+	}
 }
 
 // emitPreABI handles the separate-compilation vet pass over modules.

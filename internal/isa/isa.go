@@ -13,6 +13,12 @@ import "fmt"
 // WarpSize is the number of threads per warp, matching NVIDIA hardware.
 const WarpSize = 32
 
+// MaxBlockThreads is the architectural limit on threads per block
+// (CUDA's 1024). The launch validator enforces it; the static race
+// analysis in internal/vet relies on it to bound lane and warp indices
+// when reasoning about affine shared-memory addresses.
+const MaxBlockThreads = 1024
+
 // MaxArchRegs is the architectural register limit per function. The paper
 // notes 8 bits encode register identifiers, capping any function at 256.
 const MaxArchRegs = 256

@@ -215,6 +215,76 @@ func TestProgramValidate(t *testing.T) {
 	}
 }
 
+// TestValidateSyncOps covers the synchronization-op rules: SSY must
+// reconverge at a real instruction index (unlike BRA, one-past-the-end
+// is rejected) and BAR.SYNC must not carry a guard predicate.
+func TestValidateSyncOps(t *testing.T) {
+	mk := func(ins ...Instruction) *Program {
+		code := append(ins, Instruction{Op: OpExit, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg})
+		return &Program{
+			Funcs:   []*Function{{Name: "k", IsKernel: true, RegsUsed: 8, Code: code}},
+			Kernels: map[string]int{"k": 0},
+		}
+	}
+	cases := []struct {
+		name string
+		in   Instruction
+		ok   bool
+	}{
+		{
+			name: "SSY to valid index",
+			in:   Instruction{Op: OpSSY, Target2: 1, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg, Pred: NoPred},
+			ok:   true,
+		},
+		{
+			name: "SSY one past the end",
+			in:   Instruction{Op: OpSSY, Target2: 2, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg, Pred: NoPred},
+			ok:   false,
+		},
+		{
+			name: "SSY far out of range",
+			in:   Instruction{Op: OpSSY, Target2: 99, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg, Pred: NoPred},
+			ok:   false,
+		},
+		{
+			name: "SSY negative",
+			in:   Instruction{Op: OpSSY, Target2: -1, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg, Pred: NoPred},
+			ok:   false,
+		},
+		{
+			name: "bare BAR",
+			in:   Instruction{Op: OpBar, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg, Pred: NoPred},
+			ok:   true,
+		},
+		{
+			name: "predicated BAR",
+			in:   Instruction{Op: OpBar, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg, Pred: 2},
+			ok:   false,
+		},
+		{
+			name: "negated-predicate BAR",
+			in:   Instruction{Op: OpBar, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg, Pred: 5, PNeg: true},
+			ok:   false,
+		},
+		{
+			name: "BRA one past the end still allowed",
+			in:   Instruction{Op: OpBra, Target: 2, Dst: NoReg, SrcA: NoReg, SrcB: NoReg, SrcC: NoReg, Pred: NoPred},
+			ok:   true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := mk(tc.in).Validate()
+			if tc.ok && err != nil {
+				t.Errorf("valid program rejected: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Errorf("invalid instruction %s accepted", tc.in.String())
+			}
+		})
+	}
+}
+
 func TestDim3Warps(t *testing.T) {
 	for _, c := range []struct{ block, want int }{
 		{1, 1}, {32, 1}, {33, 2}, {64, 2}, {255, 8}, {256, 8},

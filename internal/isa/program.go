@@ -125,18 +125,27 @@ func (p *Program) Validate() error {
 			case OpCallI:
 				indirects++
 			}
-			if in.Op == OpBra || in.Op == OpSSY {
-				t := in.Target
-				if in.Op == OpSSY {
-					t = in.Target2
-				}
-				if t < 0 || t > len(f.Code) {
+			if in.Op == OpBra {
+				if t := in.Target; t < 0 || t > len(f.Code) {
 					return fmt.Errorf("isa: %s[%d]: branch target %d out of range", f.Name, ii, t)
 				}
-				if in.Op == OpBra && in.Pred != NoPred &&
+				if in.Pred != NoPred &&
 					(in.Target2 < 0 || in.Target2 > len(f.Code)) {
 					return fmt.Errorf("isa: %s[%d]: reconvergence target %d out of range", f.Name, ii, in.Target2)
 				}
+			}
+			if in.Op == OpSSY {
+				// Unlike BRA, an SSY reconvergence point one past the end
+				// of the function would leave the SIMT stack holding a PC
+				// that never executes: require a real instruction index.
+				if t := in.Target2; t < 0 || t >= len(f.Code) {
+					return fmt.Errorf("isa: %s[%d]: SSY reconvergence target %d out of range", f.Name, ii, t)
+				}
+			}
+			if in.Op == OpBar && in.Pred != NoPred {
+				// A guarded BAR.SYNC means predicated-off lanes skip the
+				// barrier their warp arrives at: reject it outright.
+				return fmt.Errorf("isa: %s[%d]: BAR.SYNC must not carry a guard predicate", f.Name, ii)
 			}
 			for _, r := range in.Reads(nil) {
 				if int(r) >= MaxArchRegs {

@@ -73,6 +73,20 @@ func RunProgram(prog *isa.Program, cfg sim.Config,
 			return nil, rep, fmt.Errorf("san: program does not vet: %s", d)
 		}
 	}
+	return runVetted(prog, cfg, rep, setup)
+}
+
+// RunProgramUnvetted is RunProgram without the vet gate: the program
+// runs even when the static verifier reports errors. The negative
+// differential harness needs this — its workloads are broken on
+// purpose, and the point is to watch the sanitizer catch them.
+func RunProgramUnvetted(prog *isa.Program, cfg sim.Config,
+	setup func(g *sim.GPU) ([]isa.Launch, error)) (*Sanitizer, *vet.ProgramReport, error) {
+	return runVetted(prog, cfg, vet.Report(prog), setup)
+}
+
+func runVetted(prog *isa.Program, cfg sim.Config, rep *vet.ProgramReport,
+	setup func(g *sim.GPU) ([]isa.Launch, error)) (*Sanitizer, *vet.ProgramReport, error) {
 	g, err := sim.New(cfg, prog)
 	if err != nil {
 		return nil, rep, err
@@ -131,6 +145,14 @@ func Check(rep *vet.ProgramReport, s *Sanitizer, cars bool) []string {
 		if !kr.TrapReachable && ko.TrapSpillSlots > 0 {
 			out = append(out, fmt.Sprintf("%s: vet proved the spill trap unreachable but it spilled %d slot(s)",
 				ko.Kernel, ko.TrapSpillSlots))
+		}
+		if kr.BarrierSafe && ko.BarrierDivergences > 0 {
+			out = append(out, fmt.Sprintf("%s: vet proved every barrier convergent but the sanitizer saw %d divergent arrival(s)",
+				ko.Kernel, ko.BarrierDivergences))
+		}
+		if kr.RaceFree && ko.SharedRaces > 0 {
+			out = append(out, fmt.Sprintf("%s: vet proved the kernel race-free but the sanitizer saw %d shared-memory race(s)",
+				ko.Kernel, ko.SharedRaces))
 		}
 	}
 	sort.Strings(out)
@@ -209,6 +231,90 @@ func DiffWorkloads(names []string, out io.Writer) ([]*DiffResult, bool, error) {
 				for _, v := range res.Violations {
 					fmt.Fprintf(out, "     dominance: %s\n", v)
 				}
+			}
+		}
+	}
+	return results, ok, nil
+}
+
+// DiffNegatives runs the deliberately-broken workloads
+// (workloads.Negatives) in every linkable ABI mode and checks both
+// directions of the differential: each expected defect must be flagged
+// by the static verifier AND observed by the sanitizer, while the
+// clean counterparts must pass both sides. It returns per-run results
+// and whether every expectation held.
+func DiffNegatives(out io.Writer) ([]*DiffResult, bool, error) {
+	var results []*DiffResult
+	ok := true
+	for _, w := range workloads.Negatives() {
+		for _, mode := range abi.Modes {
+			res := &DiffResult{Workload: w.Name, Mode: mode.String()}
+			prog, err := abi.Link(mode, w.Modules()...)
+			if err != nil {
+				return results, false, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
+			}
+			s, rep, err := RunProgramUnvetted(prog, ConfigFor(mode), w.Setup)
+			if err != nil {
+				return results, false, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
+			}
+			res.Diags = s.Diags()
+			res.Obs = s.Observations()
+
+			staticUnsafeBarrier, staticRacy := false, false
+			for _, kr := range rep.Kernels {
+				if !kr.BarrierSafe {
+					staticUnsafeBarrier = true
+				}
+				if !kr.RaceFree {
+					staticRacy = true
+				}
+			}
+			var dynBarrier, dynRace uint64
+			for _, ko := range res.Obs.Kernels {
+				dynBarrier += ko.BarrierDivergences
+				dynRace += ko.SharedRaces
+			}
+			expect := func(cond bool, format string, args ...any) {
+				if !cond {
+					res.Violations = append(res.Violations, fmt.Sprintf(format, args...))
+				}
+			}
+			if w.Expect.SharedRace {
+				expect(staticRacy, "expected the static verifier to report a shared-memory race")
+				expect(dynRace > 0, "expected the sanitizer to observe a shared-memory race")
+			} else {
+				expect(!staticRacy, "clean workload reported statically racy")
+				expect(dynRace == 0, "clean workload raced dynamically (%d event(s))", dynRace)
+			}
+			if w.Expect.BarrierDivergence {
+				expect(staticUnsafeBarrier, "expected the static verifier to report barrier divergence")
+				expect(dynBarrier > 0, "expected the sanitizer to observe a divergent barrier arrival")
+			} else {
+				expect(!staticUnsafeBarrier, "clean workload reported statically barrier-unsafe")
+				expect(dynBarrier == 0, "clean workload diverged at a barrier dynamically (%d event(s))", dynBarrier)
+			}
+			// Expected sanitizer diagnostics are not failures here; the
+			// clean counterparts must still be diagnostic-free.
+			clean := !w.Expect.SharedRace && !w.Expect.BarrierDivergence
+			if clean {
+				res.Violations = append(res.Violations, Check(rep, s, prog.CARS)...)
+				if len(res.Diags) > 0 {
+					ok = false
+				}
+			} else {
+				res.Diags = nil // reported via the expectations above
+			}
+			if len(res.Violations) > 0 {
+				ok = false
+			}
+			results = append(results, res)
+			status := "ok  "
+			if len(res.Violations) > 0 || (clean && len(res.Diags) > 0) {
+				status = "FAIL"
+			}
+			fmt.Fprintf(out, "%s %-18s %-9s\n", status, w.Name, res.Mode)
+			for _, v := range res.Violations {
+				fmt.Fprintf(out, "     expectation: %s\n", v)
 			}
 		}
 	}

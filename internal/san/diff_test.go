@@ -46,6 +46,31 @@ func TestDiffWorkloads(t *testing.T) {
 	}
 }
 
+// TestDiffNegatives locks the negative side of the differential: the
+// deliberately-racy and barrier-divergent workloads must be flagged by
+// BOTH the static verifier and the sanitizer, and their clean twins by
+// neither, in every ABI mode.
+func TestDiffNegatives(t *testing.T) {
+	results, ok, err := DiffNegatives(io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		for _, v := range res.Violations {
+			t.Errorf("%s/%s: %s", res.Workload, res.Mode, v)
+		}
+		for _, d := range res.Diags {
+			t.Errorf("%s/%s: sanitizer: %s", res.Workload, res.Mode, d)
+		}
+	}
+	if !ok && !t.Failed() {
+		t.Error("DiffNegatives reported failure without diagnostics")
+	}
+	if n := len(results); n != 4*len(abi.Modes) {
+		t.Errorf("expected %d negative runs, got %d", 4*len(abi.Modes), n)
+	}
+}
+
 // TestDiffTrapsExercised makes sure the dominance check is not
 // vacuous: FIB's recursion must actually drive the circular-stack
 // trap, so the sanitizer's spill/fill cross-checking really ran.

@@ -1,0 +1,191 @@
+package san
+
+import "carsgo/internal/isa"
+
+// Dynamic shared-memory race detector and barrier-divergence checker.
+//
+// The simulator releases a block's barrier only once every live warp
+// has arrived, so "between two releases" is exactly one barrier
+// interval: two accesses to the same shared word by distinct threads
+// with no release between them are unordered, and if either writes
+// they race. The detector keeps one access shadow per shared word per
+// block — the last write plus the set of readers since the interval
+// began — and clears it on every BarrierRelease (including the
+// degenerate release when a warp exits past its waiting siblings).
+//
+// Races where either side is ABI spill traffic (the shared-spill
+// mode's frames) are classified KindSpillRace: user STS/LDS reaching
+// into spill frames is a real bug, but one the static analysis cannot
+// always rule out (it depends on the launch-time SharedBytes), so the
+// differential harness holds vet's RaceFree verdict only to the
+// user-vs-user KindSharedRace events.
+
+// accessRec is one remembered shared-memory access.
+type accessRec struct {
+	tid   int32 // thread index within the block
+	fn    int32
+	pc    int32
+	spill bool
+}
+
+// wordShadow tracks one shared word within the current barrier interval.
+type wordShadow struct {
+	wrote bool
+	write accessRec
+	read  accessRec
+	// readers distinguishes "no reads" (0), "one thread" (1), and
+	// "several distinct threads" (2): a write conflicts with reads by
+	// any other thread, so two is all the precision a report needs.
+	readers uint8
+}
+
+// blockShadow is the shared-memory and barrier state of one block slot.
+type blockShadow struct {
+	words map[uint32]*wordShadow
+	// barrierFn/barrierPC identify the first barrier arrived at in the
+	// current round; siblings must present the same program point.
+	barrierOpen bool
+	barrierFn   int32
+	barrierPC   int32
+}
+
+func (s *Sanitizer) resetBlock(blockID int) {
+	b := s.blocks[blockID]
+	if b == nil {
+		s.blocks[blockID] = &blockShadow{words: make(map[uint32]*wordShadow)}
+		return
+	}
+	for k := range b.words {
+		delete(b.words, k)
+	}
+	b.barrierOpen = false
+}
+
+func (s *Sanitizer) blockShadowOf(blockID int) *blockShadow {
+	b := s.blocks[blockID]
+	if b == nil {
+		b = &blockShadow{words: make(map[uint32]*wordShadow)}
+		s.blocks[blockID] = b
+	}
+	return b
+}
+
+func raceKind(a, b bool) Kind {
+	if a || b {
+		return KindSpillRace
+	}
+	return KindSharedRace
+}
+
+func (s *Sanitizer) countRace(kernelFn int, kind Kind) {
+	ko := s.kernelObs(kernelFn)
+	if kind == KindSpillRace {
+		ko.SpillRaces++
+	} else {
+		ko.SharedRaces++
+	}
+}
+
+// SharedAccess checks one warp-wide LDS/STS against the block's access
+// shadow and records it for the rest of the barrier interval.
+func (s *Sanitizer) SharedAccess(gwid, blockID, fn, pc int, store, spill bool, lanes uint32, addrs *[isa.WarpSize]uint32, imm int32) {
+	w := s.warps[gwid]
+	if w == nil || lanes == 0 {
+		return
+	}
+	b := s.blockShadowOf(blockID)
+	for l := 0; l < isa.WarpSize; l++ {
+		if lanes&(1<<l) == 0 {
+			continue
+		}
+		tid := int32(w.wInBlock*isa.WarpSize + l)
+		word := (addrs[l] + uint32(imm)) / 4
+		ws := b.words[word]
+		if ws == nil {
+			ws = &wordShadow{}
+			b.words[word] = ws
+		}
+		if store {
+			if ws.wrote && ws.write.tid != tid {
+				k := raceKind(spill, ws.write.spill)
+				s.report(k, fn, pc,
+					"%s STS by thread %d to shared word %d races with a store by thread %d at %s[%d] in the same barrier interval",
+					userOrSpill(spill), tid, word, ws.write.tid, s.funcName(int(ws.write.fn)), ws.write.pc)
+				s.countRace(w.kernelFn, k)
+			}
+			if ws.readers > 1 || (ws.readers == 1 && ws.read.tid != tid) {
+				k := raceKind(spill, ws.read.spill)
+				s.report(k, fn, pc,
+					"%s STS by thread %d to shared word %d races with a load by thread %d at %s[%d] in the same barrier interval",
+					userOrSpill(spill), tid, word, ws.read.tid, s.funcName(int(ws.read.fn)), ws.read.pc)
+				s.countRace(w.kernelFn, k)
+			}
+			ws.wrote = true
+			ws.write = accessRec{tid: tid, fn: int32(fn), pc: int32(pc), spill: spill}
+			continue
+		}
+		if ws.wrote && ws.write.tid != tid {
+			k := raceKind(spill, ws.write.spill)
+			s.report(k, fn, pc,
+				"%s LDS by thread %d from shared word %d races with a store by thread %d at %s[%d] in the same barrier interval",
+				userOrSpill(spill), tid, word, ws.write.tid, s.funcName(int(ws.write.fn)), ws.write.pc)
+			s.countRace(w.kernelFn, k)
+		}
+		switch {
+		case ws.readers == 0:
+			ws.readers = 1
+			ws.read = accessRec{tid: tid, fn: int32(fn), pc: int32(pc), spill: spill}
+		case ws.readers == 1 && ws.read.tid != tid:
+			ws.readers = 2
+		}
+	}
+}
+
+func userOrSpill(spill bool) string {
+	if spill {
+		return "spill"
+	}
+	return "user"
+}
+
+// Barrier checks one warp's arrival at BAR.SYNC: the active mask must
+// be the warp's launch-time mask (anything less means predicated-off
+// or divergent lanes skip the barrier), and every warp of the block
+// must wait at the same program point within a round.
+func (s *Sanitizer) Barrier(gwid, blockID, fn, pc int, active uint32) {
+	w := s.warps[gwid]
+	if w == nil {
+		return
+	}
+	if active != w.startMask {
+		s.report(KindBarrierDivergence, fn, pc,
+			"warp %d arrives at BAR.SYNC with partial mask %#08x (launched with %#08x): divergent lanes skip the barrier",
+			gwid, active, w.startMask)
+		s.kernelObs(w.kernelFn).BarrierDivergences++
+	}
+	b := s.blockShadowOf(blockID)
+	if !b.barrierOpen {
+		b.barrierOpen = true
+		b.barrierFn, b.barrierPC = int32(fn), int32(pc)
+		return
+	}
+	if b.barrierFn != int32(fn) || b.barrierPC != int32(pc) {
+		s.report(KindBarrierDivergence, fn, pc,
+			"warp %d waits at BAR.SYNC %s[%d] while a sibling waits at %s[%d]",
+			gwid, s.funcName(fn), pc, s.funcName(int(b.barrierFn)), b.barrierPC)
+		s.kernelObs(w.kernelFn).BarrierDivergences++
+	}
+}
+
+// BarrierRelease ends the block's barrier interval: all shared-memory
+// access history is ordered before everything that follows.
+func (s *Sanitizer) BarrierRelease(blockID int) {
+	b := s.blocks[blockID]
+	if b == nil {
+		return
+	}
+	for k := range b.words {
+		delete(b.words, k)
+	}
+	b.barrierOpen = false
+}

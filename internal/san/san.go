@@ -47,6 +47,17 @@ const (
 	KindStackMismatch  Kind = "stack-mismatch"
 	KindTrapDivergence Kind = "trap-divergence"
 	KindCallUnderflow  Kind = "call-underflow"
+	// KindSharedRace: two distinct threads touch the same shared-memory
+	// word in the same barrier interval, at least one writing, and both
+	// accesses are user (non-spill) traffic.
+	KindSharedRace Kind = "shared-race"
+	// KindSpillRace: as above but at least one access is ABI spill
+	// traffic — user STS/LDS trespassing into spill frames (or a
+	// spill-pointer bug making frames collide).
+	KindSpillRace Kind = "spill-race"
+	// KindBarrierDivergence: a warp arrives at BAR.SYNC with a partial
+	// active mask, or warps of one block wait at different barriers.
+	KindBarrierDivergence Kind = "barrier-divergence"
 )
 
 // Diag is one deduplicated sanitizer finding: the first occurrence's
@@ -90,6 +101,12 @@ type KernelObs struct {
 	// both must be zero when vet proves the trap unreachable.
 	TrapSpillSlots uint64 `json:"trapSpillSlots"`
 	TrapFillSlots  uint64 `json:"trapFillSlots"`
+	// SharedRaces/SpillRaces/BarrierDivergences count dynamic race-
+	// detector events; SharedRaces and BarrierDivergences must be zero
+	// when vet reports the kernel RaceFree/BarrierSafe.
+	SharedRaces        uint64 `json:"sharedRaces"`
+	SpillRaces         uint64 `json:"spillRaces"`
+	BarrierDivergences uint64 `json:"barrierDivergences"`
 }
 
 // Observations bundles everything the sanitizer measured, sorted by
@@ -171,6 +188,12 @@ type warpShadow struct {
 	pendingFills []int
 
 	frames []*sanFrame
+
+	// blockID/wInBlock locate the warp within its block; startMask is
+	// the launch-time active mask a convergent BAR.SYNC must present.
+	blockID   int
+	wInBlock  int
+	startMask uint32
 }
 
 // Sanitizer implements sim.Monitor. Attach with gpu.San = san.New(prog)
@@ -179,6 +202,7 @@ type Sanitizer struct {
 	prog *isa.Program
 
 	warps   map[int]*warpShadow
+	blocks  map[int]*blockShadow
 	funcs   map[int]*FuncObs
 	kernels map[int]*KernelObs
 	diags   map[diagKey]*Diag
@@ -193,6 +217,7 @@ func New(prog *isa.Program) *Sanitizer {
 	return &Sanitizer{
 		prog:    prog,
 		warps:   make(map[int]*warpShadow),
+		blocks:  make(map[int]*blockShadow),
 		funcs:   make(map[int]*FuncObs),
 		kernels: make(map[int]*KernelObs),
 		diags:   make(map[diagKey]*Diag),
@@ -304,7 +329,7 @@ func (w *warpShadow) top() *sanFrame { return w.frames[len(w.frames)-1] }
 // R0..R15 defined on all lanes (zeroed registers plus parameters), an
 // empty register stack, and a base frame attributing kernel-level
 // spills to the kernel function.
-func (s *Sanitizer) WarpStart(gwid, fn, stackSlots int, active uint32) {
+func (s *Sanitizer) WarpStart(gwid, blockID, wInBlock, fn, stackSlots int, active uint32) {
 	w := s.warps[gwid]
 	if w == nil {
 		w = &warpShadow{
@@ -327,6 +352,12 @@ func (s *Sanitizer) WarpStart(gwid, fn, stackSlots int, active uint32) {
 		w.frames = w.frames[:0]
 	}
 	w.kernelFn = fn
+	w.blockID, w.wInBlock, w.startMask = blockID, wInBlock, active
+	if wInBlock == 0 {
+		// Warp 0 of a block is always initialized first: a fresh (or
+		// reused) block slot starts a new shared-memory epoch.
+		s.resetBlock(blockID)
+	}
 	w.shadow.Reset(stackSlots)
 	for r := 0; r < isa.MaxArchRegs; r++ {
 		if r < isa.FirstCalleeSaved {

@@ -65,7 +65,7 @@ func wantClean(t *testing.T, s *Sanitizer) {
 
 // startWarp begins a kernel warp with a CARS stack of the given size.
 func startWarp(s *Sanitizer, slots int) {
-	s.WarpStart(0, 0, slots, fullMask)
+	s.WarpStart(0, 0, 0, 0, slots, fullMask)
 }
 
 // enterLeaf walks warp 0 through a complete call into func 1 with one

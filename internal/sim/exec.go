@@ -167,6 +167,12 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 		w.SIMT.Advance()
 
 	case isa.OpLdS, isa.OpStS:
+		if mon != nil {
+			// Before execShared: a load's destination may alias its
+			// address register, so the addresses must be read first.
+			mon.SharedAccess(w.GWID, w.Block.ID, top.Func, pc,
+				in.Op == isa.OpStS, in.Spill, guard, w.reg(in.SrcA), in.Imm)
+		}
 		s.execShared(now, w, in, guard)
 		if mon != nil && in.Spill {
 			if in.Op == isa.OpStS {
@@ -262,10 +268,13 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 		w.SIMT.Advance()
 
 	case isa.OpBar:
-		s.execBarrier(now, w)
+		if mon != nil {
+			mon.Barrier(w.GWID, w.Block.ID, top.Func, pc, guard)
+		}
+		s.execBarrier(now, w, mon)
 
 	case isa.OpExit:
-		s.execExit(now, w)
+		s.execExit(now, w, mon)
 
 	default:
 		s.execFault(w, "unimplemented op %s", in.Op)
@@ -408,7 +417,7 @@ func (s *SM) indirectTarget(w *Warp, in *isa.Instruction, guard uint32) int {
 	return target
 }
 
-func (s *SM) execBarrier(now int64, w *Warp) {
+func (s *SM) execBarrier(now int64, w *Warp, mon Monitor) {
 	b := w.Block
 	w.AtBarrier = true
 	w.Wake = farFuture
@@ -420,12 +429,15 @@ func (s *SM) execBarrier(now int64, w *Warp) {
 	s.swlActivateSibling(now, b)
 	s.checkBarrierContextSwitch(now, w)
 	if b.BarrierArrived >= b.LiveWarps {
-		releaseBarrier(now, b)
+		releaseBarrier(now, b, mon)
 	}
 }
 
 // releaseBarrier unparks every warp waiting at the block's barrier.
-func releaseBarrier(now int64, b *Block) {
+func releaseBarrier(now int64, b *Block, mon Monitor) {
+	if mon != nil {
+		mon.BarrierRelease(b.ID)
+	}
 	b.BarrierArrived = 0
 	for _, bw := range b.Warps {
 		if bw.AtBarrier {
@@ -437,7 +449,7 @@ func releaseBarrier(now int64, b *Block) {
 	}
 }
 
-func (s *SM) execExit(now int64, w *Warp) {
+func (s *SM) execExit(now int64, w *Warp, mon Monitor) {
 	w.SIMT.Exit()
 	if !w.SIMT.Empty() {
 		return
@@ -448,7 +460,7 @@ func (s *SM) execExit(now int64, w *Warp) {
 	b.LiveWarps--
 	// A warp exiting may release a barrier its siblings wait at.
 	if b.LiveWarps > 0 && b.BarrierArrived >= b.LiveWarps {
-		releaseBarrier(now, b)
+		releaseBarrier(now, b, mon)
 	}
 	s.warpStatusCheck(now, w)
 	s.applySWL()

@@ -143,6 +143,10 @@ func (g *GPU) Run(launch isa.Launch) (st *stats.Kernel, err error) {
 	if launch.Dim.Block > g.Cfg.MaxThreadsPerSM {
 		return nil, fmt.Errorf("sim: block of %d threads exceeds SM capacity", launch.Dim.Block)
 	}
+	if launch.Dim.Block > isa.MaxBlockThreads {
+		return nil, fmt.Errorf("sim: block of %d threads exceeds the architectural limit of %d",
+			launch.Dim.Block, isa.MaxBlockThreads)
+	}
 	if g.San != nil && g.Cfg.WindowedStacks {
 		// Windowed stacks skip the PUSH/POP micro-ops and rename whole
 		// fixed-size windows, so the shadow stack's exact-FRU model

@@ -35,8 +35,14 @@ type RegVals func(r uint8) *[isa.WarpSize]uint32
 //     accesses with the transferred lane values.
 //   - TrapSlot fires once per register-stack slot the circular-stack
 //     trap moves between the rename arena and local memory.
+//   - SharedAccess fires before a shared-memory load or store commits,
+//     with the per-lane byte addresses (before the immediate offset is
+//     applied) and whether the access is ABI spill traffic.
+//   - Barrier fires when a warp arrives at BAR.SYNC, with its current
+//     active mask; BarrierRelease fires once when the whole block's
+//     barrier opens (including the degenerate release on warp exit).
 type Monitor interface {
-	WarpStart(gwid, fn, stackSlots int, active uint32)
+	WarpStart(gwid, blockID, wInBlock, fn, stackSlots int, active uint32)
 	RegRead(gwid, fn, pc int, op isa.Op, r uint8, lanes uint32)
 	RegWrite(gwid, fn, pc int, r uint8, lanes uint32)
 	CallBegin(gwid, fn, pc, callee, fru int, regs RegVals)
@@ -47,6 +53,9 @@ type Monitor interface {
 	SpillStore(gwid, fn, pc int, r uint8, off int32, lanes uint32, vals *[isa.WarpSize]uint32)
 	SpillFill(gwid, fn, pc int, r uint8, off int32, lanes uint32, vals *[isa.WarpSize]uint32)
 	TrapSlot(gwid int, fill bool, abs int, vals *[isa.WarpSize]uint32)
+	SharedAccess(gwid, blockID, fn, pc int, store, spill bool, lanes uint32, addrs *[isa.WarpSize]uint32, imm int32)
+	Barrier(gwid, blockID, fn, pc int, active uint32)
+	BarrierRelease(blockID int)
 }
 
 // monReads reports the instruction's register uses to the monitor

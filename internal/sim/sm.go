@@ -260,7 +260,7 @@ func (s *SM) loadParams(w *Warp) {
 	// admission or first register activation), never on context-switch
 	// resume, so it is the warp-birth event for the sanitizer.
 	if mon := s.gpu.San; mon != nil {
-		mon.WarpStart(w.GWID, s.gpu.kernelFunc, w.CStack.Slots, w.SIMT.Top().Mask)
+		mon.WarpStart(w.GWID, w.Block.ID, w.WInBlock, s.gpu.kernelFunc, w.CStack.Slots, w.SIMT.Top().Mask)
 	}
 }
 

@@ -38,3 +38,40 @@ func FuzzVet(f *testing.F) {
 		}
 	})
 }
+
+// FuzzUniformity targets the sync/race half of the verifier: the
+// uniformity dataflow, divergence taint, reconvergence checks, and the
+// affine race analysis must neither panic nor contradict themselves on
+// arbitrary control flow. Seeds cover the known-hard shapes: a
+// divergent barrier, a divergent exit followed by a barrier, a
+// same-word shared race, and a clean per-thread shared pattern.
+func FuzzUniformity(f *testing.F) {
+	// Barrier skipped by odd lanes: the canonical divergence crasher.
+	f.Add(".kernel k\nS2R R8, SR_LANEID\nANDI R9, R8, 1\nSETPI.NE P0, R9, 0\n@P0 BRA skip\nBAR.SYNC\nskip:\nEXIT\n")
+	// Divergent exit, then a barrier the dead lanes never reach.
+	f.Add(".kernel k\nS2R R8, SR_LANEID\nANDI R9, R8, 1\nSETPI.NE P0, R9, 0\n@!P0 BRA join\nEXIT\njoin:\nBAR.SYNC\nEXIT\n")
+	// Same-word shared store/load race across the whole block.
+	f.Add(".kernel k\nS2R R8, SR_TID\nMOVI R9, 0\nSTS [R9], R8\nLDS R10, [R9]\nEXIT\n")
+	// Clean twin: per-thread slots separated by a barrier.
+	f.Add(".kernel k\nS2R R8, SR_TID\nANDI R9, R8, 1023\nSHLI R9, R9, 2\nSTS [R9], R8\nBAR.SYNC\nLDS R10, [R9]\nEXIT\n")
+	// Uniform barrier in a loop, with the counter in shared memory.
+	f.Add(".kernel k\nMOVI R9, 0\nMOVI R10, 0\nloop:\nSTS [R9], R10\nBAR.SYNC\nIADDI R10, R10, 1\nSETPI.LT P0, R10, 4\n@P0 BRA loop\nEXIT\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := asm.ParseString(src)
+		if err != nil {
+			return
+		}
+		for _, mode := range abi.Modes {
+			p, err := abi.Link(mode, m)
+			if err != nil {
+				continue
+			}
+			rep := vet.Report(p)
+			for _, kr := range rep.Kernels {
+				if len(kr.RacePairs) > 0 && kr.RaceFree {
+					t.Fatalf("%s/%s: race pairs recorded but RaceFree=true", mode, kr.Kernel)
+				}
+			}
+		}
+	})
+}

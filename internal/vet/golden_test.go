@@ -23,13 +23,18 @@ const goldenPath = "testdata/workloads.golden"
 func renderReport(b *strings.Builder, rep *vet.ProgramReport) {
 	for i := range rep.Funcs {
 		f := &rep.Funcs[i]
-		fmt.Fprintf(b, "func %s kernel=%v saved=%d depth=%d spill=%d maxlive=%d\n",
-			f.Func, f.Kernel, f.CalleeSaved, f.MaxStackDepth, f.SpillBytes, f.MaxLive)
+		fmt.Fprintf(b, "func %s kernel=%v saved=%d depth=%d spill=%d maxlive=%d div=%d bars=%d\n",
+			f.Func, f.Kernel, f.CalleeSaved, f.MaxStackDepth, f.SpillBytes, f.MaxLive,
+			f.DivergentBranches, f.Barriers)
 	}
 	for i := range rep.Kernels {
 		k := &rep.Kernels[i]
-		fmt.Fprintf(b, "kernel %s slots=%d tight=%d budget=%d trap=%v\n",
-			k.Kernel, k.StackSlots, k.TightStackSlots, k.Budget, k.TrapReachable)
+		fmt.Fprintf(b, "kernel %s slots=%d tight=%d budget=%d trap=%v barriersafe=%v racefree=%v shared=%d\n",
+			k.Kernel, k.StackSlots, k.TightStackSlots, k.Budget, k.TrapReachable,
+			k.BarrierSafe, k.RaceFree, k.SharedAccesses)
+		for _, p := range k.RacePairs {
+			fmt.Fprintf(b, "  race %d~%d %s\n", p.First, p.Second, p.Kind)
+		}
 	}
 	for _, d := range rep.Diags {
 		fmt.Fprintf(b, "diag %s\n", d)

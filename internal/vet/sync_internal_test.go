@@ -1,0 +1,116 @@
+package vet
+
+import "testing"
+
+// laneVal returns the abstract value of SR_LANEID: 0 + 1*lane.
+func laneVal() aval { return aval{kind: avAffine, sym: symNone, cL: 1} }
+
+// tidVal returns the abstract block-local thread id: lane + 32*warp.
+func tidVal() aval { return aval{kind: avAffine, sym: symNone, cL: 1, cW: 32} }
+
+func TestAvalAlgebra(t *testing.T) {
+	cases := []struct {
+		name string
+		got  aval
+		want aval
+	}{
+		{"const+const", addVal(constVal(3), constVal(4)), constVal(7)},
+		{"lane+const keeps affinity", addVal(laneVal(), constVal(8)),
+			aval{kind: avAffine, sym: symNone, c0: 8, cL: 1}},
+		{"sym+const keeps base", addVal(symVal(symSpill), constVal(4)),
+			aval{kind: avAffine, sym: symSpill, c0: 4}},
+		{"sym+sym degrades", addVal(symVal(symSpill), symVal(symCTAID)), uniformVal()},
+		{"equal bases cancel", subVal(symVal(symCTAID), symVal(symCTAID)), constVal(0)},
+		{"tid*4 scales coefficients", mulVal(tidVal(), constVal(4)),
+			aval{kind: avAffine, sym: symNone, cL: 4, cW: 128}},
+		{"lane<<2 is lane*4", shlVal(laneVal(), constVal(2)),
+			aval{kind: avAffine, sym: symNone, cL: 4}},
+		{"top propagates", addVal(topVal(), constVal(1)), topVal()},
+		{"uniform absorbs const", addVal(uniformVal(), constVal(1)), uniformVal()},
+	}
+	for _, tc := range cases {
+		if tc.got != tc.want {
+			t.Errorf("%s: got %+v, want %+v", tc.name, tc.got, tc.want)
+		}
+	}
+	if !uniformVal().uniform() || !constVal(9).uniform() || laneVal().uniform() {
+		t.Error("uniform() classification wrong")
+	}
+}
+
+// TestAndValMask: AND with a pow2-1 mask is the identity only when the
+// operand's range provably fits under the mask. This is the exact rule
+// the corpus relies on (masking tid with smemWords-1).
+func TestAndValMask(t *testing.T) {
+	// lane in [0,31] fits under mask 31 and under 1023.
+	if got := andVal(laneVal(), constVal(31)); got != laneVal() {
+		t.Errorf("lane&31 = %+v, want identity", got)
+	}
+	// tid in [0,1023] does NOT fit under mask 127: must degrade to top.
+	if got := andVal(tidVal(), constVal(127)); got != topVal() {
+		t.Errorf("tid&127 = %+v, want top", got)
+	}
+	// tid in [0,1023] fits under MaxBlockThreads-1.
+	if got := andVal(tidVal(), constVal(1023)); got != tidVal() {
+		t.Errorf("tid&1023 = %+v, want identity", got)
+	}
+	// Non-pow2-1 mask degrades even when the range fits.
+	if got := andVal(laneVal(), constVal(30)); got != topVal() {
+		t.Errorf("lane&30 = %+v, want top", got)
+	}
+}
+
+// TestNormOverflow: coefficients at or beyond 2^31 abandon the affine
+// form instead of silently wrapping.
+func TestNormOverflow(t *testing.T) {
+	big := constVal(coeffLimit / 2)
+	if got := mulVal(big, constVal(4)); got != uniformVal() {
+		t.Errorf("overflowing const product = %+v, want uniform", got)
+	}
+	wide := aval{kind: avAffine, sym: symNone, cL: coeffLimit / 2}
+	if got := mulVal(wide, constVal(4)); got != topVal() {
+		t.Errorf("overflowing lane coefficient = %+v, want top", got)
+	}
+}
+
+func TestJoinVal(t *testing.T) {
+	if got := joinVal(constVal(5), constVal(5), true); got != constVal(5) {
+		t.Errorf("identical values across divergent join = %+v", got)
+	}
+	// Two different uniforms at a convergent join are still uniform...
+	if got := joinVal(constVal(1), constVal(2), false); got != uniformVal() {
+		t.Errorf("convergent join of consts = %+v, want uniform", got)
+	}
+	// ...but at a divergent join threads took different paths.
+	if got := joinVal(constVal(1), constVal(2), true); got != topVal() {
+		t.Errorf("divergent join of consts = %+v, want top", got)
+	}
+}
+
+func TestMayOverlap(t *testing.T) {
+	word := func(v aval) aval { return v } // addresses are byte values
+	cases := []struct {
+		name string
+		a, b aval
+		want bool
+	}{
+		{"same constant", constVal(0), constVal(0), true},
+		{"distinct words", constVal(0), constVal(4), false},
+		{"overlapping bytes", constVal(0), constVal(3), true},
+		{"tid*4 self is disjoint", word(mulVal(tidVal(), constVal(4))),
+			word(mulVal(tidVal(), constVal(4))), false},
+		{"lane*4 vs lane*4+4 shifted", word(mulVal(laneVal(), constVal(4))),
+			addVal(mulVal(laneVal(), constVal(4)), constVal(4)), true},
+		{"top is conservative", topVal(), constVal(0), true},
+		{"different bases conservative", symVal(symSpill), constVal(0), true},
+		{"spill base self disjoint by lane",
+			addVal(symVal(symSpill), mulVal(tidVal(), constVal(4))),
+			addVal(symVal(symSpill), mulVal(tidVal(), constVal(4))), false},
+		{"far intervals prefiltered", constVal(0), constVal(1 << 20), false},
+	}
+	for _, tc := range cases {
+		if got := mayOverlap(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: mayOverlap(%+v, %+v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -70,23 +70,26 @@ type Check string
 
 // The diagnostic taxonomy (see DESIGN.md §6).
 const (
-	CheckValidate     Check = "validate"         // isa.Program.Validate failed
-	CheckStructure    Check = "structure"        // malformed function shape
-	CheckUnreachable  Check = "unreachable"      // code no path reaches
-	CheckUninitRead   Check = "uninit-read"      // read-before-def
-	CheckDeadSpill    Check = "dead-spill"       // spill store never filled back
-	CheckSpillPair    Check = "spill-pairing"    // fill/store mismatch or bad slot
-	CheckCalleeSaved  Check = "callee-saved"     // clobbered or unrestored R16+
-	CheckStackBalance Check = "stack-balance"    // push/pop imbalance on a path
-	CheckPushRFP      Check = "pushrfp"          // call without PUSHRFP pairing
-	CheckModeMismatch Check = "mode-mismatch"    // op illegal under the ABI mode
-	CheckStackDepth   Check = "stack-depth"      // demand exceeds declared FRUs
-	CheckRecursion    Check = "recursion"        // unbounded stack (trap fallback)
-	CheckCallSite     Check = "call-site"        // call metadata inconsistent
-	CheckDeadSave     Check = "dead-save"        // save/restore of a never-touched reg
-	CheckOverPush     Check = "over-wide-push"   // PUSH window wider than referenced
-	CheckTrapPath     Check = "trap-unreachable" // spill trap statically dead
-	CheckLiveAcross   Check = "live-across"      // liveness-sharpened demand info
+	CheckValidate     Check = "validate"           // isa.Program.Validate failed
+	CheckStructure    Check = "structure"          // malformed function shape
+	CheckUnreachable  Check = "unreachable"        // code no path reaches
+	CheckUninitRead   Check = "uninit-read"        // read-before-def
+	CheckDeadSpill    Check = "dead-spill"         // spill store never filled back
+	CheckSpillPair    Check = "spill-pairing"      // fill/store mismatch or bad slot
+	CheckCalleeSaved  Check = "callee-saved"       // clobbered or unrestored R16+
+	CheckStackBalance Check = "stack-balance"      // push/pop imbalance on a path
+	CheckPushRFP      Check = "pushrfp"            // call without PUSHRFP pairing
+	CheckModeMismatch Check = "mode-mismatch"      // op illegal under the ABI mode
+	CheckStackDepth   Check = "stack-depth"        // demand exceeds declared FRUs
+	CheckRecursion    Check = "recursion"          // unbounded stack (trap fallback)
+	CheckCallSite     Check = "call-site"          // call metadata inconsistent
+	CheckDeadSave     Check = "dead-save"          // save/restore of a never-touched reg
+	CheckOverPush     Check = "over-wide-push"     // PUSH window wider than referenced
+	CheckTrapPath     Check = "trap-unreachable"   // spill trap statically dead
+	CheckLiveAcross   Check = "live-across"        // liveness-sharpened demand info
+	CheckBarrier      Check = "barrier-divergence" // BAR.SYNC some threads may skip
+	CheckReconv       Check = "reconvergence"      // SSY/SYNC stack malformed
+	CheckSharedRace   Check = "shared-race"        // unordered shared-memory conflict
 )
 
 // Diagnostic is one finding. Index is the instruction index within
@@ -191,14 +194,19 @@ type SiteReport struct {
 // (baseline/shared-spill), or -1 when a spill store sits on a loop
 // and the bound is unbounded.
 type FuncReport struct {
-	Func          string       `json:"func"`
-	Kernel        bool         `json:"kernel"`
-	CalleeSaved   int          `json:"calleeSaved"`
-	MaxStackDepth int          `json:"maxStackDepth"`
-	SpillBytes    int          `json:"spillBytes"`
-	MaxLive       int          `json:"maxLive"`
-	LiveRanges    []LiveRange  `json:"liveRanges,omitempty"`
-	CallSites     []SiteReport `json:"callSites,omitempty"`
+	Func          string `json:"func"`
+	Kernel        bool   `json:"kernel"`
+	CalleeSaved   int    `json:"calleeSaved"`
+	MaxStackDepth int    `json:"maxStackDepth"`
+	SpillBytes    int    `json:"spillBytes"`
+	MaxLive       int    `json:"maxLive"`
+	// DivergentBranches counts predicated branches the uniformity
+	// analysis could not prove block-uniform; Barriers counts BAR.SYNC
+	// instructions in the function body.
+	DivergentBranches int          `json:"divergentBranches"`
+	Barriers          int          `json:"barriers"`
+	LiveRanges        []LiveRange  `json:"liveRanges,omitempty"`
+	CallSites         []SiteReport `json:"callSites,omitempty"`
 }
 
 // KernelReport is the per-kernel call-graph summary under CARS.
@@ -213,6 +221,25 @@ type KernelReport struct {
 	TightStackSlots int    `json:"tightStackSlots"`
 	Budget          int    `json:"budget"`
 	TrapReachable   bool   `json:"trapReachable"`
+	// Synchronization verdicts (see DESIGN.md §8). BarrierSafe: every
+	// BAR.SYNC reachable from this kernel provably executes with all
+	// threads of the block arriving together. RaceFree: no two shared-
+	// memory accesses in the same barrier interval may touch the same
+	// word from distinct threads with a write involved. SharedAccesses
+	// counts user (non-spill) LDS/STS sites in the kernel body; every
+	// may-racing pair is listed in RacePairs.
+	BarrierSafe    bool       `json:"barrierSafe"`
+	RaceFree       bool       `json:"raceFree"`
+	SharedAccesses int        `json:"sharedAccesses"`
+	RacePairs      []RacePair `json:"racePairs,omitempty"`
+}
+
+// RacePair is one may-race between two shared-memory access sites
+// (instruction indices in the kernel), with Kind "w/w" or "r/w".
+type RacePair struct {
+	First  int    `json:"first"`
+	Second int    `json:"second"`
+	Kind   string `json:"kind"`
 }
 
 // ProgramReport bundles everything vet knows about a linked program:
@@ -357,6 +384,37 @@ func Report(p *isa.Program) *ProgramReport {
 		diags = append(diags, d...)
 		rep.Kernels = kernels
 	}
+
+	// Synchronization analyses: uniformity/divergence, barrier legality,
+	// SSY/SYNC well-formedness, shared-memory races (sync.go, race.go).
+	sp := newSyncLinked(p, mode)
+	sp.run()
+	verdicts := sp.analyzeRaces()
+	diags = append(diags, sp.diags...)
+	for fi := range rep.Funcs {
+		rep.Funcs[fi].DivergentBranches = sp.funcs[fi].divCount
+		rep.Funcs[fi].Barriers = sp.funcs[fi].barriers
+	}
+	// Kernel entries exist already under CARS (stack demand); other
+	// modes get name-sorted entries carrying only the sync verdicts.
+	if mode != modeCARS {
+		var names []string
+		for name := range verdicts {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			rep.Kernels = append(rep.Kernels, KernelReport{Kernel: name})
+		}
+	}
+	for i := range rep.Kernels {
+		if ks := verdicts[rep.Kernels[i].Kernel]; ks != nil {
+			rep.Kernels[i].BarrierSafe = ks.barrierSafe
+			rep.Kernels[i].RaceFree = ks.raceFree
+			rep.Kernels[i].SharedAccesses = ks.sharedAccesses
+			rep.Kernels[i].RacePairs = ks.racePairs
+		}
+	}
 	rep.Diags = Normalize(diags)
 	return rep
 }
@@ -380,5 +438,9 @@ func Modules(mods ...*kir.Module) []Diagnostic {
 			diags = append(diags, v.diags...)
 		}
 	}
+	sp := newSyncModules(mods)
+	sp.run()
+	sp.analyzeRaces()
+	diags = append(diags, sp.diags...)
 	return Normalize(diags)
 }

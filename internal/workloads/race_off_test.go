@@ -1,0 +1,6 @@
+//go:build !race
+
+package workloads_test
+
+// See race_on_test.go.
+const raceDetectorEnabled = false

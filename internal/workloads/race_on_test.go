@@ -1,0 +1,11 @@
+//go:build race
+
+package workloads_test
+
+// raceDetectorEnabled mirrors the build's -race flag so the
+// whole-suite simulation tests can bow out: race instrumentation
+// slows the simulator roughly tenfold, pushing the 22-workload
+// cross-product past any reasonable package time budget. Race
+// coverage of the simulator itself comes from the faster per-package
+// suites (internal/sim, internal/san, internal/trace).
+const raceDetectorEnabled = true

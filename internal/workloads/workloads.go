@@ -55,6 +55,22 @@ type Workload struct {
 	PaperCallDepth int
 	PaperCPKI      float64
 	SpeedupFactor  string
+
+	// Expect marks deliberately-broken workloads (the Negatives
+	// registry) with the defects both the static verifier and the
+	// dynamic sanitizer are required to flag. Zero for the Table I
+	// corpus, which must stay clean.
+	Expect Expect
+}
+
+// Expect lists the synchronization defects a negative workload carries.
+type Expect struct {
+	// SharedRace: vet must report the kernel not RaceFree and the
+	// sanitizer must observe at least one shared-memory race.
+	SharedRace bool
+	// BarrierDivergence: vet must report the kernel not BarrierSafe and
+	// the sanitizer must observe a barrier with a partial warp.
+	BarrierDivergence bool
 }
 
 // setOutput records the result region during Setup.
@@ -76,17 +92,38 @@ func (w *Workload) Output(g *sim.GPU) []uint32 {
 
 var registry []*Workload
 
+// negRegistry holds the deliberately-broken workloads exercised by the
+// negative differential harness (san.DiffNegatives). They are kept out
+// of All() so the Table I corpus invariants — every workload vets
+// clean in every mode — keep holding.
+var negRegistry []*Workload
+
 func register(w *Workload) *Workload {
 	registry = append(registry, w)
+	return w
+}
+
+func registerNegative(w *Workload) *Workload {
+	negRegistry = append(negRegistry, w)
 	return w
 }
 
 // All returns the 22 workloads in Table I order.
 func All() []*Workload { return registry }
 
-// ByName finds a workload.
+// Negatives returns the deliberately-broken synchronization workloads
+// plus their clean counterparts.
+func Negatives() []*Workload { return negRegistry }
+
+// ByName finds a workload, searching the Table I corpus first and the
+// negative registry second.
 func ByName(name string) (*Workload, error) {
 	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range negRegistry {
 		if w.Name == name {
 			return w, nil
 		}

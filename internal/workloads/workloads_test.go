@@ -57,6 +57,9 @@ func TestAllWorkloadsBaselineVsCARS(t *testing.T) {
 	if testing.Short() {
 		t.Skip("whole-suite transparency check skipped in -short mode")
 	}
+	if raceDetectorEnabled {
+		t.Skip("whole-suite simulation exceeds the race-detector time budget")
+	}
 	for _, w := range workloads.All() {
 		w := w
 		t.Run(w.Name, func(t *testing.T) {
@@ -101,6 +104,9 @@ func TestFIBComputesFibonacci(t *testing.T) {
 func TestLTOEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("LTO equivalence skipped in -short mode")
+	}
+	if raceDetectorEnabled {
+		t.Skip("whole-suite simulation exceeds the race-detector time budget")
 	}
 	for _, name := range []string{"SSSP", "COLI"} {
 		name := name
