@@ -28,11 +28,14 @@ lint:
 # dominate the observed dynamic behaviour, including the sync half —
 # kernels vet proved barrier-safe/race-free must run dynamically
 # silent, and the negative workloads (racy / barrier-divergent plus
-# clean twins) must be flagged by both sides or neither. Takes a few
-# minutes.
+# clean twins) must be flagged by both sides or neither. The perf
+# differential then holds the static cost/occupancy model to dominance
+# and exactness at every forced CARS level and bounds the watermark
+# advisor's regret. Takes a few minutes.
 san:
 	$(GO) run ./cmd/carsvet -diff
 	$(GO) run ./cmd/carsvet -diff examples/vetdemo/clean.carsasm
+	$(GO) run ./cmd/carsvet -perfdiff
 
 test:
 	$(GO) test ./...
@@ -45,9 +48,13 @@ test-short:
 experiments:
 	$(GO) run ./cmd/carsexp
 
-# The same experiments as benchmarks, with headline metrics.
+# The same experiments as benchmarks, with headline metrics, plus the
+# per-workload cycle/wall-time rows. -benchtime=1x: each simulation is
+# deterministic, so one iteration is the measurement. cmd/benchjson
+# tees the text stream and archives every row into BENCH_<date>.json
+# (cycles + wall time per workload) for the perf trajectory.
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson
 
 examples:
 	$(GO) run ./examples/quickstart

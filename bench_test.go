@@ -85,6 +85,32 @@ func benchExperimentCol(b *testing.B, id, metric string, col int) {
 	}
 }
 
+// BenchmarkWorkloadCycles runs every Table I workload under the
+// baseline and CARS configurations, one sub-benchmark per workload,
+// reporting the simulated cycle counts as custom metrics; the
+// benchmark's own ns/op is the workload's simulation wall time.
+// `make bench` pipes these rows through cmd/benchjson into
+// BENCH_<date>.json so the repo's perf trajectory has data points.
+func BenchmarkWorkloadCycles(b *testing.B) {
+	for _, w := range carsgo.Workloads() {
+		b.Run(w.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				base, err := carsgo.Run(carsgo.Baseline(), w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				crs, err := carsgo.Run(carsgo.CARS(), w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(base.Stats.Cycles), "base-cycles")
+				b.ReportMetric(float64(crs.Stats.Cycles), "cars-cycles")
+				b.ReportMetric(crs.Speedup(base), "speedup-x")
+			}
+		})
+	}
+}
+
 func BenchmarkFig01_Trends(b *testing.B) { benchExperiment(b, "fig1", "device-fns") }
 func BenchmarkFig02_AccessBreakdown(b *testing.B) {
 	benchExperimentCol(b, "fig2", "avg-spill-%", 1)

@@ -1,0 +1,138 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// snapshot for the repo's perf trajectory. It reads the benchmark
+// stream on stdin, echoes it through to stdout unchanged, and writes
+// every parsed benchmark row — iterations, wall time per op, and all
+// custom metrics (simulated cycles, speedups, …) — to the output file:
+//
+//	go test -bench=. -benchtime=1x | go run ./cmd/benchjson
+//
+// The default output name is BENCH_<date>.json (see `make bench`); CI
+// uploads it as a non-blocking artifact so regressions in simulated
+// cycles or harness wall time are visible across commits.
+//
+// Exit status 1 when no benchmark rows were found (a broken pipeline
+// would otherwise silently archive an empty snapshot), 2 on I/O or
+// flag errors.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// schemaVersion identifies the snapshot layout; bump on any
+// field rename or semantic change so trajectory tooling can dispatch.
+const schemaVersion = 1
+
+// Benchmark is one parsed `go test -bench` result row.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix trimmed,
+	// e.g. "WorkloadCycles/MST".
+	Name       string `json:"name"`
+	Iterations int64  `json:"iterations"`
+	// NsPerOp is the measured wall time per iteration.
+	NsPerOp float64 `json:"nsPerOp"`
+	// Metrics holds every other "value unit" pair on the row: the
+	// standard B/op and allocs/op plus custom metrics like base-cycles.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Snapshot is the BENCH_<date>.json document.
+type Snapshot struct {
+	SchemaVersion int         `json:"schemaVersion"`
+	Date          string      `json:"date"`
+	GoVersion     string      `json:"goVersion"`
+	GOOS          string      `json:"goos"`
+	GOARCH        string      `json:"goarch"`
+	Benchmarks    []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one benchmark output row, e.g.
+//
+//	BenchmarkWorkloadCycles/MST-8  1  512345 ns/op  522123 base-cycles
+//
+// and reports ok=false for any non-benchmark line.
+func parseLine(line string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	name := strings.TrimPrefix(f[0], "Benchmark")
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i] // trim the -GOMAXPROCS suffix
+		}
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		if unit := f[i+1]; unit == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			if b.Metrics == nil {
+				b.Metrics = make(map[string]float64)
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, true
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
+	flag.Parse()
+	date := time.Now().Format("2006-01-02")
+	path := *out
+	if path == "" {
+		path = "BENCH_" + date + ".json"
+	}
+
+	snap := Snapshot{
+		SchemaVersion: schemaVersion,
+		Date:          date,
+		GoVersion:     runtime.Version(),
+		GOOS:          runtime.GOOS,
+		GOARCH:        runtime.GOARCH,
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the human-readable stream visible
+		if b, ok := parseLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: read:", err)
+		os.Exit(2)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark rows on stdin; refusing to write an empty snapshot")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(&snap, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(2)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson: write:", err)
+		os.Exit(2)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmark(s) to %s\n", len(snap.Benchmarks), path)
+}

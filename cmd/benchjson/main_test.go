@@ -1,0 +1,63 @@
+package main
+
+import "testing"
+
+func TestParseLine(t *testing.T) {
+	cases := []struct {
+		name string
+		line string
+		ok   bool
+		want Benchmark
+	}{
+		{
+			name: "workload row with custom metrics",
+			line: "BenchmarkWorkloadCycles/MST-8  \t       1\t  512345678 ns/op\t    522123 base-cycles\t    247873 cars-cycles",
+			ok:   true,
+			want: Benchmark{
+				Name: "WorkloadCycles/MST", Iterations: 1, NsPerOp: 512345678,
+				Metrics: map[string]float64{"base-cycles": 522123, "cars-cycles": 247873},
+			},
+		},
+		{
+			name: "benchmem row",
+			line: "BenchmarkFig08_Performance-8   2   600000000 ns/op   1.26 cars-geomean-x   1024 B/op   3 allocs/op",
+			ok:   true,
+			want: Benchmark{
+				Name: "Fig08_Performance", Iterations: 2, NsPerOp: 6e8,
+				Metrics: map[string]float64{"cars-geomean-x": 1.26, "B/op": 1024, "allocs/op": 3},
+			},
+		},
+		{
+			name: "name containing a dash keeps it",
+			line: "BenchmarkX/sub-case-4   1   10 ns/op",
+			ok:   true,
+			want: Benchmark{Name: "X/sub-case", Iterations: 1, NsPerOp: 10},
+		},
+		{name: "header line", line: "goos: linux", ok: false},
+		{name: "pass line", line: "PASS", ok: false},
+		{name: "definition line", line: "BenchmarkFoo", ok: false},
+		{name: "non-numeric iterations", line: "BenchmarkFoo-8 x 10 ns/op", ok: false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, ok := parseLine(c.line)
+			if ok != c.ok {
+				t.Fatalf("ok = %v, want %v", ok, c.ok)
+			}
+			if !ok {
+				return
+			}
+			if got.Name != c.want.Name || got.Iterations != c.want.Iterations || got.NsPerOp != c.want.NsPerOp {
+				t.Errorf("got %+v, want %+v", got, c.want)
+			}
+			if len(got.Metrics) != len(c.want.Metrics) {
+				t.Fatalf("metrics %v, want %v", got.Metrics, c.want.Metrics)
+			}
+			for k, v := range c.want.Metrics {
+				if got.Metrics[k] != v {
+					t.Errorf("metric %s = %v, want %v", k, got.Metrics[k], v)
+				}
+			}
+		})
+	}
+}

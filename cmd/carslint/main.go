@@ -8,7 +8,10 @@
 //   - uncheckedsimerror: the packages that launch programs or link
 //     modules (internal/san, internal/workloads, internal/experiments,
 //     cmd/carsvet, cmd/carsim), where a discarded GPU.Run or abi.Link
-//     error hides faults.
+//     error hides faults;
+//   - unusedmonitorhook: internal/san and internal/sim, where an
+//     empty-bodied sim.Monitor hook silently swallows part of the
+//     event stream the sanitizer's invariants depend on.
 //
 // Pass directories to run every analyzer over those instead.
 //
@@ -33,6 +36,7 @@ var checks = []struct {
 		"internal/san", "internal/workloads", "internal/experiments",
 		"cmd/carsvet", "cmd/carsim",
 	}},
+	{lint.UnusedMonitorHook, []string{"internal/san", "internal/sim"}},
 }
 
 func main() {

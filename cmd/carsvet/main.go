@@ -14,11 +14,21 @@
 //	carsvet -race kernel.s            # statically-detected race pairs
 //	carsvet -diff                     # static/dynamic differential harness
 //	carsvet -diff kernel.s            # ... on a file, via a smoke launch
+//	carsvet -perf -workloads          # static cost/occupancy/advice tables
+//	carsvet -perfdiff                 # perf differential vs the simulator
+//	carsvet -perfdiff -regret 0.5 MST # ... named workloads, custom regret
 //
 // -json emits the full vet.ProgramReport for every vetted unit —
 // per-function MaxStackDepth/SpillBytes/live ranges, per-kernel stack
-// demand, and the normalized diagnostics — as a JSON array with stable
-// field order.
+// demand, cost bounds, occupancy rows, advice, and the normalized
+// diagnostics — wrapped in a versioned envelope with stable field
+// order:
+//
+//	{"schemaVersion": 1, "units": [...]}     // vet reports
+//	{"schemaVersion": 1, "perf": [...]}      // -perfdiff results
+//
+// The schemaVersion field is bumped whenever a field is renamed,
+// removed, or changes meaning; adding fields is not a bump.
 //
 // -sync prints each kernel's synchronization verdicts — BarrierSafe
 // (every reachable BAR.SYNC provably executes convergently) and
@@ -31,13 +41,32 @@
 // the observed dynamic behaviour (built-in workloads by default, or
 // the given files under a smoke launch), then runs the deliberately-
 // broken negative workloads, which must be flagged by BOTH the static
-// verifier and the sanitizer. Exit status 1 if any sanitizer
-// diagnostic, dominance violation, or missed negative surfaces.
+// verifier and the sanitizer.
+//
+// -perf attaches the static performance analysis to every vetted unit:
+// interprocedural spill/traffic cost bounds, the per-CARS-level
+// occupancy table for the unit's launch geometry (each workload's own
+// launches; a smoke launch for files), and the watermark advisor's
+// recommendation with its rationale.
+//
+// -perfdiff runs the perf differential (internal/san): every workload
+// × ABI mode is executed at every CARS ladder level with the shadow
+// sanitizer attached, and the run fails if the static occupancy model
+// misses the measured opening-wave residency, a finite cost bound is
+// exceeded dynamically, or the advisor's recommended level loses to
+// the best measured level by more than -regret.
 //
 // Inputs are sniffed, not judged by extension: files starting with the
 // "CARS" magic are binary images, anything else is assembly text.
-// Exit status is 0 when everything vets clean (no errors or warnings),
-// 1 otherwise.
+//
+// Exit status is part of the contract:
+//
+//	0 — everything vetted clean / every differential invariant held
+//	1 — findings: diagnostics at warning or above, sanitizer reports,
+//	    dominance or exactness violations, advisor regret, or a missed
+//	    negative
+//	2 — internal errors: unusable flags, unreadable inputs, or a
+//	    harness failure that prevented the analysis from running
 package main
 
 import (
@@ -46,6 +75,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"carsgo/internal/abi"
@@ -62,7 +92,19 @@ var (
 	jsonOut bool
 	syncOut bool
 	raceOut bool
+	perfOut bool
 )
+
+// schemaVersion is the -json envelope version: bumped whenever a field
+// is renamed, removed, or changes meaning (additions are not bumps).
+const schemaVersion = 1
+
+// jsonDoc is the -json envelope.
+type jsonDoc struct {
+	SchemaVersion int               `json:"schemaVersion"`
+	Units         []jsonUnit        `json:"units,omitempty"`
+	Perf          []*san.PerfResult `json:"perf,omitempty"`
+}
 
 // jsonUnit is one vetted unit in -json output. Field order is the
 // stable output contract.
@@ -76,13 +118,20 @@ type jsonUnit struct {
 
 var units []jsonUnit
 
+// internalErr marks a non-finding failure (unreadable input) for the
+// exit-status contract: 0 clean, 1 findings, 2 internal error.
+var internalErr bool
+
 func main() {
 	mode := flag.String("mode", "all", "ABI mode for assembly inputs: baseline, cars, smem, or all")
 	wl := flag.Bool("workloads", false, "vet the paper's built-in workloads in every ABI mode")
 	jsonFlag := flag.Bool("json", false, "emit machine-readable vet reports as JSON")
 	diff := flag.Bool("diff", false, "run the static/dynamic differential harness under the shadow sanitizer")
+	perfDiff := flag.Bool("perfdiff", false, "run the perf differential: occupancy exactness, cost dominance, advisor regret")
+	regret := flag.Float64("regret", san.DefaultRegret, "advisor regret threshold for -perfdiff")
 	flag.BoolVar(&syncOut, "sync", false, "print per-kernel synchronization verdicts (barrier safety, race freedom)")
 	flag.BoolVar(&raceOut, "race", false, "print every statically-detected shared-memory race pair")
+	flag.BoolVar(&perfOut, "perf", false, "attach the static cost/occupancy/advice analysis to every vetted unit")
 	flag.Parse()
 	jsonOut = *jsonFlag
 
@@ -93,6 +142,9 @@ func main() {
 	}
 	if *diff {
 		os.Exit(runDiff(flag.Args()))
+	}
+	if *perfDiff {
+		os.Exit(runPerfDiff(flag.Args(), *regret))
 	}
 	if !*wl && flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "carsvet: no inputs (pass files or -workloads)")
@@ -107,16 +159,48 @@ func main() {
 		dirty = vetFile(path, modes) || dirty
 	}
 	if jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(units); err != nil {
-			fmt.Fprintln(os.Stderr, "carsvet:", err)
-			os.Exit(2)
-		}
+		emitJSON(jsonDoc{SchemaVersion: schemaVersion, Units: units})
+	}
+	if internalErr {
+		os.Exit(2)
 	}
 	if dirty {
 		os.Exit(1)
 	}
+}
+
+// emitJSON writes the versioned envelope to stdout.
+func emitJSON(doc jsonDoc) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "carsvet:", err)
+		os.Exit(2)
+	}
+}
+
+// runPerfDiff executes the perf differential over the named workloads
+// (all of them when none are named) and reports via text or JSON.
+func runPerfDiff(names []string, regret float64) int {
+	out := io.Writer(os.Stdout)
+	if jsonOut {
+		out = io.Discard
+	}
+	results, ok, err := san.PerfDiffWorkloads(names, regret, out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsvet:", err)
+		return 2
+	}
+	if jsonOut {
+		emitJSON(jsonDoc{SchemaVersion: schemaVersion, Perf: results})
+	}
+	if !ok {
+		return 1
+	}
+	if !jsonOut {
+		fmt.Println("perf differential: static occupancy exact, cost bounds dominate, advisor within regret")
+	}
+	return 0
 }
 
 // runDiff executes the differential harness: built-in workloads when
@@ -254,7 +338,66 @@ func emit(label, mode string, prog *isa.Program, rep *vet.ProgramReport, linkErr
 	if syncOut || raceOut {
 		syncReport(tag, rep)
 	}
+	if perfOut {
+		perfReport(tag, rep)
+	}
 	return dirty
+}
+
+// attachPerf runs the static perf analysis for one linked unit against
+// the given launch geometry, attaching cost bounds, occupancy rows,
+// and advice to rep's kernel reports (where -json picks them up).
+func attachPerf(tag string, prog *isa.Program, rep *vet.ProgramReport, mode abi.Mode,
+	setup func(*sim.GPU) ([]isa.Launch, error)) bool {
+	cfg := san.ConfigFor(mode)
+	g, err := sim.New(cfg, prog)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "carsvet: %s: %v\n", tag, err)
+		return true
+	}
+	launches, err := setup(g)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "carsvet: %s: %v\n", tag, err)
+		return true
+	}
+	if err := vet.AnalyzePerf(rep, prog, san.MachineParamsFor(cfg), san.Shapes(launches)); err != nil {
+		fmt.Fprintf(os.Stderr, "carsvet: %s: %v\n", tag, err)
+		return true
+	}
+	return false
+}
+
+// smokeSetup adapts a file's smoke launch to the setup signature.
+func smokeSetup(prog *isa.Program) func(*sim.GPU) ([]isa.Launch, error) {
+	return func(*sim.GPU) ([]isa.Launch, error) {
+		l, err := san.SmokeLaunch(prog)
+		if err != nil {
+			return nil, err
+		}
+		return []isa.Launch{l}, nil
+	}
+}
+
+// perfReport prints the static performance analysis (-perf) for every
+// kernel in the unit: cost bounds, the occupancy ladder, and the
+// advisor's recommendation.
+func perfReport(tag string, rep *vet.ProgramReport) {
+	for i := range rep.Kernels {
+		k := &rep.Kernels[i]
+		if k.Perf == nil {
+			continue
+		}
+		c := k.Perf.Cost
+		fmt.Printf("%s: perf %s cost: spill-stores %s, spill-fills %s, local %sB, shared %sB\n",
+			tag, k.Kernel, c.SpillStores.Sym, c.SpillFills.Sym, c.LocalBytes.Sym, c.SharedBytes.Sym)
+		for _, o := range k.Perf.Occupancy {
+			fmt.Printf("%s: perf %s level %-6s stack=%-4d regs=%-4d blocks=%-2d resident=%-3d limited-by=%s\n",
+				tag, k.Kernel, o.Level, o.StackSlots, o.RegsPerWarp, o.Blocks, o.ResidentWarps, o.LimitedBy)
+		}
+		if a := k.Perf.Advice; a != nil {
+			fmt.Printf("%s: perf %s advice: %s (%s)\n", tag, k.Kernel, a.Level, a.Reason)
+		}
+	}
 }
 
 // syncReport prints the per-kernel synchronization verdicts (-sync)
@@ -296,8 +439,11 @@ func dirtyDiags(diags []vet.Diagnostic) bool {
 func vetFile(path string, modes []abi.Mode) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
+		// Not a finding about the program — an unreadable input is an
+		// internal error under the exit-status contract.
 		fmt.Fprintln(os.Stderr, "carsvet:", err)
-		return true
+		internalErr = true
+		return false
 	}
 	if bytes.HasPrefix(raw, binfmt.Magic[:]) {
 		prog, err := binfmt.Read(bytes.NewReader(raw))
@@ -305,7 +451,16 @@ func vetFile(path string, modes []abi.Mode) bool {
 			fmt.Printf("%s: %v\n", path, err)
 			return true
 		}
-		return emit(path, "", prog, vet.Report(prog), nil)
+		rep := vet.Report(prog)
+		dirty := false
+		if perfOut {
+			m := abi.Baseline
+			if prog.CARS {
+				m = abi.CARS
+			}
+			dirty = attachPerf(path, prog, rep, m, smokeSetup(prog))
+		}
+		return emit(path, "", prog, rep, nil) || dirty
 	}
 
 	m, err := asm.ParseString(string(raw))
@@ -320,7 +475,11 @@ func vetFile(path string, modes []abi.Mode) bool {
 			dirty = emit(path, mode.String(), nil, nil, err) || dirty
 			continue
 		}
-		dirty = emit(path, mode.String(), prog, vet.Report(prog), nil) || dirty
+		rep := vet.Report(prog)
+		if perfOut {
+			dirty = attachPerf(fmt.Sprintf("%s [%s]", path, mode), prog, rep, mode, smokeSetup(prog)) || dirty
+		}
+		dirty = emit(path, mode.String(), prog, rep, nil) || dirty
 	}
 	return dirty
 }
@@ -342,7 +501,11 @@ func vetWorkloads(modes []abi.Mode) bool {
 				dirty = emit(w.Name, mode.String(), nil, nil, err) || dirty
 				continue
 			}
-			dirty = emit(w.Name, mode.String(), prog, vet.Report(prog), nil) || dirty
+			rep := vet.Report(prog)
+			if perfOut {
+				dirty = attachPerf(fmt.Sprintf("%s [%s]", w.Name, mode), prog, rep, mode, w.Setup) || dirty
+			}
+			dirty = emit(w.Name, mode.String(), prog, rep, nil) || dirty
 		}
 	}
 	if !dirty && !jsonOut {

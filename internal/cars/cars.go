@@ -93,11 +93,33 @@ func NewPlan(a *callgraph.Analysis, maxWarpsOther, regSlotsPerSM int) *Plan {
 	if high < low {
 		high = low
 	}
-	p.Levels = append(p.Levels, Level{Kind: KindLow, N: 1, StackSlots: low})
-	for n := 2; low*n < high; n *= 2 {
-		p.Levels = append(p.Levels, Level{Kind: KindNxLow, N: n, StackSlots: low * n})
+	// A warp can never own more than the register file: cap High at the
+	// capacity left beyond the kernel base. Cyclic graphs already assume
+	// one iteration, but a deep acyclic chain can still overshoot.
+	if regSlotsPerSM > 0 {
+		if maxStack := regSlotsPerSM - a.KernelBase; high > maxStack {
+			if maxStack < low {
+				maxStack = low
+			}
+			high = maxStack
+		}
 	}
-	p.Levels = append(p.Levels, Level{Kind: KindHigh, StackSlots: high})
+	if high == low {
+		// Degenerate ladder (call-free kernels, single-frame recursion):
+		// Low and High coincide, so emit the single High design point
+		// rather than two levels with identical allocations.
+		p.Levels = []Level{{Kind: KindHigh, StackSlots: high}}
+	} else {
+		p.Levels = append(p.Levels, Level{Kind: KindLow, N: 1, StackSlots: low})
+		if low > 0 {
+			// The N× sequence stops strictly below High: low*n == high
+			// would duplicate the High allocation under an NxLow name.
+			for n := 2; low*n < high; n *= 2 {
+				p.Levels = append(p.Levels, Level{Kind: KindNxLow, N: n, StackSlots: low * n})
+			}
+		}
+		p.Levels = append(p.Levels, Level{Kind: KindHigh, StackSlots: high})
+	}
 
 	if maxWarpsOther > 0 {
 		minRegsPerWarp := regSlotsPerSM / maxWarpsOther

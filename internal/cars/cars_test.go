@@ -1,10 +1,11 @@
-package cars
+package cars_test
 
 import (
 	"testing"
 
 	"carsgo/internal/abi"
 	"carsgo/internal/callgraph"
+	"carsgo/internal/cars"
 	"carsgo/internal/kir"
 )
 
@@ -46,7 +47,7 @@ func fname(i int) string {
 
 func TestPlanLadder(t *testing.T) {
 	a := buildChain(t, 9, 5, 3) // FRUs 10, 6, 4
-	p := NewPlan(a, 64, 2048)
+	p := cars.NewPlan(a, 64, 2048)
 	if p.MaxFRU != 10 {
 		t.Fatalf("MaxFRU = %d", p.MaxFRU)
 	}
@@ -64,7 +65,7 @@ func TestPlanLadder(t *testing.T) {
 		}
 		prev = l.StackSlots
 	}
-	if p.Levels[len(p.Levels)-1].Kind != KindHigh {
+	if p.Levels[len(p.Levels)-1].Kind != cars.KindHigh {
 		t.Fatal("ladder must end at High")
 	}
 }
@@ -73,13 +74,13 @@ func TestPlanHighFree(t *testing.T) {
 	a := buildChain(t, 3, 2)
 	// Other limits allow only 8 warps; 2048/8 = 256 regs per warp, far
 	// above the High demand: High is free.
-	p := NewPlan(a, 8, 2048)
+	p := cars.NewPlan(a, 8, 2048)
 	if !p.HighFree {
 		t.Fatal("HighFree should hold with register space to spare")
 	}
 	// With 64 warps the math tightens: 2048/64 = 32 < base+high.
 	a2 := buildChain(t, 40, 40)
-	p2 := NewPlan(a2, 64, 2048)
+	p2 := cars.NewPlan(a2, 64, 2048)
 	if p2.HighFree {
 		t.Fatal("HighFree should not hold")
 	}
@@ -87,16 +88,16 @@ func TestPlanHighFree(t *testing.T) {
 
 func TestNearestLevel(t *testing.T) {
 	a := buildChain(t, 4, 4, 4, 4, 4, 4) // deep chain: ladder has NxLows
-	p := NewPlan(a, 64, 2048)
-	if got := p.NearestLevel(Level{Kind: KindHigh}); got != len(p.Levels)-1 {
+	p := cars.NewPlan(a, 64, 2048)
+	if got := p.NearestLevel(cars.Level{Kind: cars.KindHigh}); got != len(p.Levels)-1 {
 		t.Fatalf("NearestLevel(High) = %d", got)
 	}
-	if got := p.NearestLevel(Level{Kind: KindLow, N: 1}); got != 0 {
+	if got := p.NearestLevel(cars.Level{Kind: cars.KindLow, N: 1}); got != 0 {
 		t.Fatalf("NearestLevel(Low) = %d", got)
 	}
 	// A multiplier that merged away resolves to the closest stack size.
-	got := p.NearestLevel(Level{Kind: KindNxLow, N: 16})
-	want := p.NearestLevel(Level{Kind: KindHigh})
+	got := p.NearestLevel(cars.Level{Kind: cars.KindNxLow, N: 16})
+	want := p.NearestLevel(cars.Level{Kind: cars.KindHigh})
 	if p.Levels[got].StackSlots > p.Levels[want].StackSlots {
 		t.Fatalf("NearestLevel(16xLow) = %d beyond High", got)
 	}
@@ -104,10 +105,10 @@ func TestNearestLevel(t *testing.T) {
 
 func TestControllerSplitsAndConverges(t *testing.T) {
 	a := buildChain(t, 40, 40, 40)
-	p := NewPlan(a, 64, 2048)
-	ctl := NewController()
+	p := cars.NewPlan(a, 64, 2048)
+	ctl := cars.NewController()
 	ks := ctl.Launch("k", p)
-	pol := AdaptivePolicy()
+	pol := cars.AdaptivePolicy()
 
 	hi := len(p.Levels) - 1
 	if ks.InitialLevel(0, pol) != 0 || ks.InitialLevel(1, pol) != hi {
@@ -135,9 +136,9 @@ func TestControllerSplitsAndConverges(t *testing.T) {
 
 func TestControllerPrefersLow(t *testing.T) {
 	a := buildChain(t, 40, 40, 40)
-	p := NewPlan(a, 64, 2048)
-	ks := NewController().Launch("k", p)
-	pol := AdaptivePolicy()
+	p := cars.NewPlan(a, 64, 2048)
+	ks := cars.NewController().Launch("k", p)
+	pol := cars.AdaptivePolicy()
 	hi := len(p.Levels) - 1
 	for i := 0; i < 4; i++ {
 		ks.Record(0, 2000, 8)  // Low: cost 250
@@ -153,9 +154,9 @@ func TestControllerPrefersLow(t *testing.T) {
 
 func TestForcedPolicyPins(t *testing.T) {
 	a := buildChain(t, 40, 40, 40)
-	p := NewPlan(a, 64, 2048)
-	ks := NewController().Launch("k", p)
-	pol := ForcedPolicy(Level{Kind: KindHigh})
+	p := cars.NewPlan(a, 64, 2048)
+	ks := cars.NewController().Launch("k", p)
+	pol := cars.ForcedPolicy(cars.Level{Kind: cars.KindHigh})
 	hi := len(p.Levels) - 1
 	if ks.InitialLevel(3, pol) != hi {
 		t.Fatal("forced High ignored")
@@ -169,12 +170,12 @@ func TestForcedPolicyPins(t *testing.T) {
 
 func TestHighFreeAlwaysHigh(t *testing.T) {
 	a := buildChain(t, 2, 2)
-	p := NewPlan(a, 4, 2048)
+	p := cars.NewPlan(a, 4, 2048)
 	if !p.HighFree {
 		t.Skip("plan unexpectedly tight")
 	}
-	ks := NewController().Launch("k", p)
-	pol := AdaptivePolicy()
+	ks := cars.NewController().Launch("k", p)
+	pol := cars.AdaptivePolicy()
 	for sm := 0; sm < 8; sm++ {
 		if got := ks.InitialLevel(sm, pol); got != len(p.Levels)-1 {
 			t.Fatalf("SM %d initial level %d, want High", sm, got)
@@ -201,7 +202,7 @@ func TestCyclicPlan(t *testing.T) {
 	if !a.Cyclic {
 		t.Fatal("recursion not detected")
 	}
-	p := NewPlan(a, 64, 2048)
+	p := cars.NewPlan(a, 64, 2048)
 	if !p.Cyclic {
 		t.Fatal("plan must mark cyclic graphs")
 	}
@@ -211,22 +212,142 @@ func TestCyclicPlan(t *testing.T) {
 	}
 }
 
+func TestPlanEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		saved     []int
+		warps     int
+		regSlots  int
+		wantSlots []int // ladder StackSlots, in order
+		wantHigh  int
+	}{
+		{
+			// low == high: a single-call kernel where Low already covers
+			// the whole demand must not emit a duplicate Low/High pair.
+			name: "lowEqualsHigh", saved: []int{9},
+			warps: 64, regSlots: 2048,
+			wantSlots: []int{10}, wantHigh: 10,
+		},
+		{
+			// No calls at all: both watermarks are zero; one High level.
+			name: "callFree", saved: nil,
+			warps: 64, regSlots: 2048,
+			wantSlots: []int{0}, wantHigh: 0,
+		},
+		{
+			// low*2 == high: the N× sequence must stop exactly at High
+			// with no 2xLow duplicate of the same allocation.
+			name: "doubleLandsOnHigh", saved: []int{9, 9},
+			warps: 64, regSlots: 2048,
+			wantSlots: []int{10, 20}, wantHigh: 20,
+		},
+		{
+			// Deep chain overshooting the register file: High caps at
+			// capacity minus the kernel base, and NxLow points at or
+			// above the cap are dropped.
+			name: "capacityCap", saved: []int{39, 39, 39, 39, 39, 39},
+			warps: 64, regSlots: 128,
+			wantHigh: -1, // computed below: regSlots - base
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := buildChain(t, tc.saved...)
+			p := cars.NewPlan(a, tc.warps, tc.regSlots)
+			if tc.wantHigh == -1 {
+				tc.wantHigh = tc.regSlots - a.KernelBase
+			}
+			if got := p.HighLevel().StackSlots; got != tc.wantHigh {
+				t.Fatalf("High stack = %d, want %d (levels %+v)", got, tc.wantHigh, p.Levels)
+			}
+			if tc.wantSlots != nil {
+				if len(p.Levels) != len(tc.wantSlots) {
+					t.Fatalf("ladder %+v, want slots %v", p.Levels, tc.wantSlots)
+				}
+				for i, want := range tc.wantSlots {
+					if p.Levels[i].StackSlots != want {
+						t.Fatalf("level %d slots = %d, want %d", i, p.Levels[i].StackSlots, want)
+					}
+				}
+			}
+			// Invariants for every plan: strictly ascending allocations
+			// (no duplicates) and a High terminator within capacity.
+			for i := 1; i < len(p.Levels); i++ {
+				if p.Levels[i].StackSlots <= p.Levels[i-1].StackSlots {
+					t.Fatalf("ladder has duplicate/descending point: %+v", p.Levels)
+				}
+			}
+			if p.Levels[len(p.Levels)-1].Kind != cars.KindHigh {
+				t.Fatalf("ladder must end at High: %+v", p.Levels)
+			}
+			if a.KernelBase+p.HighLevel().StackSlots > tc.regSlots {
+				t.Fatalf("High exceeds register file: base %d + %d > %d",
+					a.KernelBase, p.HighLevel().StackSlots, tc.regSlots)
+			}
+		})
+	}
+}
+
+func TestCyclicPlanCapsAtCapacity(t *testing.T) {
+	// Mutual recursion: one assumed iteration puts both frames on the
+	// stack, so High exceeds Low and a small register file forces the
+	// capacity cap to bind between them.
+	m := &kir.Module{Name: "m"}
+	k := kir.NewKernel("k")
+	k.MovI(4, 3).Call("even").Exit()
+	m.AddFunc(k.MustBuild())
+	even := kir.NewFunc("even").SetCalleeSaved(30)
+	even.Mov(16, 4).Call("odd").Ret()
+	m.AddFunc(even.MustBuild())
+	odd := kir.NewFunc("odd").SetCalleeSaved(40)
+	odd.Mov(16, 4).Call("even").Ret()
+	m.AddFunc(odd.MustBuild())
+	prog, err := abi.Link(abi.CARS, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := callgraph.Analyze(prog, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := a.StackSlots(a.LowWatermark())
+	high := a.StackSlots(a.HighWatermark())
+	if high <= low {
+		t.Fatalf("test premise broken: high %d must exceed low %d", high, low)
+	}
+	// A file that holds base+low but not base+high: High caps at
+	// capacity while still marking the graph cyclic.
+	regSlots := a.KernelBase + low + (high-low)/2
+	p := cars.NewPlan(a, 64, regSlots)
+	if !p.Cyclic {
+		t.Fatal("plan must mark cyclic graphs")
+	}
+	if got := p.HighLevel().StackSlots; a.KernelBase+got > regSlots {
+		t.Fatalf("cyclic High %d overflows the %d-slot file (base %d)", got, regSlots, a.KernelBase)
+	}
+	if got := p.HighLevel().StackSlots; got < low {
+		// Never below one frame: EnsureSpace faults on a frame that
+		// cannot fit the hardware stack at all.
+		t.Fatalf("High %d below the single-frame floor %d", got, low)
+	}
+}
+
 func TestLevelNames(t *testing.T) {
-	if (Level{Kind: KindLow, N: 1}).Name() != "Low" {
+	if (cars.Level{Kind: cars.KindLow, N: 1}).Name() != "Low" {
 		t.Error("Low name")
 	}
-	if (Level{Kind: KindNxLow, N: 4}).Name() != "4xLow" {
+	if (cars.Level{Kind: cars.KindNxLow, N: 4}).Name() != "4xLow" {
 		t.Error("NxLow name")
 	}
-	if (Level{Kind: KindHigh}).Name() != "High" {
+	if (cars.Level{Kind: cars.KindHigh}).Name() != "High" {
 		t.Error("High name")
 	}
 }
 
 func TestBestLevelAndBlocks(t *testing.T) {
 	a := buildChain(t, 40, 40, 40)
-	p := NewPlan(a, 64, 2048)
-	ks := NewController().Launch("k", p)
+	p := cars.NewPlan(a, 64, 2048)
+	ks := cars.NewController().Launch("k", p)
 	if ks.BestLevel() != -1 {
 		t.Error("best level before any measurement")
 	}
@@ -245,8 +366,8 @@ func TestBestLevelAndBlocks(t *testing.T) {
 
 func TestControllerReusesStateAcrossLaunches(t *testing.T) {
 	a := buildChain(t, 40, 40, 40)
-	p := NewPlan(a, 64, 2048)
-	ctl := NewController()
+	p := cars.NewPlan(a, 64, 2048)
+	ctl := cars.NewController()
 	ks1 := ctl.Launch("k", p)
 	ks1.Record(0, 100, 1)
 	ks2 := ctl.Launch("k", p)
@@ -264,26 +385,26 @@ func TestControllerReusesStateAcrossLaunches(t *testing.T) {
 
 func TestRegsPerWarpLadder(t *testing.T) {
 	a := buildChain(t, 9, 5, 3)
-	p := NewPlan(a, 64, 2048)
+	p := cars.NewPlan(a, 64, 2048)
 	for i := range p.Levels {
 		want := p.Base + p.Levels[i].StackSlots
 		if got := p.RegsPerWarp(i); got != want {
 			t.Errorf("level %d: regs %d, want %d", i, got, want)
 		}
 	}
-	if p.LevelIndex(Level{Kind: KindNxLow, N: 99}) != -1 {
+	if p.LevelIndex(cars.Level{Kind: cars.KindNxLow, N: 99}) != -1 {
 		t.Error("phantom level found")
 	}
 }
 
 func TestWalkProbesUnexploredTowardBest(t *testing.T) {
 	a := buildChain(t, 40, 40, 40, 40, 40)
-	p := NewPlan(a, 64, 2048)
+	p := cars.NewPlan(a, 64, 2048)
 	if len(p.Levels) < 4 {
 		t.Skip("ladder too short for probe test")
 	}
-	ks := NewController().Launch("k", p)
-	pol := AdaptivePolicy()
+	ks := cars.NewController().Launch("k", p)
+	pol := cars.AdaptivePolicy()
 	hi := len(p.Levels) - 1
 	ks.Record(0, 10_000, 1)
 	ks.Record(hi, 1_000, 1)
@@ -292,7 +413,7 @@ func TestWalkProbesUnexploredTowardBest(t *testing.T) {
 		t.Errorf("probe step = %d, want 1", next)
 	}
 	// And the reverse direction.
-	ks2 := NewController().Launch("k2", p)
+	ks2 := cars.NewController().Launch("k2", p)
 	ks2.Record(0, 1_000, 1)
 	ks2.Record(hi, 10_000, 1)
 	if next := ks2.NextLevel(hi, pol); next != hi-1 {
@@ -301,7 +422,7 @@ func TestWalkProbesUnexploredTowardBest(t *testing.T) {
 }
 
 func TestStackAccessors(t *testing.T) {
-	var s Stack
+	var s cars.Stack
 	s.Reset(16)
 	if s.TopFrame() != nil {
 		t.Error("top frame on empty stack")
@@ -312,7 +433,7 @@ func TestStackAccessors(t *testing.T) {
 	if f == nil || f.Slots() != 3 {
 		t.Fatalf("frame = %+v", f)
 	}
-	if got := SpillAddrSlot(SpillWindowSlots + 5); got != 5 {
+	if got := cars.SpillAddrSlot(cars.SpillWindowSlots + 5); got != 5 {
 		t.Errorf("spill addr wrap = %d", got)
 	}
 	if _, err := s.Ret(); err != nil {
@@ -327,7 +448,7 @@ func TestStackAccessors(t *testing.T) {
 }
 
 func TestPopBelowFrameRejected(t *testing.T) {
-	var s Stack
+	var s cars.Stack
 	s.Reset(8)
 	s.Call()
 	s.Push(2)
@@ -337,7 +458,7 @@ func TestPopBelowFrameRejected(t *testing.T) {
 }
 
 func TestCallWindowGeometry(t *testing.T) {
-	var s Stack
+	var s cars.Stack
 	s.Reset(32)
 	s.CallWindow(10)
 	if s.RenameLen() != 9 {

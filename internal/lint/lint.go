@@ -152,9 +152,10 @@ func RunFiles(a *Analyzer, paths []string) ([]Diagnostic, error) {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, p := range paths {
-		// Mode 0 keeps object resolution on: the recover-ident
-		// allowance matches ast.Object identities.
-		f, err := parser.ParseFile(fset, p, nil, 0)
+		// Comments ride along for the monitor-hook analyzer's
+		// documented-no-op allowance; object resolution stays on for
+		// the recover-ident allowance's ast.Object identities.
+		f, err := parser.ParseFile(fset, p, nil, parser.ParseComments)
 		if err != nil {
 			return nil, err
 		}

@@ -129,6 +129,15 @@ func Check(rep *vet.ProgramReport, s *Sanitizer, cars bool) []string {
 			out = append(out, fmt.Sprintf("%s: dynamic spill traffic %dB exceeds static SpillBytes %dB",
 				fo.Func, fo.MaxSpillBytes, fr.SpillBytes))
 		}
+		// Cost dominance, per activation: a finite static bound on the
+		// function body must cover the largest count any single
+		// activation produced. Symbolic/unbounded bounds assert nothing.
+		if c := fr.Cost; c != nil {
+			costDom(&out, fo.Func, "spill stores", c.SpillStores, uint64(fo.MaxSpillStores))
+			costDom(&out, fo.Func, "spill fills", c.SpillFills, uint64(fo.MaxSpillFills))
+			costDom(&out, fo.Func, "local traffic", c.LocalBytes, uint64(fo.MaxLocalBytes))
+			costDom(&out, fo.Func, "shared traffic", c.SharedBytes, uint64(fo.MaxSharedBytes))
+		}
 	}
 	for _, ko := range obs.Kernels {
 		kr := rep.Kernel(ko.Kernel)
@@ -154,9 +163,27 @@ func Check(rep *vet.ProgramReport, s *Sanitizer, cars bool) []string {
 			out = append(out, fmt.Sprintf("%s: vet proved the kernel race-free but the sanitizer saw %d shared-memory race(s)",
 				ko.Kernel, ko.SharedRaces))
 		}
+		// Interprocedural cost dominance: the kernel bound covers one
+		// warp's whole activation, callees included.
+		if kr.Perf != nil {
+			c := kr.Perf.Cost
+			costDom(&out, kr.Kernel, "warp spill stores", c.SpillStores, ko.MaxWarpSpillStores)
+			costDom(&out, kr.Kernel, "warp spill fills", c.SpillFills, ko.MaxWarpSpillFills)
+			costDom(&out, kr.Kernel, "warp local traffic", c.LocalBytes, ko.MaxWarpLocalBytes)
+			costDom(&out, kr.Kernel, "warp shared traffic", c.SharedBytes, ko.MaxWarpSharedBytes)
+		}
 	}
 	sort.Strings(out)
 	return out
+}
+
+// costDom appends a violation when a finite static cost bound is
+// exceeded by the observed dynamic count.
+func costDom(out *[]string, who, metric string, b vet.CostBound, dyn uint64) {
+	if b.Finite() && dyn > uint64(b.Value) {
+		*out = append(*out, fmt.Sprintf("%s: dynamic %s %d exceeds static bound %s",
+			who, metric, dyn, b.Sym))
+	}
 }
 
 // RunWorkload runs one built-in workload under one ABI mode with the

@@ -1,0 +1,367 @@
+package san
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"carsgo/internal/abi"
+	"carsgo/internal/cars"
+	"carsgo/internal/config"
+	"carsgo/internal/isa"
+	"carsgo/internal/sim"
+	"carsgo/internal/stats"
+	"carsgo/internal/vet"
+	"carsgo/internal/workloads"
+)
+
+// Perf differential: the dynamic validation of vet's static cost and
+// occupancy analysis (DESIGN.md §9). For every workload and ABI mode
+// it checks three properties against real executions:
+//
+//  1. Dominance — every finite static spill/traffic bound covers the
+//     dynamic counters (folded into Check, shared with -diff).
+//  2. Exactness — the static occupancy model predicts the simulator's
+//     peak resident-warp count *exactly*: for non-CARS programs at the
+//     baseline allocation, and for CARS programs at every ladder level,
+//     each pinned with a forced policy.
+//  3. Advice — the watermark advisor's recommended level, measured in
+//     cycles, is never beaten by another level by more than the regret
+//     threshold.
+
+// DefaultRegret is the advisor regret threshold: the advised level may
+// cost at most 35% more cycles than the best measured level.
+const DefaultRegret = 0.35
+
+// LevelRun is one measured design point of a kernel.
+type LevelRun struct {
+	Level       string `json:"level"`
+	StackSlots  int    `json:"stackSlots"`
+	StaticWarps int    `json:"staticWarps"` // vet's predicted wave occupancy
+	SimWarps    int    `json:"simWarps"`    // stats.Kernel.ResidentWarps
+	SanWarps    int    `json:"sanWarps"`    // sanitizer's admit/retire bookkeeping
+	Cycles      int64  `json:"cycles"`
+}
+
+// PerfResult is the outcome of the perf differential for one workload
+// under one ABI mode.
+type PerfResult struct {
+	Workload string `json:"workload"`
+	Mode     string `json:"mode"`
+	Skipped  bool   `json:"skipped,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+
+	Kernel  string     `json:"kernel,omitempty"`
+	Levels  []LevelRun `json:"levels,omitempty"`
+	Advised string     `json:"advised,omitempty"`
+	// Regret is the advised level's measured overshoot over the best
+	// level: cycles(advised)/min(cycles) - 1. Zero when advised wins.
+	Regret float64 `json:"regret"`
+
+	Violations []string `json:"violations,omitempty"`
+}
+
+// OK reports whether the run upheld every perf invariant.
+func (r *PerfResult) OK() bool { return r.Skipped || len(r.Violations) == 0 }
+
+// MachineParamsFor converts a simulator configuration into the plain
+// parameter struct internal/vet's occupancy model consumes (vet cannot
+// import internal/sim).
+func MachineParamsFor(cfg sim.Config) vet.MachineParams {
+	return vet.MachineParams{
+		NumSMs:          cfg.NumSMs,
+		MaxWarpsPerSM:   cfg.MaxWarpsPerSM,
+		MaxBlocksPerSM:  cfg.MaxBlocksPerSM,
+		MaxThreadsPerSM: cfg.MaxThreadsPerSM,
+		RegFileSlots:    cfg.RegFileSlots,
+		RegGranularity:  cfg.RegGranularity,
+		SharedMemBytes:  cfg.SharedMemBytes,
+		UnlimitedRegs:   cfg.UnlimitedRegs,
+		UnlimitedSmem:   cfg.UnlimitedSmem,
+		UnlimitedBlocks: cfg.UnlimitedBlocks,
+		CARS:            cfg.CARSEnabled,
+	}
+}
+
+// Shapes extracts the occupancy-relevant geometry of a launch list.
+func Shapes(launches []isa.Launch) []vet.LaunchShape {
+	out := make([]vet.LaunchShape, len(launches))
+	for i, l := range launches {
+		out[i] = vet.LaunchShape{
+			Kernel:      l.Kernel,
+			Grid:        l.Dim.Grid,
+			Block:       l.Dim.Block,
+			SharedBytes: l.SharedBytes,
+		}
+	}
+	return out
+}
+
+// runMeasured is runVetted plus measurement: it returns the launches
+// the setup produced and the per-launch kernel statistics alongside
+// the sanitizer.
+func runMeasured(prog *isa.Program, cfg sim.Config,
+	setup func(g *sim.GPU) ([]isa.Launch, error)) (*Sanitizer, []isa.Launch, []*stats.Kernel, error) {
+	g, err := sim.New(cfg, prog)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	s := New(prog)
+	g.San = s
+	launches, err := setup(g)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var sts []*stats.Kernel
+	for _, l := range launches {
+		need := l.SharedBytes + prog.SmemSpillPerThread*l.Dim.Block
+		if !cfg.UnlimitedSmem && need > cfg.SharedMemBytes {
+			return nil, nil, nil, fmt.Errorf("san: launch %s: %w (needs %dB, SM has %dB)",
+				l.Kernel, ErrNoFit, need, cfg.SharedMemBytes)
+		}
+		st, err := g.Run(l)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("san: launch %s: %w", l.Kernel, err)
+		}
+		sts = append(sts, st)
+	}
+	return s, launches, sts, nil
+}
+
+// peaks returns the opening-wave resident-warp counts of one measured
+// run: the simulator's own statistic and the sanitizer's independently-
+// tracked admit/exit bookkeeping for the given kernel.
+func peaks(s *Sanitizer, sts []*stats.Kernel, kernel string) (sim, san int) {
+	for _, st := range sts {
+		if st.ResidentWarps > sim {
+			sim = st.ResidentWarps
+		}
+	}
+	for _, ko := range s.Observations().Kernels {
+		if ko.Kernel == kernel {
+			san = ko.ResidentWarps
+		}
+	}
+	return sim, san
+}
+
+func sumCycles(sts []*stats.Kernel) int64 {
+	var total int64
+	for _, st := range sts {
+		total += st.Cycles
+	}
+	return total
+}
+
+// PerfDiffWorkload runs the perf differential for one workload under
+// one ABI mode.
+func PerfDiffWorkload(w *workloads.Workload, mode abi.Mode, regret float64) (*PerfResult, error) {
+	res := &PerfResult{Workload: w.Name, Mode: mode.String()}
+	prog, err := abi.Link(mode, w.Modules()...)
+	if err != nil {
+		if errors.Is(err, abi.ErrRecursive) {
+			res.Skipped, res.Reason = true, "recursive call graph"
+			return res, nil
+		}
+		return nil, err
+	}
+	rep := vet.Report(prog)
+	for _, d := range rep.Diags {
+		if d.Sev >= vet.SevError {
+			return nil, fmt.Errorf("san: program does not vet: %s", d)
+		}
+	}
+	cfg := ConfigFor(mode)
+	s, launches, sts, err := runMeasured(prog, cfg, w.Setup)
+	if err != nil {
+		if errors.Is(err, ErrNoFit) {
+			res.Skipped, res.Reason = true, "shared-spill frame exceeds shared memory"
+			return res, nil
+		}
+		return nil, err
+	}
+	for _, d := range s.Diags() {
+		res.Violations = append(res.Violations, fmt.Sprintf("sanitizer: %s", d))
+	}
+
+	m := MachineParamsFor(cfg)
+	shapes := Shapes(launches)
+	if err := vet.AnalyzePerf(rep, prog, m, shapes); err != nil {
+		return nil, err
+	}
+	// Dominance: finite static cost bounds must cover the dynamic
+	// counters of the primary run (plus the pre-existing -diff rows).
+	res.Violations = append(res.Violations, Check(rep, s, prog.CARS)...)
+
+	// The level study pins one kernel per workload; a workload that
+	// launches several distinct kernels (PTA's two-phase pipeline) still
+	// gets the dominance check above, but its ladder would conflate the
+	// kernels' occupancy figures — reduce scope rather than fail.
+	kernel := launches[0].Kernel
+	for _, l := range launches {
+		if l.Kernel != kernel {
+			res.Reason = fmt.Sprintf("multi-kernel launch (%s, %s): dominance only, level study skipped", kernel, l.Kernel)
+			return res, nil
+		}
+	}
+	res.Kernel = kernel
+	kr := rep.Kernel(kernel)
+	if kr == nil || kr.Perf == nil || len(kr.Perf.Occupancy) == 0 {
+		res.Violations = append(res.Violations, fmt.Sprintf("%s: no static occupancy rows", kernel))
+		return res, nil
+	}
+
+	if !prog.CARS {
+		// Non-CARS: a single "base" design point, already measured by
+		// the primary run. Exactness is unconditional.
+		row := kr.Perf.Occupancy[0]
+		simPeak, sanPeak := peaks(s, sts, kernel)
+		res.Levels = []LevelRun{{
+			Level: row.Level, StaticWarps: row.ResidentWarps,
+			SimWarps: simPeak, SanWarps: sanPeak, Cycles: sumCycles(sts),
+		}}
+		exactWarps(res, row.Level, row.ResidentWarps, simPeak, sanPeak)
+		return res, nil
+	}
+
+	// CARS: pin the simulator to each ladder level in turn and hold the
+	// model to exactness at every design point.
+	plan, err := m.PlanFor(prog, shapes[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(plan.Levels) != len(kr.Perf.Occupancy) {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: plan has %d levels but the report has %d occupancy rows",
+				kernel, len(plan.Levels), len(kr.Perf.Occupancy)))
+		return res, nil
+	}
+	for i, lvl := range plan.Levels {
+		fcfg := config.WithCARSPolicy(config.V100(), cars.ForcedPolicy(lvl))
+		fs, _, fsts, err := runMeasured(prog, fcfg, w.Setup)
+		if err != nil {
+			return nil, fmt.Errorf("forced %s: %w", lvl.Name(), err)
+		}
+		for _, d := range fs.Diags() {
+			res.Violations = append(res.Violations, fmt.Sprintf("forced %s: sanitizer: %s", lvl.Name(), d))
+		}
+		for _, v := range Check(rep, fs, true) {
+			res.Violations = append(res.Violations, fmt.Sprintf("forced %s: %s", lvl.Name(), v))
+		}
+		row := kr.Perf.Occupancy[i]
+		simPeak, sanPeak := peaks(fs, fsts, kernel)
+		res.Levels = append(res.Levels, LevelRun{
+			Level: row.Level, StackSlots: lvl.StackSlots, StaticWarps: row.ResidentWarps,
+			SimWarps: simPeak, SanWarps: sanPeak, Cycles: sumCycles(fsts),
+		})
+		exactWarps(res, row.Level, row.ResidentWarps, simPeak, sanPeak)
+	}
+
+	// Advisor regret: the recommended level, measured in cycles, may
+	// lose to the best level by at most the regret threshold.
+	adv := kr.Perf.Advice
+	if adv == nil {
+		res.Violations = append(res.Violations, fmt.Sprintf("%s: CARS kernel has no advice", kernel))
+		return res, nil
+	}
+	res.Advised = adv.Level
+	best := res.Levels[0].Cycles
+	for _, lr := range res.Levels[1:] {
+		if lr.Cycles < best {
+			best = lr.Cycles
+		}
+	}
+	advised := res.Levels[adv.LevelIndex].Cycles
+	if best > 0 {
+		res.Regret = float64(advised)/float64(best) - 1
+	}
+	if res.Regret > regret {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("advisor picked %s (%d cycles) but the best level runs in %d cycles: regret %.2f exceeds %.2f",
+				adv.Level, advised, best, res.Regret, regret))
+	}
+	if w.PerfExpect.AvoidHigh {
+		highRow := kr.Perf.Occupancy[len(kr.Perf.Occupancy)-1]
+		advRow := kr.Perf.Occupancy[adv.LevelIndex]
+		if adv.Level == "High" {
+			res.Violations = append(res.Violations,
+				"expected the advisor to steer away from High, but it recommended High")
+		}
+		if highRow.ResidentWarps >= advRow.ResidentWarps {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("expected an occupancy cliff at High (%d warps) below the advised %s (%d warps)",
+					highRow.ResidentWarps, adv.Level, advRow.ResidentWarps))
+		}
+	}
+	return res, nil
+}
+
+// exactWarps asserts the static occupancy model's exactness for one
+// measured design point.
+func exactWarps(res *PerfResult, level string, static, simPeak, sanPeak int) {
+	if simPeak != static {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: simulator peaked at %d resident warps, model predicts %d", level, simPeak, static))
+	}
+	if sanPeak != static {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: sanitizer tracked %d resident warps, model predicts %d", level, sanPeak, static))
+	}
+}
+
+// PerfDiffWorkloads runs the perf differential over the named
+// workloads (all of Table I plus the perf-registry cases when names is
+// empty) in every linkable ABI mode. It returns the per-run results
+// and whether every run upheld the invariants.
+func PerfDiffWorkloads(names []string, regret float64, out io.Writer) ([]*PerfResult, bool, error) {
+	var list []*workloads.Workload
+	if len(names) == 0 {
+		list = append(list, workloads.All()...)
+		list = append(list, workloads.PerfCases()...)
+	} else {
+		for _, n := range names {
+			w, err := workloads.ByName(n)
+			if err != nil {
+				return nil, false, err
+			}
+			list = append(list, w)
+		}
+	}
+	var results []*PerfResult
+	ok := true
+	for _, w := range list {
+		for _, mode := range abi.Modes {
+			res, err := PerfDiffWorkload(w, mode, regret)
+			if err != nil {
+				return results, false, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
+			}
+			results = append(results, res)
+			switch {
+			case res.Skipped:
+				fmt.Fprintf(out, "skip %-16s %-9s (%s)\n", w.Name, res.Mode, res.Reason)
+			case res.OK():
+				fmt.Fprintf(out, "ok   %-16s %-9s %s\n", w.Name, res.Mode, perfSummary(res))
+			default:
+				ok = false
+				fmt.Fprintf(out, "FAIL %-16s %-9s\n", w.Name, res.Mode)
+				for _, v := range res.Violations {
+					fmt.Fprintf(out, "     %s\n", v)
+				}
+			}
+		}
+	}
+	return results, ok, nil
+}
+
+func perfSummary(res *PerfResult) string {
+	if res.Advised != "" {
+		return fmt.Sprintf("advice %s, regret %.2f, %d level(s)", res.Advised, res.Regret, len(res.Levels))
+	}
+	if len(res.Levels) == 1 {
+		return fmt.Sprintf("base %d warps", res.Levels[0].StaticWarps)
+	}
+	if res.Reason != "" {
+		return res.Reason
+	}
+	return ""
+}

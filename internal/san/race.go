@@ -93,6 +93,15 @@ func (s *Sanitizer) SharedAccess(gwid, blockID, fn, pc int, store, spill bool, l
 	if w == nil || lanes == 0 {
 		return
 	}
+	fr := w.top()
+	fr.sharedBytes += 4
+	if o := s.funcObs(fr.fn); fr.sharedBytes > o.MaxSharedBytes {
+		o.MaxSharedBytes = fr.sharedBytes
+	}
+	w.sharedBytes += 4
+	if ko := s.kernelObs(w.kernelFn); w.sharedBytes > ko.MaxWarpSharedBytes {
+		ko.MaxWarpSharedBytes = w.sharedBytes
+	}
 	b := s.blockShadowOf(blockID)
 	for l := 0; l < isa.WarpSize; l++ {
 		if lanes&(1<<l) == 0 {

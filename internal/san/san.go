@@ -58,6 +58,9 @@ const (
 	// KindBarrierDivergence: a warp arrives at BAR.SYNC with a partial
 	// active mask, or warps of one block wait at different barriers.
 	KindBarrierDivergence Kind = "barrier-divergence"
+	// KindOccupancyDivergence: the simulator's block admit/retire events
+	// are inconsistent with each other (resident-warp bookkeeping drift).
+	KindOccupancyDivergence Kind = "occupancy-divergence"
 )
 
 // Diag is one deduplicated sanitizer finding: the first occurrence's
@@ -89,6 +92,17 @@ type FuncObs struct {
 	// MaxSpillBytes is the peak ABI spill-store traffic of a single
 	// activation; vet's FuncReport.SpillBytes must dominate when finite.
 	MaxSpillBytes int `json:"maxSpillBytes"`
+	// MaxSpillStores/MaxSpillFills count spill-flagged instruction
+	// executions in a single activation (callees excluded); vet's
+	// FuncReport.Cost spill bounds must dominate when finite.
+	MaxSpillStores int `json:"maxSpillStores"`
+	MaxSpillFills  int `json:"maxSpillFills"`
+	// MaxLocalBytes/MaxSharedBytes count architectural local/shared
+	// traffic (4 bytes per executed access, spills included, trap
+	// traffic excluded) in a single activation; vet's FuncReport.Cost
+	// byte bounds must dominate when finite.
+	MaxLocalBytes  int `json:"maxLocalBytes"`
+	MaxSharedBytes int `json:"maxSharedBytes"`
 }
 
 // KernelObs is the dynamic per-kernel counterpart of vet.KernelReport.
@@ -107,6 +121,18 @@ type KernelObs struct {
 	SharedRaces        uint64 `json:"sharedRaces"`
 	SpillRaces         uint64 `json:"spillRaces"`
 	BarrierDivergences uint64 `json:"barrierDivergences"`
+	// MaxWarp* are the largest per-warp cumulative traffic totals over
+	// one kernel activation (all frames, trap traffic excluded); vet's
+	// per-kernel interprocedural cost bounds must dominate when finite.
+	MaxWarpSpillStores uint64 `json:"maxWarpSpillStores"`
+	MaxWarpSpillFills  uint64 `json:"maxWarpSpillFills"`
+	MaxWarpLocalBytes  uint64 `json:"maxWarpLocalBytes"`
+	MaxWarpSharedBytes uint64 `json:"maxWarpSharedBytes"`
+	// ResidentWarps is the warp occupancy a single SM reached during a
+	// launch's opening admission wave (admissions before the first warp
+	// exit), tracked independently from the simulator's own statistic;
+	// vet's static occupancy model predicts it exactly.
+	ResidentWarps int `json:"residentWarps"`
 }
 
 // Observations bundles everything the sanitizer measured, sorted by
@@ -141,10 +167,14 @@ type spillRec struct {
 // its spill-slot contents, and the caller's callee-saved register
 // snapshot taken at the call (compared on return).
 type sanFrame struct {
-	fn         int
-	callPC     int
-	spillBytes int
-	spills     map[int32]*spillRec
+	fn          int
+	callPC      int
+	spillBytes  int
+	spillStores int
+	spillFills  int
+	localBytes  int
+	sharedBytes int
+	spills      map[int32]*spillRec
 	// snap holds the caller's R16.. values at the call, bounded by the
 	// caller's own RegsUsed (registers above that are not the caller's:
 	// under per-launch allocation they may not even be in this warp's
@@ -189,6 +219,13 @@ type warpShadow struct {
 
 	frames []*sanFrame
 
+	// Cumulative traffic totals for this kernel activation (the dynamic
+	// side of vet's interprocedural per-kernel cost bounds).
+	spillStores uint64
+	spillFills  uint64
+	localBytes  uint64
+	sharedBytes uint64
+
 	// blockID/wInBlock locate the warp within its block; startMask is
 	// the launch-time active mask a convergent BAR.SYNC must present.
 	blockID   int
@@ -208,6 +245,27 @@ type Sanitizer struct {
 	diags   map[diagKey]*Diag
 
 	framePool []*sanFrame
+
+	// lastKernelFn attributes block admissions: BlockAdmit fires at the
+	// end of admitBlock, after the block's WarpStart events.
+	lastKernelFn int
+	// admitted tracks live blocks (ID → SM and warp count) and resident
+	// the per-SM resident-warp tally the admit/retire events imply, so
+	// the hooks can be cross-checked for drift.
+	admitted map[int]admitRec
+	resident map[int]int
+	// waveOpen mirrors the simulator's opening-admission-wave window:
+	// it opens when a launch's first block is admitted (the admission
+	// table is empty between launches) and closes at the first warp
+	// exit. Only admissions inside the window update ResidentWarps.
+	waveOpen bool
+}
+
+// admitRec remembers where a block was admitted and how many of its
+// warps are still unfinished, for the exit/retire-side bookkeeping.
+type admitRec struct {
+	sm   int
+	left int
 }
 
 var _ sim.Monitor = (*Sanitizer)(nil)
@@ -215,12 +273,15 @@ var _ sim.Monitor = (*Sanitizer)(nil)
 // New builds a sanitizer for one linked program.
 func New(prog *isa.Program) *Sanitizer {
 	return &Sanitizer{
-		prog:    prog,
-		warps:   make(map[int]*warpShadow),
-		blocks:  make(map[int]*blockShadow),
-		funcs:   make(map[int]*FuncObs),
-		kernels: make(map[int]*KernelObs),
-		diags:   make(map[diagKey]*Diag),
+		prog:         prog,
+		warps:        make(map[int]*warpShadow),
+		blocks:       make(map[int]*blockShadow),
+		funcs:        make(map[int]*FuncObs),
+		kernels:      make(map[int]*KernelObs),
+		diags:        make(map[diagKey]*Diag),
+		lastKernelFn: -1,
+		admitted:     make(map[int]admitRec),
+		resident:     make(map[int]int),
 	}
 }
 
@@ -310,6 +371,8 @@ func (s *Sanitizer) newFrame(fn, callPC int) *sanFrame {
 		fr.snap = fr.snap[:0]
 		fr.savedInit = fr.savedInit[:0]
 		fr.spillBytes = 0
+		fr.spillStores, fr.spillFills = 0, 0
+		fr.localBytes, fr.sharedBytes = 0, 0
 	} else {
 		fr = &sanFrame{spills: make(map[int32]*spillRec)}
 	}
@@ -352,6 +415,9 @@ func (s *Sanitizer) WarpStart(gwid, blockID, wInBlock, fn, stackSlots int, activ
 		w.frames = w.frames[:0]
 	}
 	w.kernelFn = fn
+	s.lastKernelFn = fn
+	w.spillStores, w.spillFills = 0, 0
+	w.localBytes, w.sharedBytes = 0, 0
 	w.blockID, w.wInBlock, w.startMask = blockID, wInBlock, active
 	if wInBlock == 0 {
 		// Warp 0 of a block is always initialized first: a fresh (or
@@ -631,6 +697,14 @@ func (s *Sanitizer) SpillStore(gwid, fn, pc int, r uint8, off int32, lanes uint3
 	if fr.spillBytes > o.MaxSpillBytes {
 		o.MaxSpillBytes = fr.spillBytes
 	}
+	fr.spillStores++
+	if fr.spillStores > o.MaxSpillStores {
+		o.MaxSpillStores = fr.spillStores
+	}
+	w.spillStores++
+	if ko := s.kernelObs(w.kernelFn); w.spillStores > ko.MaxWarpSpillStores {
+		ko.MaxWarpSpillStores = w.spillStores
+	}
 	rec := fr.spills[off]
 	if rec == nil || rec.reg != r {
 		rec = &spillRec{reg: r}
@@ -652,6 +726,14 @@ func (s *Sanitizer) SpillFill(gwid, fn, pc int, r uint8, off int32, lanes uint32
 		return
 	}
 	fr := w.top()
+	fr.spillFills++
+	if o := s.funcObs(fr.fn); fr.spillFills > o.MaxSpillFills {
+		o.MaxSpillFills = fr.spillFills
+	}
+	w.spillFills++
+	if ko := s.kernelObs(w.kernelFn); w.spillFills > ko.MaxWarpSpillFills {
+		ko.MaxWarpSpillFills = w.spillFills
+	}
 	rec := fr.spills[off]
 	if rec == nil {
 		s.report(KindStaleFill, fn, pc,
@@ -712,6 +794,95 @@ func (s *Sanitizer) TrapSlot(gwid int, fill bool, abs int, vals *[isa.WarpSize]u
 	}
 	cp := *vals
 	w.spillMem[abs] = &cp
+}
+
+// LocalAccess charges one architectural local access (4 bytes) to the
+// current activation and to the warp's kernel total. Spill-flagged
+// accesses are already counted by SpillStore/SpillFill; here they only
+// contribute bytes, matching vet's localBytes bound.
+func (s *Sanitizer) LocalAccess(gwid, fn, pc int, store, spill bool, lanes uint32) {
+	w := s.warps[gwid]
+	if w == nil {
+		return
+	}
+	fr := w.top()
+	fr.localBytes += 4
+	if o := s.funcObs(fr.fn); fr.localBytes > o.MaxLocalBytes {
+		o.MaxLocalBytes = fr.localBytes
+	}
+	w.localBytes += 4
+	if ko := s.kernelObs(w.kernelFn); w.localBytes > ko.MaxWarpLocalBytes {
+		ko.MaxWarpLocalBytes = w.localBytes
+	}
+}
+
+// BlockAdmit records a block admission, cross-checks the simulator's
+// resident-warp count against the tally the admit/exit/retire stream
+// implies, and tracks the per-kernel peak residency.
+func (s *Sanitizer) BlockAdmit(sm, blockID, levelIdx, regsPerWarp, warps, resident int) {
+	if len(s.admitted) == 0 {
+		// A fresh launch: the SMs drained completely, so the admissions
+		// until the first warp exit form the opening wave whose
+		// residency is the launch's occupancy figure.
+		s.waveOpen = true
+	}
+	if want := s.resident[sm] + warps; want != resident {
+		s.report(KindOccupancyDivergence, s.lastKernelFn, -1,
+			"SM %d admits block %d: simulator reports %d resident warps, admit/exit/retire stream implies %d",
+			sm, blockID, resident, want)
+	}
+	s.resident[sm] = resident
+	s.admitted[blockID] = admitRec{sm: sm, left: warps}
+	if s.waveOpen && s.lastKernelFn >= 0 {
+		if ko := s.kernelObs(s.lastKernelFn); resident > ko.ResidentWarps {
+			ko.ResidentWarps = resident
+		}
+	}
+}
+
+// WarpExit removes a finished warp from the resident-warp tally (its
+// registers are released immediately, ahead of the block retiring).
+func (s *Sanitizer) WarpExit(gwid int) {
+	s.waveOpen = false
+	w := s.warps[gwid]
+	if w == nil {
+		return
+	}
+	rec, ok := s.admitted[w.blockID]
+	if !ok {
+		s.report(KindOccupancyDivergence, w.kernelFn, -1,
+			"warp %d exits in block %d which was never admitted", gwid, w.blockID)
+		return
+	}
+	if rec.left <= 0 {
+		s.report(KindOccupancyDivergence, w.kernelFn, -1,
+			"warp %d exits in block %d after every admitted warp already exited", gwid, w.blockID)
+		return
+	}
+	rec.left--
+	s.admitted[w.blockID] = rec
+	s.resident[rec.sm]--
+}
+
+// BlockRetire validates that a retiring block's warps all exited and
+// drops it from the admission table.
+func (s *Sanitizer) BlockRetire(sm, blockID int) {
+	rec, ok := s.admitted[blockID]
+	if !ok {
+		s.report(KindOccupancyDivergence, s.lastKernelFn, -1,
+			"SM %d retires block %d that was never admitted", sm, blockID)
+		return
+	}
+	if rec.sm != sm {
+		s.report(KindOccupancyDivergence, s.lastKernelFn, -1,
+			"block %d admitted on SM %d but retired on SM %d", blockID, rec.sm, sm)
+	}
+	if rec.left != 0 {
+		s.report(KindOccupancyDivergence, s.lastKernelFn, -1,
+			"block %d retires with %d unfinished warp(s)", blockID, rec.left)
+		s.resident[rec.sm] -= rec.left
+	}
+	delete(s.admitted, blockID)
 }
 
 func equalInts(a, b []int) bool {

@@ -157,6 +157,9 @@ func (s *SM) execute(now int64, w *Warp, in *isa.Instruction) {
 
 	case isa.OpLdL, isa.OpStL:
 		s.execLocal(now, w, in, guard)
+		if mon != nil {
+			mon.LocalAccess(w.GWID, top.Func, pc, in.Op == isa.OpStL, in.Spill, guard)
+		}
 		if mon != nil && in.Spill {
 			if in.Op == isa.OpStL {
 				mon.SpillStore(w.GWID, top.Func, pc, in.SrcC, in.Imm, guard, w.reg(in.SrcC))
@@ -456,6 +459,9 @@ func (s *SM) execExit(now int64, w *Warp, mon Monitor) {
 	}
 	w.Finished = true
 	w.Wake = farFuture
+	if mon != nil {
+		mon.WarpExit(w.GWID)
+	}
 	b := w.Block
 	b.LiveWarps--
 	// A warp exiting may release a barrier its siblings wait at.

@@ -64,6 +64,10 @@ type GPU struct {
 	blocksDone      int
 	totalBlocks     int
 	admitDirty      bool
+	// waveOpen is true while the launch's opening admission wave runs
+	// (the first scheduleBlocks pass, before any execution): the
+	// residency it reaches is the launch's occupancy figure.
+	waveOpen bool
 
 	// Timeline collection.
 	tlWindow int64
@@ -200,6 +204,7 @@ func (g *GPU) Run(launch isa.Launch) (st *stats.Kernel, err error) {
 	}
 
 	g.admitDirty = true
+	g.waveOpen = true
 	start := g.clock
 	cycle := g.clock
 	for g.blocksDone < g.totalBlocks {
@@ -318,6 +323,7 @@ func (g *GPU) scheduleBlocks(now int64) {
 			}
 		}
 	}
+	g.waveOpen = false
 }
 
 // completeBlock retires a finished block from an SM.
@@ -351,6 +357,9 @@ func (g *GPU) completeBlock(now int64, s *SM, b *Block) {
 	}
 	g.blocksDone++
 	g.admitDirty = true
+	if mon := g.San; mon != nil {
+		mon.BlockRetire(s.id, b.ID)
+	}
 }
 
 // noteTraffic feeds the bandwidth timeline (Fig. 11).

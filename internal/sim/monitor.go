@@ -41,6 +41,19 @@ type RegVals func(r uint8) *[isa.WarpSize]uint32
 //   - Barrier fires when a warp arrives at BAR.SYNC, with its current
 //     active mask; BarrierRelease fires once when the whole block's
 //     barrier opens (including the degenerate release on warp exit).
+//   - LocalAccess fires for every architectural local load/store
+//     (LDL/STL) a warp executes, spill-flagged or not. Trap-injected
+//     spill traffic is NOT reported here — it flows through TrapSlot —
+//     so the counts line up with vet's instruction-level cost bounds.
+//   - BlockAdmit fires at the end of a successful block admission with
+//     the admitted level index, the per-warp register allocation, the
+//     block's warp count, and the SM's unfinished resident warps after
+//     the admission (the dynamic side of vet's occupancy model).
+//   - WarpExit fires when a warp's last thread exits, before the
+//     warp's registers are released and before any resulting block
+//     retirement.
+//   - BlockRetire fires when a block completes and releases its
+//     resources.
 type Monitor interface {
 	WarpStart(gwid, blockID, wInBlock, fn, stackSlots int, active uint32)
 	RegRead(gwid, fn, pc int, op isa.Op, r uint8, lanes uint32)
@@ -56,6 +69,10 @@ type Monitor interface {
 	SharedAccess(gwid, blockID, fn, pc int, store, spill bool, lanes uint32, addrs *[isa.WarpSize]uint32, imm int32)
 	Barrier(gwid, blockID, fn, pc int, active uint32)
 	BarrierRelease(blockID int)
+	LocalAccess(gwid, fn, pc int, store, spill bool, lanes uint32)
+	BlockAdmit(sm, blockID, levelIdx, regsPerWarp, warps, resident int)
+	WarpExit(gwid int)
+	BlockRetire(sm, blockID int)
 }
 
 // monReads reports the instruction's register uses to the monitor

@@ -191,6 +191,26 @@ func (s *SM) admitBlock(now int64, blockID int) bool {
 		g.kernelStats.CARSLevels[g.plan.Levels[levelIdx].Name()]++
 	}
 	g.kernelStats.RegSlotsAlloc += uint64(regsPerWarp * warpsPerBlock)
+	// Resident warps exclude finished ones: a finished warp has already
+	// released its registers (warpStatusCheck), so counting it would
+	// credit the SM with occupancy no resource backs.
+	resident := 0
+	for _, bb := range s.blocks {
+		for _, bw := range bb.Warps {
+			if !bw.Finished {
+				resident++
+			}
+		}
+	}
+	// Only the opening admission wave defines the launch's occupancy
+	// figure: it is the steady state the occupancy model predicts,
+	// whereas drain-phase re-admissions transiently overshoot it.
+	if g.waveOpen && resident > g.kernelStats.ResidentWarps {
+		g.kernelStats.ResidentWarps = resident
+	}
+	if mon := g.San; mon != nil {
+		mon.BlockAdmit(s.id, blockID, levelIdx, regsPerWarp, warpsPerBlock, resident)
+	}
 
 	// SWL activation.
 	s.applySWL()

@@ -95,7 +95,15 @@ type Kernel struct {
 	StalledWarpTicks uint64 // warp-cycles spent register-deactivated
 
 	// Occupancy.
-	WarpCycles    uint64 // sum over cycles of resident warps
+	// ResidentWarps is the warp occupancy reached by the launch's
+	// opening admission wave on the busiest SM (register-deactivated
+	// warps included: they hold warp slots). Mid-run admissions during
+	// block drain can transiently exceed it by warp granularity — a
+	// finished warp releases its registers before its block retires —
+	// so the steady-state wave, not the transient, is the occupancy
+	// figure. The static model in internal/vet predicts it exactly.
+	ResidentWarps int
+	WarpCycles        uint64 // sum over cycles of resident warps
 	ActiveCycles  uint64 // sum over cycles of issuable warps
 	IssuedCycles  uint64 // cycles with ≥1 issue per SM, summed
 	RegSlotsAlloc uint64 // register slots allocated × blocks (demand proxy)
@@ -160,6 +168,9 @@ func (k *Kernel) Merge(o *Kernel) {
 	}
 	if o.MaxRSP > k.MaxRSP {
 		k.MaxRSP = o.MaxRSP
+	}
+	if o.ResidentWarps > k.ResidentWarps {
+		k.ResidentWarps = o.ResidentWarps
 	}
 	mergeCache(&k.L1D, &o.L1D)
 	mergeCache(&k.L1I, &o.L1I)

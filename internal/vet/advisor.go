@@ -1,0 +1,109 @@
+package vet
+
+import (
+	"fmt"
+
+	"carsgo/internal/cars"
+)
+
+// Watermark advisor (DESIGN.md §9): combines the static occupancy
+// model with the call-graph stack demand into a recommended CARS
+// level per kernel, with a machine-readable rationale. The scoring
+// follows the paper's intuition (§III-B): resident warps are the
+// latency-hiding currency, and a level whose stack covers the whole
+// worst-case demand additionally retires every circular-stack trap —
+// worth a fixed relative bonus, not an occupancy sacrifice of more
+// than that factor.
+
+// trapFreeBonus is the score multiplier for a statically trap-free
+// level: covering the full demand avoids the trap's spill/fill
+// round-trips entirely. Trap traffic is expensive — every overflowed
+// activation round-trips its frame through the backing store, and at
+// high occupancy those frames collectively overflow the L1 and thrash
+// DRAM — so a trap-free warp is valued at 3.2 trap-exposed warps.
+// The perf differential brackets the constant from both sides: the
+// call-heavy workload ladders (SVR, KMEAN, MST, Bert_LT, …) need
+// High to win against a trap-exposed level with twice the warps
+// (bonus > 1.0), while PERF_DeepCall's rarely-entered deep chain must
+// keep the advisor on 2xLow at 4× High's warps (bonus < 3.0).
+const trapFreeBonus = 2.2
+
+// AdviceRow is one ladder level's scoring inputs.
+type AdviceRow struct {
+	Level         string  `json:"level"`
+	StackSlots    int     `json:"stackSlots"`
+	ResidentWarps int     `json:"residentWarps"`
+	TrapFree      bool    `json:"trapFree"`
+	Score         float64 `json:"score"`
+}
+
+// Advice is the advisor's per-kernel recommendation.
+type Advice struct {
+	Kernel     string      `json:"kernel"`
+	Level      string      `json:"level"`
+	LevelIndex int         `json:"levelIndex"`
+	HighFree   bool        `json:"highFree,omitempty"`
+	Cyclic     bool        `json:"cyclic,omitempty"`
+	Reason     string      `json:"reason"`
+	Rows       []AdviceRow `json:"rows"`
+}
+
+// advise scores every ladder level from the kernel's occupancy rows
+// (already attached by AnalyzePerf) and the stack-demand report.
+func advise(kr *KernelReport, plan *cars.Plan) *Advice {
+	a := &Advice{Kernel: kr.Kernel, HighFree: plan.HighFree, Cyclic: plan.Cyclic}
+	demand := kr.StackSlots // -1 when recursion makes it unbounded
+	best, bestScore := 0, -1.0
+	for i, lvl := range plan.Levels {
+		var o *LevelOccupancy
+		for j := range kr.Perf.Occupancy {
+			if kr.Perf.Occupancy[j].Level == lvl.Name() {
+				o = &kr.Perf.Occupancy[j]
+			}
+		}
+		if o == nil {
+			continue
+		}
+		row := AdviceRow{
+			Level:         lvl.Name(),
+			StackSlots:    lvl.StackSlots,
+			ResidentWarps: o.ResidentWarps,
+			TrapFree:      demand >= 0 && demand <= lvl.StackSlots,
+		}
+		row.Score = float64(o.ResidentWarps)
+		if row.TrapFree {
+			row.Score *= 1 + trapFreeBonus
+		}
+		a.Rows = append(a.Rows, row)
+		// Ties break upward: at equal score the deeper stack can only
+		// reduce trap traffic.
+		if row.Score >= bestScore {
+			best, bestScore = i, row.Score
+		}
+	}
+	if plan.HighFree {
+		best = len(plan.Levels) - 1
+		a.Level = plan.Levels[best].Name()
+		a.LevelIndex = best
+		a.Reason = "High is free: the register file covers the high watermark at the launch's non-register warp ceiling"
+		return a
+	}
+	a.LevelIndex = best
+	a.Level = plan.Levels[best].Name()
+	chosen := a.Rows
+	if best < len(chosen) {
+		row := chosen[best]
+		switch {
+		case row.TrapFree:
+			a.Reason = fmt.Sprintf("%s keeps %d warps resident and covers the full %d-slot demand (no trap path)",
+				row.Level, row.ResidentWarps, demand)
+		case demand < 0:
+			a.Reason = fmt.Sprintf("%s maximizes resident warps (%d); recursion makes every level trap-exposed",
+				row.Level, row.ResidentWarps)
+		default:
+			a.Reason = fmt.Sprintf("%s maximizes resident warps (%d); the %d-slot demand overflows through the trap",
+				row.Level, row.ResidentWarps, demand)
+		}
+	}
+	return a
+}

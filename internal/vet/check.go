@@ -29,6 +29,7 @@ type funcSummary struct {
 	ranges     []LiveRange  // per-register live spans
 	siteLive   map[int]int  // call index -> callee-saved values live across
 	callSites  []SiteReport // report form of sites + siteLive
+	cost       funcCost     // loop-aware traffic bounds (cost.go)
 }
 
 // funcVet verifies one function. It serves both linked functions and
@@ -86,6 +87,8 @@ func (v *funcVet) run() {
 	// their push depths; it feeds the report and the over-wide-push
 	// and live-across checks.
 	v.analyzeLiveness()
+	// Loop-aware cost bounds (cost.go) for the perf report.
+	v.analyzeCost()
 }
 
 // checkStructure flags shape problems: control running past the end

@@ -1,0 +1,346 @@
+package vet
+
+import (
+	"fmt"
+	"strings"
+
+	"carsgo/internal/isa"
+)
+
+// Static cost analysis (DESIGN.md §9): guaranteed per-activation
+// bounds on spill/fill instruction executions and local/shared memory
+// traffic, per function and — interprocedurally, along every acyclic
+// call path — per kernel. Counts are symbolic polynomials in the
+// unknown loop trip count: an instruction at natural-loop nesting
+// depth d contributes one execution at the loop^d term. Irreducible
+// cycles and recursive call graphs push the bound to the lattice top,
+// "unbounded", never to a wrong finite number.
+
+// costMaxDepth caps the symbolic polynomial degree (loop nests plus
+// call-site shifting); anything deeper saturates to unbounded.
+const costMaxDepth = 16
+
+// costVal is the internal bound: terms[d] executions at loop^d.
+// The zero value is the finite bound 0.
+type costVal struct {
+	unbounded bool
+	terms     []int64
+}
+
+func (c *costVal) addAt(depth int, n int64) {
+	if c.unbounded || n == 0 {
+		return
+	}
+	if depth > costMaxDepth {
+		c.unbounded = true
+		c.terms = nil
+		return
+	}
+	for len(c.terms) <= depth {
+		c.terms = append(c.terms, 0)
+	}
+	c.terms[depth] += n
+}
+
+// add folds o into c (sum of independent program points).
+func (c *costVal) add(o costVal) {
+	if o.unbounded {
+		c.unbounded = true
+		c.terms = nil
+		return
+	}
+	for d, n := range o.terms {
+		c.addAt(d, n)
+	}
+}
+
+// maxWith raises c to the elementwise maximum of c and o — a sound
+// upper bound of either alternative for any non-negative trip count.
+func (c *costVal) maxWith(o costVal) {
+	if c.unbounded {
+		return
+	}
+	if o.unbounded {
+		c.unbounded = true
+		c.terms = nil
+		return
+	}
+	for d, n := range o.terms {
+		for len(c.terms) <= d {
+			c.terms = append(c.terms, 0)
+		}
+		if n > c.terms[d] {
+			c.terms[d] = n
+		}
+	}
+}
+
+// shifted returns the bound of a callee invoked from a call site at
+// loop depth by: each term moves up by `by` degrees. by < 0 marks a
+// call site with unbounded multiplicity.
+func (c costVal) shifted(by int) costVal {
+	if c.unbounded || by < 0 {
+		if c.zero() {
+			return costVal{}
+		}
+		return costVal{unbounded: true}
+	}
+	var out costVal
+	for d, n := range c.terms {
+		out.addAt(d+by, n)
+	}
+	return out
+}
+
+func (c costVal) zero() bool {
+	if c.unbounded {
+		return false
+	}
+	for _, n := range c.terms {
+		if n != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// bound renders the machine-readable form.
+func (c costVal) bound() CostBound {
+	if c.unbounded {
+		return CostBound{Value: -1, Unbounded: true, Sym: "unbounded"}
+	}
+	var parts []string
+	symbolic := false
+	for d, n := range c.terms {
+		if n == 0 {
+			continue
+		}
+		switch d {
+		case 0:
+			parts = append(parts, fmt.Sprintf("%d", n))
+		case 1:
+			symbolic = true
+			parts = append(parts, fmt.Sprintf("%d×loop", n))
+		default:
+			symbolic = true
+			parts = append(parts, fmt.Sprintf("%d×loop^%d", n, d))
+		}
+	}
+	if len(parts) == 0 {
+		return CostBound{Value: 0, Sym: "0"}
+	}
+	b := CostBound{Sym: strings.Join(parts, " + ")}
+	if symbolic {
+		b.Value = -1
+	} else {
+		b.Value = c.terms[0]
+	}
+	return b
+}
+
+// CostBound is one guaranteed static bound. Value is the exact
+// loop-free count; -1 when the bound is symbolic (carries ×loop
+// terms) or unbounded. Sym renders the symbolic form ("12",
+// "4 + 2×loop", "unbounded"); Unbounded distinguishes the lattice top
+// from merely-symbolic bounds.
+type CostBound struct {
+	Value     int64  `json:"value"`
+	Sym       string `json:"sym"`
+	Unbounded bool   `json:"unbounded,omitempty"`
+}
+
+// Finite reports whether the bound is a plain number usable in a
+// dominance comparison against a dynamic counter.
+func (b CostBound) Finite() bool { return b.Value >= 0 }
+
+// CostReport carries the four per-activation traffic bounds plus the
+// loop-structure facts behind them. Spill counts are spill-flagged
+// instruction executions; byte bounds charge 4 bytes per executed
+// local (LDL/STL) or shared (LDS/STS) access, spills included —
+// matching the dynamic per-warp counters the sanitizer keeps. CARS
+// circular-stack trap traffic is runtime-injected, not instruction
+// traffic, and is bounded separately by TrapReachable.
+type CostReport struct {
+	SpillStores CostBound `json:"spillStores"`
+	SpillFills  CostBound `json:"spillFills"`
+	LocalBytes  CostBound `json:"localBytes"`
+	SharedBytes CostBound `json:"sharedBytes"`
+	Loops       int       `json:"loops"`
+	Irreducible bool      `json:"irreducible,omitempty"`
+}
+
+// costSite is one call instruction with its loop context.
+type costSite struct {
+	index     int
+	loopDepth int // -1: unbounded multiplicity (irreducible region)
+	indirect  int // ordinal among OpCallI sites; -1 = direct
+}
+
+// funcCost is the per-function half of the analysis, stored on the
+// funcSummary for the interprocedural pass.
+type funcCost struct {
+	spillStores costVal
+	spillFills  costVal
+	localBytes  costVal
+	sharedBytes costVal
+	loops       int
+	irreducible bool
+	sites       []costSite
+}
+
+func (fc *funcCost) report() *CostReport {
+	return &CostReport{
+		SpillStores: fc.spillStores.bound(),
+		SpillFills:  fc.spillFills.bound(),
+		LocalBytes:  fc.localBytes.bound(),
+		SharedBytes: fc.sharedBytes.bound(),
+		Loops:       fc.loops,
+		Irreducible: fc.irreducible,
+	}
+}
+
+// analyzeCost walks the function once with the loop nesting and
+// accumulates the symbolic execution counts.
+func (v *funcVet) analyzeCost() {
+	li := v.cfg.analyzeLoops()
+	fc := &v.summary.cost
+	fc.loops = li.loops
+	fc.irreducible = li.irreducible
+
+	ord := 0
+	indirectOrd := make(map[int]int)
+	for i := range v.code {
+		if v.code[i].Op == isa.OpCallI {
+			indirectOrd[i] = ord
+			ord++
+		}
+	}
+
+	for bi := range v.cfg.blocks {
+		if !v.cfg.reach[bi] {
+			continue
+		}
+		b := &v.cfg.blocks[bi]
+		d := li.depth[bi]
+		if li.unbounded[bi] {
+			d = -1
+		}
+		charge := func(cv *costVal, n int64) {
+			if d < 0 {
+				cv.unbounded = true
+				cv.terms = nil
+			} else {
+				cv.addAt(d, n)
+			}
+		}
+		for i := b.start; i < b.end; i++ {
+			in := &v.code[i]
+			switch in.Op {
+			case isa.OpLdL, isa.OpStL:
+				charge(&fc.localBytes, 4)
+			case isa.OpLdS, isa.OpStS:
+				charge(&fc.sharedBytes, 4)
+			case isa.OpCall, isa.OpCallI:
+				site := costSite{index: i, loopDepth: d, indirect: -1}
+				if in.Op == isa.OpCallI {
+					site.indirect = indirectOrd[i]
+				}
+				fc.sites = append(fc.sites, site)
+				continue
+			default:
+				continue
+			}
+			if in.Spill {
+				if in.Op.IsStore() {
+					charge(&fc.spillStores, 1)
+				} else {
+					charge(&fc.spillFills, 1)
+				}
+			}
+		}
+	}
+}
+
+// kernelCosts runs the interprocedural pass: per kernel, the sum over
+// every acyclic call path of the per-function bounds, each call site
+// shifting its callee's polynomial up by the site's loop depth.
+// Indirect sites take the elementwise maximum over their candidate
+// set; recursion tops out at unbounded.
+func kernelCosts(p *isa.Program, sums []*funcSummary) map[string]*CostReport {
+	memo := map[int]*funcCost{}
+	onStack := map[int]bool{}
+	var total func(fi int) funcCost
+	total = func(fi int) funcCost {
+		if t, ok := memo[fi]; ok {
+			return *t
+		}
+		if onStack[fi] {
+			// Recursive component: every metric that can fire at all
+			// fires an unbounded number of times.
+			top := costVal{unbounded: true}
+			return funcCost{spillStores: top, spillFills: top, localBytes: top, sharedBytes: top}
+		}
+		onStack[fi] = true
+		defer delete(onStack, fi)
+		f := p.Funcs[fi]
+		s := sums[fi].cost
+		t := funcCost{
+			spillStores: s.spillStores, spillFills: s.spillFills,
+			localBytes: s.localBytes, sharedBytes: s.sharedBytes,
+			loops: s.loops, irreducible: s.irreducible,
+		}
+		// costVal carries a slice: detach the accumulators from the
+		// per-function summary before mutating.
+		t.spillStores.terms = append([]int64(nil), t.spillStores.terms...)
+		t.spillFills.terms = append([]int64(nil), t.spillFills.terms...)
+		t.localBytes.terms = append([]int64(nil), t.localBytes.terms...)
+		t.sharedBytes.terms = append([]int64(nil), t.sharedBytes.terms...)
+		for _, site := range s.sites {
+			var cands []int
+			if site.indirect < 0 {
+				cands = []int{f.Code[site.index].Callee}
+			} else if site.indirect < len(f.IndirectTargets) {
+				cands = f.IndirectTargets[site.indirect]
+			}
+			var callee funcCost
+			for ci, ti := range cands {
+				ct := total(ti)
+				if ci == 0 {
+					callee = ct
+					callee.spillStores.terms = append([]int64(nil), callee.spillStores.terms...)
+					callee.spillFills.terms = append([]int64(nil), callee.spillFills.terms...)
+					callee.localBytes.terms = append([]int64(nil), callee.localBytes.terms...)
+					callee.sharedBytes.terms = append([]int64(nil), callee.sharedBytes.terms...)
+				} else {
+					callee.spillStores.maxWith(ct.spillStores)
+					callee.spillFills.maxWith(ct.spillFills)
+					callee.localBytes.maxWith(ct.localBytes)
+					callee.sharedBytes.maxWith(ct.sharedBytes)
+				}
+				if ct.irreducible {
+					callee.irreducible = true
+				}
+			}
+			if len(cands) == 0 {
+				continue
+			}
+			t.spillStores.add(callee.spillStores.shifted(site.loopDepth))
+			t.spillFills.add(callee.spillFills.shifted(site.loopDepth))
+			t.localBytes.add(callee.localBytes.shifted(site.loopDepth))
+			t.sharedBytes.add(callee.sharedBytes.shifted(site.loopDepth))
+			if callee.irreducible {
+				t.irreducible = true
+			}
+		}
+		cp := t
+		memo[fi] = &cp
+		return t
+	}
+
+	out := map[string]*CostReport{}
+	for name, fi := range p.Kernels {
+		t := total(fi)
+		out[name] = t.report()
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package vet
+
+// Natural-loop detection over the per-function CFG: iterative
+// dominators (Cooper–Harvey–Kennedy over a reverse-postorder walk),
+// back edges (u→v with v dominating u), and the reducibility check the
+// cost analysis needs — a retreating edge that is not a back edge
+// makes the CFG irreducible, and no trip-count variable can bound the
+// blocks trapped in such a region.
+//
+// The result feeds cost.go: every block gets a natural-loop nesting
+// depth (its instruction counts scale by loop^depth symbolically), and
+// blocks on cycles that natural loops do not explain are marked
+// unbounded so the cost bounds degrade to "unbounded" rather than a
+// wrong finite number.
+
+// loopInfo is the per-function loop summary.
+type loopInfo struct {
+	// depth is each block's natural-loop nesting depth (0 = straight-
+	// line code). Only meaningful for reachable blocks.
+	depth []int
+	// unbounded marks blocks whose execution count no natural-loop
+	// nesting bounds: members of an irreducible cycle.
+	unbounded []bool
+	// loops counts distinct natural-loop headers.
+	loops int
+	// irreducible is set when any retreating edge is not a back edge.
+	irreducible bool
+}
+
+// analyzeLoops computes dominators, back edges, and loop nesting.
+func (c *cfg) analyzeLoops() *loopInfo {
+	nb := len(c.blocks)
+	li := &loopInfo{depth: make([]int, nb), unbounded: make([]bool, nb)}
+	if nb == 0 {
+		return li
+	}
+
+	// Reverse postorder over the reachable subgraph.
+	rpo := make([]int, 0, nb)
+	state := make([]uint8, nb) // 0 unvisited, 1 in progress, 2 done
+	type frame struct{ b, i int }
+	stack := []frame{{0, 0}}
+	state[0] = 1
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		b := &c.blocks[f.b]
+		if f.i < len(b.succs) {
+			s := b.succs[f.i]
+			f.i++
+			if state[s] == 0 {
+				state[s] = 1
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		state[f.b] = 2
+		rpo = append(rpo, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	for i, j := 0, len(rpo)-1; i < j; i, j = i+1, j-1 {
+		rpo[i], rpo[j] = rpo[j], rpo[i]
+	}
+	rpoNum := make([]int, nb)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, b := range rpo {
+		rpoNum[b] = i
+	}
+
+	// Iterative dominators (Cooper, Harvey, Kennedy).
+	idom := make([]int, nb)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[0] = 0
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoNum[a] > rpoNum[b] {
+				a = idom[a]
+			}
+			for rpoNum[b] > rpoNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range c.blocks[b].preds {
+				if idom[p] < 0 || rpoNum[p] < 0 {
+					continue // unprocessed or unreachable predecessor
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom >= 0 && idom[b] != newIdom {
+				idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	dominates := func(a, b int) bool {
+		for {
+			if b == a {
+				return true
+			}
+			if b == 0 || idom[b] < 0 || idom[b] == b {
+				return false
+			}
+			b = idom[b]
+		}
+	}
+
+	// Back edges → natural-loop bodies, merged per header; a retreating
+	// edge whose target does not dominate its source is irreducible.
+	bodies := map[int]map[int]bool{} // header -> body block set
+	for _, u := range rpo {
+		for _, v := range c.blocks[u].succs {
+			if rpoNum[v] < 0 || rpoNum[v] > rpoNum[u] {
+				continue // forward or cross edge
+			}
+			if !dominates(v, u) {
+				li.irreducible = true
+				continue
+			}
+			body := bodies[v]
+			if body == nil {
+				body = map[int]bool{v: true}
+				bodies[v] = body
+			}
+			// All blocks reaching u without passing the header v.
+			work := []int{u}
+			for len(work) > 0 {
+				n := work[len(work)-1]
+				work = work[:len(work)-1]
+				if body[n] {
+					continue
+				}
+				body[n] = true
+				work = append(work, c.blocks[n].preds...)
+			}
+		}
+	}
+	li.loops = len(bodies)
+	for _, body := range bodies {
+		for b := range body {
+			li.depth[b]++
+		}
+	}
+
+	// In an irreducible CFG, any block on a cycle may interlock with
+	// the unstructured region; conservatively drop them all to the
+	// unbounded top element.
+	if li.irreducible {
+		for bi := 0; bi < nb; bi++ {
+			if c.reach[bi] && c.onCycle(bi) {
+				li.unbounded[bi] = true
+			}
+		}
+	}
+	return li
+}

@@ -1,0 +1,259 @@
+package vet
+
+import (
+	"fmt"
+
+	"carsgo/internal/callgraph"
+	"carsgo/internal/cars"
+	"carsgo/internal/isa"
+)
+
+// Static occupancy model (DESIGN.md §9): for each CARS ladder level
+// the resident-warp count the simulator's admission logic reaches,
+// derived from the same cars.NewPlan the runtime uses so the model and
+// the sim share one source of truth. vet cannot import internal/sim
+// (abi imports vet for LinkStrict), so the machine limits arrive as a
+// plain parameter struct; internal/san converts a sim.Config.
+
+// MachineParams are the occupancy-relevant machine limits, mirroring
+// the sim.Config fields of the same names.
+type MachineParams struct {
+	NumSMs          int  `json:"numSMs"`
+	MaxWarpsPerSM   int  `json:"maxWarpsPerSM"`
+	MaxBlocksPerSM  int  `json:"maxBlocksPerSM"`
+	MaxThreadsPerSM int  `json:"maxThreadsPerSM"`
+	RegFileSlots    int  `json:"regFileSlots"`
+	RegGranularity  int  `json:"regGranularity"`
+	SharedMemBytes  int  `json:"sharedMemBytes"`
+	UnlimitedRegs   bool `json:"unlimitedRegs,omitempty"`
+	UnlimitedSmem   bool `json:"unlimitedSmem,omitempty"`
+	UnlimitedBlocks bool `json:"unlimitedBlocks,omitempty"`
+	CARS            bool `json:"cars"`
+}
+
+// roundRegs mirrors sim.Config.roundRegs: allocations round up to the
+// register-file granularity.
+func (m MachineParams) roundRegs(slots int) int {
+	if m.RegGranularity <= 1 {
+		return slots
+	}
+	g := m.RegGranularity
+	return (slots + g - 1) / g * g
+}
+
+// regArena mirrors newSM: the per-SM register capacity in slots.
+func (m MachineParams) regArena() int {
+	if m.UnlimitedRegs {
+		return m.MaxWarpsPerSM * 512 * 4
+	}
+	return m.RegFileSlots
+}
+
+// LaunchShape is the occupancy-relevant part of one kernel launch.
+type LaunchShape struct {
+	Kernel      string `json:"kernel"`
+	Grid        int    `json:"grid"`
+	Block       int    `json:"block"`
+	SharedBytes int    `json:"sharedBytes"`
+}
+
+func (l LaunchShape) warpsPerBlock() int {
+	return (l.Block + isa.WarpSize - 1) / isa.WarpSize
+}
+
+// LevelOccupancy is the static occupancy at one ladder level (or, for
+// non-CARS programs, at the baseline worst-case allocation — a single
+// row with Level "base"). Blocks/Warps are the steady-state per-SM
+// residency at full grid pressure; ResidentWarps additionally caps by
+// the launch's grid spread over the SMs (round-robin scheduling) and
+// is the exact peak the simulator reaches. Partial marks the CARS
+// single-block admission path where some warps start register-
+// deactivated.
+type LevelOccupancy struct {
+	Level           string `json:"level"`
+	StackSlots      int    `json:"stackSlots"`
+	RegsPerWarp     int    `json:"regsPerWarp"`
+	BlocksByThreads int    `json:"blocksByThreads"`
+	BlocksBySlots   int    `json:"blocksBySlots"`
+	BlocksBySmem    int    `json:"blocksBySmem"` // -1: no shared memory used
+	BlocksByRegs    int    `json:"blocksByRegs"`
+	Blocks          int    `json:"blocks"`
+	Warps           int    `json:"warps"`
+	ResidentWarps   int    `json:"residentWarps"`
+	Partial         bool   `json:"partial,omitempty"`
+	LimitedBy       string `json:"limitedBy"`
+}
+
+// KernelPerf is the perf analysis family's per-kernel result: the
+// interprocedural cost bounds (always computed), and — when a launch
+// shape is supplied to AnalyzePerf — the per-level occupancy model and
+// the watermark advisor's recommendation.
+type KernelPerf struct {
+	Cost      CostReport       `json:"cost"`
+	Occupancy []LevelOccupancy `json:"occupancy,omitempty"`
+	Advice    *Advice          `json:"advice,omitempty"`
+}
+
+// maxWarpsOther mirrors GPU.maxWarpsOther: the per-SM warp bound from
+// the non-register occupancy limits, the input to cars.NewPlan's
+// HighFree decision. Note it charges only the launch's explicit
+// shared bytes, exactly as the runtime does.
+func (m MachineParams) maxWarpsOther(l LaunchShape) int {
+	wpb := l.warpsPerBlock()
+	blocks := m.MaxBlocksPerSM
+	if m.UnlimitedBlocks {
+		blocks = 1 << 20
+	}
+	if byThr := m.MaxThreadsPerSM / l.Block; byThr < blocks {
+		blocks = byThr
+	}
+	if l.SharedBytes > 0 && !m.UnlimitedSmem {
+		if bySmem := m.SharedMemBytes / l.SharedBytes; bySmem < blocks {
+			blocks = bySmem
+		}
+	}
+	if byWarps := m.MaxWarpsPerSM / wpb; byWarps < blocks {
+		blocks = byWarps
+	}
+	if blocks > l.Grid {
+		blocks = l.Grid
+	}
+	return blocks * wpb
+}
+
+// occupancyAt models SM.admitBlock for one per-warp register demand:
+// every limit the admission path checks, including the register-file
+// clamp and the CARS partial-admission rule (an empty SM admits one
+// block as long as a single warp's registers fit).
+func occupancyAt(m MachineParams, p *isa.Program, l LaunchShape, regsPerWarp int, carsPartial bool) (o LevelOccupancy) {
+	wpb := l.warpsPerBlock()
+	arena := m.regArena()
+	if regsPerWarp > arena {
+		regsPerWarp = arena // clamp: a warp can at most own the file
+	}
+	o.RegsPerWarp = regsPerWarp
+
+	o.BlocksByThreads = m.MaxThreadsPerSM / l.Block
+	o.BlocksBySlots = m.MaxBlocksPerSM
+	if m.UnlimitedBlocks {
+		o.BlocksBySlots = 1 << 20
+	}
+	o.BlocksBySmem = -1
+	smem := l.SharedBytes + p.SmemSpillPerThread*l.Block
+	if smem > 0 && !m.UnlimitedSmem {
+		o.BlocksBySmem = m.SharedMemBytes / smem
+	}
+	if regsPerWarp*wpb > 0 {
+		o.BlocksByRegs = arena / (regsPerWarp * wpb)
+	} else {
+		o.BlocksByRegs = o.BlocksBySlots
+	}
+	byWarpSlots := m.MaxWarpsPerSM / wpb
+
+	o.Blocks = o.BlocksByThreads
+	for _, b := range []int{o.BlocksBySlots, o.BlocksByRegs, byWarpSlots} {
+		if b < o.Blocks {
+			o.Blocks = b
+		}
+	}
+	if o.BlocksBySmem >= 0 && o.BlocksBySmem < o.Blocks {
+		o.Blocks = o.BlocksBySmem
+	}
+	if carsPartial && o.Blocks == 0 && o.BlocksByRegs == 0 &&
+		o.BlocksByThreads > 0 && o.BlocksBySlots > 0 && byWarpSlots > 0 &&
+		(o.BlocksBySmem < 0 || o.BlocksBySmem > 0) && arena >= regsPerWarp {
+		// CARS partial admission: an empty SM takes one block with at
+		// least one register-activated warp; the rest start deactivated
+		// but occupy warp slots and count as resident.
+		o.Blocks = 1
+		o.Partial = true
+	}
+	o.Warps = o.Blocks * wpb
+
+	// Peak per-SM residency for this launch: round-robin scheduling
+	// spreads the grid evenly, so no SM ever holds more than
+	// ceil(Grid/NumSMs) blocks at once.
+	residentBlocks := o.Blocks
+	if m.NumSMs > 0 {
+		if spread := (l.Grid + m.NumSMs - 1) / m.NumSMs; spread < residentBlocks {
+			residentBlocks = spread
+		}
+	}
+	o.ResidentWarps = residentBlocks * wpb
+	o.LimitedBy = o.limiter()
+	return o
+}
+
+func (o *LevelOccupancy) limiter() string {
+	switch o.Blocks {
+	case o.BlocksByRegs:
+		return "registers"
+	case o.BlocksByThreads:
+		return "threads"
+	case o.BlocksBySmem:
+		return "shared memory"
+	case o.BlocksBySlots:
+		return "block slots"
+	}
+	if o.Partial {
+		return "registers"
+	}
+	return "grid"
+}
+
+// PlanFor builds the CARS level ladder AnalyzePerf models for one
+// launch shape — exported so the dynamic differential (internal/san)
+// can force the simulator through the very same ladder.
+func (m MachineParams) PlanFor(p *isa.Program, l LaunchShape) (*cars.Plan, error) {
+	an, err := callgraph.Analyze(p, l.Kernel)
+	if err != nil {
+		return nil, err
+	}
+	return cars.NewPlan(an, m.maxWarpsOther(l), m.RegFileSlots), nil
+}
+
+// AnalyzePerf attaches the occupancy model (and, for CARS programs,
+// the watermark advice) to an existing report, one entry per launch
+// shape. The cost bounds are already present: Report computes them
+// for every kernel. A shape naming an unknown kernel is an error;
+// later shapes for the same kernel overwrite earlier ones (the model
+// describes one launch geometry at a time).
+func AnalyzePerf(rep *ProgramReport, p *isa.Program, m MachineParams, shapes []LaunchShape) error {
+	for _, shape := range shapes {
+		kr := rep.Kernel(shape.Kernel)
+		if kr == nil {
+			return fmt.Errorf("vet: perf shape names unknown kernel %q", shape.Kernel)
+		}
+		if shape.Grid <= 0 || shape.Block <= 0 {
+			return fmt.Errorf("vet: perf shape for %s has bad dims %d×%d", shape.Kernel, shape.Grid, shape.Block)
+		}
+		if kr.Perf == nil {
+			kr.Perf = &KernelPerf{}
+		}
+		an, err := callgraph.Analyze(p, shape.Kernel)
+		if err != nil {
+			return err
+		}
+		kernelBase := m.roundRegs(an.KernelBase)
+		kr.Perf.Occupancy = kr.Perf.Occupancy[:0]
+		if !m.CARS {
+			o := occupancyAt(m, p, shape, m.roundRegs(an.MaxRegs), false)
+			o.Level = "base"
+			o.StackSlots = 0
+			kr.Perf.Occupancy = append(kr.Perf.Occupancy, o)
+			kr.Perf.Advice = nil
+			continue
+		}
+		plan := cars.NewPlan(an, m.maxWarpsOther(shape), m.RegFileSlots)
+		for _, lvl := range plan.Levels {
+			// Mirror admitBlock: round the combined demand so slack
+			// lands in the register stack.
+			o := occupancyAt(m, p, shape, m.roundRegs(kernelBase+lvl.StackSlots), true)
+			o.Level = lvl.Name()
+			o.StackSlots = lvl.StackSlots
+			kr.Perf.Occupancy = append(kr.Perf.Occupancy, o)
+		}
+		kr.Perf.Advice = advise(kr, plan)
+	}
+	return nil
+}

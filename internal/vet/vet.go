@@ -207,6 +207,9 @@ type FuncReport struct {
 	Barriers          int          `json:"barriers"`
 	LiveRanges        []LiveRange  `json:"liveRanges,omitempty"`
 	CallSites         []SiteReport `json:"callSites,omitempty"`
+	// Cost carries the per-activation static cost bounds (cost.go):
+	// intraprocedural, per single activation of this function.
+	Cost *CostReport `json:"cost,omitempty"`
 }
 
 // KernelReport is the per-kernel call-graph summary under CARS.
@@ -232,6 +235,10 @@ type KernelReport struct {
 	RaceFree       bool       `json:"raceFree"`
 	SharedAccesses int        `json:"sharedAccesses"`
 	RacePairs      []RacePair `json:"racePairs,omitempty"`
+	// Perf is the static performance analysis family (DESIGN.md §9):
+	// interprocedural cost bounds always; the occupancy model and the
+	// watermark advice when AnalyzePerf ran with a launch shape.
+	Perf *KernelPerf `json:"perf,omitempty"`
 }
 
 // RacePair is one may-race between two shared-memory access sites
@@ -357,6 +364,7 @@ func Report(p *isa.Program) *ProgramReport {
 			MaxLive:       v.summary.maxLive,
 			LiveRanges:    v.summary.ranges,
 			CallSites:     v.summary.callSites,
+			Cost:          v.summary.cost.report(),
 		}
 		rep.Funcs = append(rep.Funcs, fr)
 		// Call targets must be device functions: a kernel ends in
@@ -413,6 +421,13 @@ func Report(p *isa.Program) *ProgramReport {
 			rep.Kernels[i].RaceFree = ks.raceFree
 			rep.Kernels[i].SharedAccesses = ks.sharedAccesses
 			rep.Kernels[i].RacePairs = ks.racePairs
+		}
+	}
+	// Static cost bounds (cost.go): interprocedural, per kernel.
+	costs := kernelCosts(p, sums)
+	for i := range rep.Kernels {
+		if c := costs[rep.Kernels[i].Kernel]; c != nil {
+			rep.Kernels[i].Perf = &KernelPerf{Cost: *c}
 		}
 	}
 	rep.Diags = Normalize(diags)

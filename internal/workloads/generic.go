@@ -49,6 +49,7 @@ type chainParams struct {
 	smemWords       int // shared-memory staging per block
 
 	depth         int   // call-chain depth (0 = no calls)
+	callEvery     int   // 0/1 = call chain every iter; N (pow2) = every Nth
 	calleeSaved   []int // per level; last entry repeats
 	funcALU       int   // ALU ops inside each device function
 	funcLoads     int   // gather loads inside every device function
@@ -71,10 +72,18 @@ func (p *chainParams) saved(level int) int {
 	return p.calleeSaved[level]
 }
 
-// chainWorkload builds a Workload from chain parameters. The generated
-// program is split into a main module (kernel) and a library module
-// (device functions), mirroring the paper's separate compilation.
+// chainWorkload builds a Workload from chain parameters and registers
+// it in the Table I corpus.
 func chainWorkload(p chainParams) *Workload {
+	return register(newChainWorkload(p))
+}
+
+// newChainWorkload builds a Workload from chain parameters without
+// registering it anywhere (the perf registry reuses the generator for
+// its occupancy-stress cases). The generated program is split into a
+// main module (kernel) and a library module (device functions),
+// mirroring the paper's separate compilation.
+func newChainWorkload(p chainParams) *Workload {
 	w := &Workload{
 		Name:           p.name,
 		Suite:          p.suite,
@@ -113,7 +122,7 @@ func chainWorkload(p chainParams) *Workload {
 		}
 		return ls, nil
 	}
-	return register(w)
+	return w
 }
 
 // chainModules generates the kernel + device-function library.
@@ -305,12 +314,26 @@ func chainKernel(p *chainParams) *kir.Func {
 			b.IAdd(16, 16, 2)
 		}
 		if p.depth > 0 {
-			b.Xor(4, 16, 17)
-			if p.indirect {
-				b.Mov(7, 24) // function pointer for level-0 dispatch
+			doCall := func(b *kir.Builder) {
+				b.Xor(4, 16, 17)
+				if p.indirect {
+					b.Mov(7, 24) // function pointer for level-0 dispatch
+				}
+				b.Call(funcName(p, 0, ""))
+				b.IAdd(16, 16, 4)
 			}
-			b.Call(funcName(p, 0, ""))
-			b.IAdd(16, 16, 4)
+			if p.callEvery > 1 {
+				// Call the chain only on every Nth iteration (N a power of
+				// two, block-uniform): the worst-case stack demand is still
+				// the full chain, but the dynamic trap cost shrinks by N —
+				// the regime where a deep watermark hurts occupancy for
+				// state that is rarely live.
+				b.AndI(2, 20, int32(p.callEvery-1))
+				b.SetPI(6, isa.CmpEQ, 2, 0)
+				b.If(6, doCall, nil)
+			} else {
+				doCall(b)
+			}
 		}
 		if p.barrierEvery == 1 {
 			b.Bar()

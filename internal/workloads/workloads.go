@@ -61,6 +61,19 @@ type Workload struct {
 	// dynamic sanitizer are required to flag. Zero for the Table I
 	// corpus, which must stay clean.
 	Expect Expect
+
+	// PerfExpect encodes the perf differential's expectations for the
+	// perf-registry cases (san.PerfDiffWorkloads). Zero elsewhere.
+	PerfExpect PerfExpect
+}
+
+// PerfExpect lists what the static watermark advisor must do on a
+// perf-registry workload.
+type PerfExpect struct {
+	// AvoidHigh: the High level must tank occupancy badly enough that
+	// the advisor recommends a cheaper level, and the occupancy model
+	// must show High strictly below the advised level.
+	AvoidHigh bool
 }
 
 // Expect lists the synchronization defects a negative workload carries.
@@ -98,6 +111,12 @@ var registry []*Workload
 // clean in every mode — keep holding.
 var negRegistry []*Workload
 
+// perfRegistry holds the occupancy-stress workloads exercised only by
+// the perf differential (san.PerfDiffWorkloads). They are kept out of
+// All() so the Table I corpus — and the golden statistics derived from
+// it — stay untouched.
+var perfRegistry []*Workload
+
 func register(w *Workload) *Workload {
 	registry = append(registry, w)
 	return w
@@ -108,6 +127,11 @@ func registerNegative(w *Workload) *Workload {
 	return w
 }
 
+func registerPerf(w *Workload) *Workload {
+	perfRegistry = append(perfRegistry, w)
+	return w
+}
+
 // All returns the 22 workloads in Table I order.
 func All() []*Workload { return registry }
 
@@ -115,8 +139,13 @@ func All() []*Workload { return registry }
 // plus their clean counterparts.
 func Negatives() []*Workload { return negRegistry }
 
-// ByName finds a workload, searching the Table I corpus first and the
-// negative registry second.
+// PerfCases returns the occupancy-stress workloads of the perf
+// differential (deep call chains built to make particular ladder
+// levels lose).
+func PerfCases() []*Workload { return perfRegistry }
+
+// ByName finds a workload, searching the Table I corpus first, the
+// negative registry second, and the perf registry last.
 func ByName(name string) (*Workload, error) {
 	for _, w := range registry {
 		if w.Name == name {
@@ -124,6 +153,11 @@ func ByName(name string) (*Workload, error) {
 		}
 	}
 	for _, w := range negRegistry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range perfRegistry {
 		if w.Name == name {
 			return w, nil
 		}
