@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint san test test-short bench experiments examples clean
+.PHONY: all build vet lint san test test-short bench experiments examples serve-smoke serve-test clean
 
 all: build vet lint test
 
@@ -55,6 +55,17 @@ experiments:
 # (cycles + wall time per workload) for the perf trajectory.
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson
+
+# The serving layer's concurrency tests under the race detector:
+# admission/drain races in the pool, single-flight collapse, LRU
+# eviction, and the daemon's end-to-end contract.
+serve-test:
+	$(GO) test -race ./internal/serve/...
+
+# Black-box daemon smoke: build carsd + carsctl, start the daemon,
+# drive it over HTTP, assert the exported metric names, drain it.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -17,6 +17,7 @@
 package carsgo
 
 import (
+	"context"
 	"fmt"
 
 	"carsgo/internal/abi"
@@ -79,16 +80,29 @@ func Workloads() []*workloads.Workload { return workloads.All() }
 // configuration: CARS-enabled configs compile with push/pop renaming,
 // others with baseline spills/fills. Set lto to compile fully inlined.
 func Run(cfg Config, w *workloads.Workload) (*Result, error) {
-	return run(cfg, w, false)
+	return run(context.Background(), cfg, w, false)
+}
+
+// RunContext is Run with a deadline/cancellation context: the
+// simulator polls ctx cooperatively and abandons a cancelled launch
+// with a structured *sim.CancelError (errors.Is-compatible with the
+// context error) instead of running to completion.
+func RunContext(ctx context.Context, cfg Config, w *workloads.Workload) (*Result, error) {
+	return run(ctx, cfg, w, false)
 }
 
 // RunLTO executes a workload compiled with full link-time inlining
 // (Fig. 16's comparison point). The configuration must not enable CARS.
 func RunLTO(cfg Config, w *workloads.Workload) (*Result, error) {
-	return run(cfg, w, true)
+	return run(context.Background(), cfg, w, true)
 }
 
-func run(cfg Config, w *workloads.Workload, lto bool) (*Result, error) {
+// RunLTOContext is RunLTO with a deadline/cancellation context.
+func RunLTOContext(ctx context.Context, cfg Config, w *workloads.Workload) (*Result, error) {
+	return run(ctx, cfg, w, true)
+}
+
+func run(ctx context.Context, cfg Config, w *workloads.Workload, lto bool) (*Result, error) {
 	prog, err := Compile(cfg, w.Modules(), lto)
 	if err != nil {
 		return nil, fmt.Errorf("%s/%s: %w", cfg.Name, w.Name, err)
@@ -104,7 +118,7 @@ func run(cfg Config, w *workloads.Workload, lto bool) (*Result, error) {
 	res := &Result{Config: cfg.Name, Workload: w.Name}
 	res.Stats.Name = w.Name
 	for _, l := range launches {
-		st, err := gpu.Run(l)
+		st, err := gpu.RunContext(ctx, l)
 		if err != nil {
 			return nil, fmt.Errorf("%s/%s kernel %s: %w", cfg.Name, w.Name, l.Kernel, err)
 		}

@@ -1,11 +1,15 @@
 package carsgo_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"carsgo"
 	"carsgo/internal/cars"
 	"carsgo/internal/config"
+	"carsgo/internal/sim"
 )
 
 func TestFacadeRunWorkload(t *testing.T) {
@@ -116,5 +120,35 @@ func TestFacadeSharedSpill(t *testing.T) {
 	}
 	if _, err := carsgo.Run(config.WithSharedSpill(config.V100()), fib); err == nil {
 		t.Error("recursive workload accepted under shared-spill ABI")
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	w, err := carsgo.Workload("MST")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An already-expired deadline: the simulator must abandon the
+	// launch with a structured cancellation, not run to completion.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	res, err := carsgo.RunContext(ctx, carsgo.Baseline(), w)
+	if res != nil || err == nil {
+		t.Fatalf("RunContext = %v, %v; want structured cancellation", res, err)
+	}
+	var ce *sim.CancelError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T is not *sim.CancelError: %v", err, err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancellation does not unwrap to the context error: %v", err)
+	}
+	if ce.Kernel == "" || ce.TotalBlocks <= 0 {
+		t.Fatalf("cancel error missing progress detail: %+v", ce)
+	}
+
+	// A background context behaves exactly like Run.
+	if _, err := carsgo.RunContext(context.Background(), carsgo.Baseline(), w); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -1,0 +1,347 @@
+// Command carsctl is the client for carsd.
+//
+//	carsctl -addr http://localhost:8344 health
+//	carsctl metrics [prefix]
+//	carsctl simulate -config cars -workload MST [-force low] [-timeout 30s]
+//	carsctl vet -config base -workload BFS
+//	carsctl experiment -id fig12
+//	carsctl submit -kind simulate -config cars -workload MST
+//	carsctl poll <job-id>
+//	carsctl fetch <job-id>
+//	carsctl bench-fanout -n 32 -config cars -workload FIB
+//
+// bench-fanout fires N concurrent identical simulate requests and then
+// reads /metrics to show how many actually executed — the observable
+// proof of the daemon's single-flight collapse (N requests, 1 run).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+var addr string
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: carsctl [-addr URL] <health|metrics|simulate|vet|experiment|submit|poll|fetch|bench-fanout> [args]")
+	os.Exit(2)
+}
+
+func main() {
+	flag.StringVar(&addr, "addr", envOr("CARSD_ADDR", "http://localhost:8344"), "carsd base URL")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+	}
+	cmd, args := flag.Arg(0), flag.Args()[1:]
+	var err error
+	switch cmd {
+	case "health":
+		err = get("/healthz", os.Stdout)
+	case "metrics":
+		err = metrics(args)
+	case "simulate":
+		err = simulate(args)
+	case "vet":
+		err = vetCmd(args)
+	case "experiment":
+		err = experiment(args)
+	case "submit":
+		err = submit(args)
+	case "poll":
+		err = jobGet(args, "")
+	case "fetch":
+		err = jobGet(args, "/result")
+	case "bench-fanout":
+		err = benchFanout(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "carsctl %s: %v\n", cmd, err)
+		os.Exit(1)
+	}
+}
+
+func envOr(k, def string) string {
+	if v := os.Getenv(k); v != "" {
+		return v
+	}
+	return def
+}
+
+func get(path string, w io.Writer) error {
+	resp, err := http.Get(addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 400 {
+		return fmt.Errorf("%s: %s", resp.Status, strings.TrimSpace(string(body)))
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// post sends a JSON document and pretty-prints the JSON reply. Non-2xx
+// replies become errors carrying the server's error envelope.
+func post(path string, doc any) error {
+	body, code, err := postRaw(path, doc)
+	if err != nil {
+		return err
+	}
+	if code >= 400 {
+		return fmt.Errorf("HTTP %d: %s", code, strings.TrimSpace(string(body)))
+	}
+	return prettyJSON(os.Stdout, body)
+}
+
+func postRaw(path string, doc any) ([]byte, int, error) {
+	data, err := json.Marshal(doc)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := http.Post(addr+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return body, resp.StatusCode, nil
+}
+
+func prettyJSON(w io.Writer, data []byte) error {
+	var buf bytes.Buffer
+	if err := json.Indent(&buf, data, "", "  "); err != nil {
+		_, werr := w.Write(data)
+		return werr
+	}
+	buf.WriteByte('\n')
+	_, err := buf.WriteTo(w)
+	return err
+}
+
+func metrics(args []string) error {
+	prefix := ""
+	if len(args) > 0 {
+		prefix = args[0]
+	}
+	var buf bytes.Buffer
+	if err := get("/metrics", &buf); err != nil {
+		return err
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if prefix == "" || (strings.HasPrefix(line, prefix) && !strings.HasPrefix(line, "#")) {
+			fmt.Println(line)
+		}
+	}
+	return sc.Err()
+}
+
+// simDoc parses the shared simulate/vet flag set.
+func simDoc(args []string, withForce bool) (map[string]any, error) {
+	fs := flag.NewFlagSet("request", flag.ContinueOnError)
+	cfg := fs.String("config", "base", "configuration name")
+	wl := fs.String("workload", "", "workload name (Table I)")
+	force := ""
+	if withForce {
+		fs.StringVar(&force, "force", "", "forced CARS level: low, high, <N>xlow")
+	}
+	timeout := fs.Duration("timeout", 0, "per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *wl == "" {
+		return nil, fmt.Errorf("-workload is required")
+	}
+	doc := map[string]any{"config": *cfg, "workload": *wl}
+	if force != "" {
+		doc["force"] = force
+	}
+	if *timeout > 0 {
+		doc["timeoutMs"] = timeout.Milliseconds()
+	}
+	return doc, nil
+}
+
+func simulate(args []string) error {
+	doc, err := simDoc(args, true)
+	if err != nil {
+		return err
+	}
+	return post("/v1/simulate", doc)
+}
+
+func vetCmd(args []string) error {
+	doc, err := simDoc(args, false)
+	if err != nil {
+		return err
+	}
+	return post("/v1/vet", doc)
+}
+
+func experiment(args []string) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	id := fs.String("id", "", "experiment id (fig1..fig18, tab1..tab3)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *id == "" {
+		return fmt.Errorf("-id is required")
+	}
+	doc := map[string]any{"id": *id}
+	if *timeout > 0 {
+		doc["timeoutMs"] = timeout.Milliseconds()
+	}
+	return post("/v1/experiment", doc)
+}
+
+func submit(args []string) error {
+	fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+	kind := fs.String("kind", "simulate", "job kind: simulate, vet, experiment")
+	cfg := fs.String("config", "base", "configuration name")
+	wl := fs.String("workload", "", "workload name")
+	force := fs.String("force", "", "forced CARS level")
+	id := fs.String("id", "", "experiment id")
+	timeout := fs.Duration("timeout", 0, "job deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ms := int64(0)
+	if *timeout > 0 {
+		ms = timeout.Milliseconds()
+	}
+	doc := map[string]any{"kind": *kind}
+	switch *kind {
+	case "simulate":
+		inner := map[string]any{"config": *cfg, "workload": *wl, "timeoutMs": ms}
+		if *force != "" {
+			inner["force"] = *force
+		}
+		doc["simulate"] = inner
+	case "vet":
+		doc["vet"] = map[string]any{"config": *cfg, "workload": *wl, "timeoutMs": ms}
+	case "experiment":
+		doc["experiment"] = map[string]any{"id": *id, "timeoutMs": ms}
+	default:
+		return fmt.Errorf("unknown kind %q", *kind)
+	}
+	return post("/v1/jobs", doc)
+}
+
+func jobGet(args []string, suffix string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("want exactly one job id")
+	}
+	var buf bytes.Buffer
+	if err := get("/v1/jobs/"+args[0]+suffix, &buf); err != nil {
+		return err
+	}
+	return prettyJSON(os.Stdout, buf.Bytes())
+}
+
+// benchFanout fires n identical simulate requests at once, then scrapes
+// the execution counters: with single-flight and the result cache, a
+// cold-cache burst must report exactly one real simulation.
+func benchFanout(args []string) error {
+	fs := flag.NewFlagSet("bench-fanout", flag.ContinueOnError)
+	n := fs.Int("n", 32, "concurrent identical requests")
+	cfg := fs.String("config", "cars", "configuration name")
+	wl := fs.String("workload", "FIB", "workload name")
+	timeout := fs.Duration("timeout", 0, "per-request deadline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	doc := map[string]any{"config": *cfg, "workload": *wl}
+	if *timeout > 0 {
+		doc["timeoutMs"] = timeout.Milliseconds()
+	}
+
+	before, err := scrape("carsd_sim_runs_total")
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	codes := map[int]int{}
+	cachedN, sharedN, failures := 0, 0, 0
+	for i := 0; i < *n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			body, code, err := postRaw("/v1/simulate", doc)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				failures++
+				return
+			}
+			codes[code]++
+			var resp struct {
+				Cached bool `json:"cached"`
+				Shared bool `json:"shared"`
+			}
+			if code == http.StatusOK && json.Unmarshal(body, &resp) == nil {
+				if resp.Cached {
+					cachedN++
+				}
+				if resp.Shared {
+					sharedN++
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	after, err := scrape("carsd_sim_runs_total")
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("fan-out: %d identical requests in %v\n", *n, elapsed.Round(time.Millisecond))
+	for code, c := range codes {
+		fmt.Printf("  HTTP %d: %d\n", code, c)
+	}
+	if failures > 0 {
+		fmt.Printf("  transport failures: %d\n", failures)
+	}
+	fmt.Printf("  served from cache: %d, collapsed onto another request: %d\n", cachedN, sharedN)
+	fmt.Printf("  simulations actually executed: %.0f (carsd_sim_runs_total %.0f -> %.0f)\n",
+		after-before, before, after)
+	return nil
+}
+
+// scrape reads one unlabeled metric value from /metrics.
+func scrape(name string) (float64, error) {
+	var buf bytes.Buffer
+	if err := get("/metrics", &buf); err != nil {
+		return 0, err
+	}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, name+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
+				return 0, err
+			}
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("metric %s not found", name)
+}

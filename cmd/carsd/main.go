@@ -1,0 +1,99 @@
+// Command carsd serves the carsgo engines over HTTP: simulation runs,
+// static verification, and experiment regeneration, behind a bounded
+// worker pool with an explicit admission queue, a content-addressed
+// result cache, single-flight deduplication, and Prometheus-format
+// metrics.
+//
+//	carsd -addr :8344 -workers 8 -cache-file cars.cache
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness + queue/cache snapshot
+//	GET  /metrics              Prometheus text format
+//	POST /v1/simulate          {"config":"cars","workload":"MST"}
+//	POST /v1/vet               {"config":"base","workload":"BFS"}
+//	POST /v1/experiment        {"id":"fig12"}
+//	POST /v1/jobs              async submit; poll /v1/jobs/{id}
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/result  job payload once done
+//
+// SIGTERM/SIGINT drain gracefully: the listener stops accepting, in-
+// flight jobs run to completion (bounded by -drain-timeout), and the
+// cache is persisted when -cache-file is set.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"carsgo/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8344", "listen address")
+	workers := flag.Int("workers", runtime.NumCPU(), "concurrent simulations")
+	queue := flag.Int("queue", 0, "admission queue capacity (0 = 4x workers)")
+	cacheBytes := flag.Int64("cache-bytes", 256<<20, "result cache budget in bytes (0 = default, <0 = unlimited)")
+	cacheFile := flag.String("cache-file", "", "persist the result cache to this file across restarts")
+	defTimeout := flag.Duration("default-timeout", 2*time.Minute, "deadline for requests that set none")
+	maxTimeout := flag.Duration("max-timeout", 10*time.Minute, "upper clamp on client-requested deadlines")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight jobs")
+	quiet := flag.Bool("quiet", false, "suppress request logs")
+	flag.Parse()
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	if *quiet {
+		logger = slog.New(slog.DiscardHandler)
+	}
+
+	srv := serve.New(serve.Options{
+		Workers:        *workers,
+		QueueCap:       *queue,
+		CacheBytes:     *cacheBytes,
+		CacheFile:      *cacheFile,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+		Logger:         logger,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	errc := make(chan error, 1)
+	go func() {
+		logger.Info("carsd listening", "addr", *addr, "workers", *workers)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case sig := <-sigc:
+		logger.Info("draining", "signal", sig.String())
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		// Stop the listener first (handlers finish their responses),
+		// then drain the pool and persist the cache.
+		if err := hs.Shutdown(ctx); err != nil {
+			logger.Warn("listener shutdown", "err", err.Error())
+		}
+		if err := srv.Close(ctx); err != nil {
+			logger.Warn("drain incomplete", "err", err.Error())
+			os.Exit(1)
+		}
+		logger.Info("drained cleanly")
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "carsd: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

@@ -3,13 +3,14 @@
 //
 // Usage:
 //
-//	carsexp [-run fig8,tab1] [-workers N] [-md] [-v]
+//	carsexp [-run fig8,tab1] [-parallel N] [-timeout 10m] [-md] [-v]
 //
 // With no -run flag every experiment runs in paper order. -md emits
 // GitHub-flavoured markdown (the format EXPERIMENTS.md uses).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +22,9 @@ import (
 
 func main() {
 	runIDs := flag.String("run", "", "comma-separated experiment ids (default: all)")
-	workers := flag.Int("workers", runtime.NumCPU(), "parallel simulations")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool size bounding concurrent simulations")
+	workers := flag.Int("workers", 0, "deprecated alias for -parallel")
+	timeout := flag.Duration("timeout", 0, "kill the whole regeneration after this long (0 = no limit)")
 	md := flag.Bool("md", false, "emit markdown instead of aligned text")
 	chart := flag.Bool("chart", false, "append an ASCII bar chart per experiment")
 	verbose := flag.Bool("v", false, "log each simulation run")
@@ -29,9 +32,18 @@ func main() {
 	cache := flag.String("cache", "", "JSON results cache: reuse prior runs, save new ones")
 	flag.Parse()
 
-	r := experiments.NewRunner(*workers)
+	n := *parallel
+	if *workers > 0 {
+		n = *workers
+	}
+	r := experiments.NewRunner(n)
 	if *verbose {
 		r.Log = os.Stderr
+	}
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+		defer cancel()
+		r.Ctx = ctx
 	}
 	if *cache != "" {
 		n, err := r.LoadCache(*cache)

@@ -18,11 +18,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"carsgo"
 	"carsgo/internal/config"
@@ -33,37 +32,7 @@ import (
 )
 
 func pickConfig(name string) (carsgo.Config, bool, error) {
-	lto := false
-	var c carsgo.Config
-	switch {
-	case name == "base":
-		c = config.V100()
-	case name == "cars":
-		c = config.WithCARS(config.V100())
-	case name == "ideal":
-		c = config.IdealizedVirtualWarps(config.V100())
-	case name == "10mb":
-		c = config.TenMBL1(config.V100())
-	case name == "allhit":
-		c = config.AllHit(config.V100())
-	case name == "3070":
-		c = config.RTX3070()
-	case name == "3070cars":
-		c = config.WithCARS(config.RTX3070())
-	case name == "lto":
-		c = config.V100()
-		lto = true
-	case strings.HasPrefix(name, "swl"):
-		n, err := strconv.Atoi(name[3:])
-		if err != nil || n <= 0 {
-			return c, false, fmt.Errorf("bad SWL limit in %q", name)
-		}
-		c = config.SWL(config.V100(), n)
-		c.Name = "SWL" + name[3:]
-	default:
-		return c, false, fmt.Errorf("unknown config %q", name)
-	}
-	return c, lto, nil
+	return config.Named(name)
 }
 
 func main() {
@@ -73,7 +42,15 @@ func main() {
 	verbose := flag.Bool("v", false, "print per-launch stats")
 	occupancy := flag.Bool("occupancy", false, "print the occupancy calculation per launch and exit")
 	sanitize := flag.Bool("san", false, "run under the shadow sanitizer and check static/dynamic dominance")
+	timeout := flag.Duration("timeout", 0, "kill the simulation after this long (0 = no limit)")
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -101,14 +78,14 @@ func main() {
 		return
 	}
 	if *sanitize {
-		runSanitized(w, cfg, lto)
+		runSanitized(ctx, w, cfg, lto)
 		return
 	}
 	var res *carsgo.Result
 	if lto {
-		res, err = carsgo.RunLTO(cfg, w)
+		res, err = carsgo.RunLTOContext(ctx, cfg, w)
 	} else {
-		res, err = carsgo.Run(cfg, w)
+		res, err = carsgo.RunContext(ctx, cfg, w)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
@@ -126,13 +103,13 @@ func main() {
 // runSanitized executes the workload with the shadow sanitizer
 // attached and reports any dynamic ABI violation or static-bound
 // dominance failure.
-func runSanitized(w *workloads.Workload, cfg carsgo.Config, lto bool) {
+func runSanitized(ctx context.Context, w *workloads.Workload, cfg carsgo.Config, lto bool) {
 	prog, err := carsgo.Compile(cfg, w.Modules(), lto)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)
 	}
-	s, rep, err := san.RunProgram(prog, cfg, w.Setup)
+	s, rep, err := san.RunProgram(ctx, prog, cfg, w.Setup)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)

@@ -71,6 +71,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -118,6 +119,10 @@ type jsonUnit struct {
 
 var units []jsonUnit
 
+// rootCtx bounds every dynamic (simulator-backed) run; the -timeout
+// flag gives it a deadline.
+var rootCtx = context.Background()
+
 // internalErr marks a non-finding failure (unreadable input) for the
 // exit-status contract: 0 clean, 1 findings, 2 internal error.
 var internalErr bool
@@ -132,8 +137,16 @@ func main() {
 	flag.BoolVar(&syncOut, "sync", false, "print per-kernel synchronization verdicts (barrier safety, race freedom)")
 	flag.BoolVar(&raceOut, "race", false, "print every statically-detected shared-memory race pair")
 	flag.BoolVar(&perfOut, "perf", false, "attach the static cost/occupancy/advice analysis to every vetted unit")
+	timeout := flag.Duration("timeout", 0, "kill dynamic (differential) runs after this long (0 = no limit)")
 	flag.Parse()
 	jsonOut = *jsonFlag
+
+	rootCtx = context.Background()
+	if *timeout > 0 {
+		ctx, cancel := context.WithTimeout(rootCtx, *timeout)
+		defer cancel()
+		rootCtx = ctx
+	}
 
 	modes, err := parseModes(*mode)
 	if err != nil {
@@ -186,7 +199,7 @@ func runPerfDiff(names []string, regret float64) int {
 	if jsonOut {
 		out = io.Discard
 	}
-	results, ok, err := san.PerfDiffWorkloads(names, regret, out)
+	results, ok, err := san.PerfDiffWorkloads(rootCtx, names, regret, out)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "carsvet:", err)
 		return 2
@@ -207,12 +220,12 @@ func runPerfDiff(names []string, regret float64) int {
 // no files are given, otherwise each file under a smoke launch.
 func runDiff(paths []string) int {
 	if len(paths) == 0 {
-		_, ok, err := san.DiffWorkloads(nil, os.Stdout)
+		_, ok, err := san.DiffWorkloads(rootCtx, nil, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "carsvet:", err)
 			return 2
 		}
-		_, negOK, err := san.DiffNegatives(os.Stdout)
+		_, negOK, err := san.DiffNegatives(rootCtx, os.Stdout)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "carsvet:", err)
 			return 2
@@ -276,7 +289,7 @@ func diffFile(path string) bool {
 			clean = false
 			continue
 		}
-		if _, err := g.Run(launch); err != nil {
+		if _, err := g.RunContext(rootCtx, launch); err != nil {
 			fmt.Printf("%s [%s]: run: %v\n", path, mode, err)
 			clean = false
 			continue

@@ -1,0 +1,54 @@
+package config
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"carsgo/internal/sim"
+)
+
+// Named resolves a configuration by the short name the CLIs and the
+// carsd daemon share ("base", "cars", "ideal", "10mb", "allhit",
+// "swl<N>", "3070", "3070cars", "lto"). The second return is whether
+// the name requests link-time-inlined compilation (the "lto" pseudo-
+// configuration, which runs the baseline machine on an inlined
+// program).
+func Named(name string) (sim.Config, bool, error) {
+	lto := false
+	var c sim.Config
+	switch {
+	case name == "base":
+		c = V100()
+	case name == "cars":
+		c = WithCARS(V100())
+	case name == "ideal":
+		c = IdealizedVirtualWarps(V100())
+	case name == "10mb":
+		c = TenMBL1(V100())
+	case name == "allhit":
+		c = AllHit(V100())
+	case name == "3070":
+		c = RTX3070()
+	case name == "3070cars":
+		c = WithCARS(RTX3070())
+	case name == "lto":
+		c = V100()
+		lto = true
+	case strings.HasPrefix(name, "swl"):
+		n, err := strconv.Atoi(name[3:])
+		if err != nil || n <= 0 {
+			return c, false, fmt.Errorf("bad SWL limit in %q", name)
+		}
+		c = SWL(V100(), n)
+		c.Name = "SWL" + name[3:]
+	default:
+		return c, false, fmt.Errorf("unknown config %q (have %s)", name, strings.Join(NamedList(), ", "))
+	}
+	return c, lto, nil
+}
+
+// NamedList enumerates the names Named accepts.
+func NamedList() []string {
+	return []string{"base", "cars", "ideal", "10mb", "allhit", "swl<N>", "3070", "3070cars", "lto"}
+}

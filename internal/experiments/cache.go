@@ -3,81 +3,108 @@ package experiments
 import (
 	"encoding/json"
 	"fmt"
-	"os"
 
 	"carsgo"
+	"carsgo/internal/serve/cache"
 )
 
-// cacheEntry is one memoised simulation result on disk.
-type cacheEntry struct {
+// The runner's disk memo rides the shared content-addressed cache
+// (internal/serve/cache): every memoised simulation result is stored
+// under the canonical hash of its request spec, in the same
+// corruption-tolerant line format the carsd daemon persists. A
+// damaged entry (torn write, bit rot, hand edit) is skipped and the
+// simulation simply recomputed — loading never fails on content.
+
+// cacheSchema versions the key derivation and payload layout; bumping
+// it orphans (but does not invalidate the parsing of) old entries.
+const cacheSchema = 2
+
+// cacheKeySpec is the canonical key-spec hashed into each entry's
+// address. Field order is fixed by the type; values are scalars.
+type cacheKeySpec struct {
+	Schema   int    `json:"schema"`
+	Kind     string `json:"kind"`
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	LTO      bool   `json:"lto"`
+}
+
+func (q request) keySpec() cacheKeySpec {
+	return cacheKeySpec{Schema: cacheSchema, Kind: "experiment-run",
+		Config: q.cfgName, Workload: q.workload, LTO: q.lto}
+}
+
+// cachePayload is one entry's JSON value: the request identity again
+// (the hash is one-way) plus the memoised result. Output regions are
+// included, keeping cross-configuration equivalence checks meaningful.
+type cachePayload struct {
 	Config   string
 	Workload string
 	LTO      bool
 	Result   *carsgo.Result
 }
 
-// cacheFile is the on-disk format: a version header plus entries.
-type cacheFile struct {
-	Version int
-	Entries []cacheEntry
-}
-
-const cacheVersion = 1
-
-// SaveCache writes every memoised result to path as JSON, so a later
-// Runner can skip simulations that already ran. Output regions are
-// included, keeping cross-configuration equivalence checks meaningful.
+// SaveCache writes every memoised result to path, so a later Runner
+// can skip simulations that already ran.
 func (r *Runner) SaveCache(path string) error {
+	store := cache.New(0)
 	r.mu.Lock()
-	cf := cacheFile{Version: cacheVersion}
+	var err error
 	for q, res := range r.results {
-		cf.Entries = append(cf.Entries, cacheEntry{
+		data, merr := json.Marshal(cachePayload{
 			Config: q.cfgName, Workload: q.workload, LTO: q.lto, Result: res,
 		})
+		if merr != nil {
+			err = fmt.Errorf("experiments: encode cache entry: %w", merr)
+			break
+		}
+		k, kerr := cache.KeyOf(q.keySpec())
+		if kerr != nil {
+			err = kerr
+			break
+		}
+		store.Put(k, data)
 	}
 	r.mu.Unlock()
-	data, err := json.Marshal(&cf)
 	if err != nil {
-		return fmt.Errorf("experiments: encode cache: %w", err)
-	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
 		return err
 	}
-	return os.Rename(tmp, path)
+	return store.SaveFile(path)
 }
 
-// LoadCache seeds the runner with results from a prior SaveCache. A
-// missing file is not an error (first run); version mismatches are.
-// Entries whose configuration name the current process has not defined
-// yet are still usable: configurations are looked up only on a miss.
+// LoadCache seeds the runner with results from a prior SaveCache,
+// returning how many entries were usable. A missing file is not an
+// error (first run), and neither is damage: an entry that fails the
+// checksum, fails to decode, or whose payload disagrees with its
+// content address is skipped and will be recomputed on demand.
+// Entries whose configuration name the current process has not
+// defined yet are still usable: configurations are looked up only on
+// a miss.
 func (r *Runner) LoadCache(path string) (int, error) {
-	data, err := os.ReadFile(path)
-	if os.IsNotExist(err) {
-		return 0, nil
-	}
-	if err != nil {
+	store := cache.New(0)
+	if _, _, err := store.LoadFile(path); err != nil {
 		return 0, err
 	}
-	var cf cacheFile
-	if err := json.Unmarshal(data, &cf); err != nil {
-		return 0, fmt.Errorf("experiments: decode cache: %w", err)
-	}
-	if cf.Version != cacheVersion {
-		return 0, fmt.Errorf("experiments: cache version %d, want %d", cf.Version, cacheVersion)
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	n := 0
-	for _, e := range cf.Entries {
-		if e.Result == nil {
-			continue
+	store.Range(func(k cache.Key, v []byte) bool {
+		var e cachePayload
+		if json.Unmarshal(v, &e) != nil || e.Result == nil {
+			return true
 		}
 		q := request{cfgName: e.Config, workload: e.Workload, lto: e.LTO}
+		// The payload must live at its own content address; a mismatch
+		// means the entry was corrupted or relocated.
+		want, err := cache.KeyOf(q.keySpec())
+		if err != nil || want != k {
+			return true
+		}
+		r.mu.Lock()
 		if _, dup := r.results[q]; !dup {
 			r.results[q] = e.Result
 			n++
 		}
-	}
+		r.mu.Unlock()
+		return true
+	})
 	return n, nil
 }

@@ -169,12 +169,51 @@ func TestCacheRoundTrip(t *testing.T) {
 	if len(res.Output) != 3 || res.Output[2] != 3 {
 		t.Fatalf("cached result corrupted: %+v", res)
 	}
-	// Missing file: fine. Corrupt file: error.
+	// Missing file: fine. Corrupt file: tolerated — damaged entries are
+	// skipped and recomputed, never a fatal error.
 	if n, err := NewRunner(1).LoadCache(dir + "/none.json"); n != 0 || err != nil {
 		t.Fatalf("missing cache: n=%d err=%v", n, err)
 	}
 	os.WriteFile(path, []byte("junk"), 0o644)
-	if _, err := NewRunner(1).LoadCache(path); err == nil {
-		t.Fatal("corrupt cache accepted")
+	if n, err := NewRunner(1).LoadCache(path); n != 0 || err != nil {
+		t.Fatalf("corrupt cache: n=%d err=%v, want 0 entries and no error", n, err)
+	}
+}
+
+// TestCacheCorruptEntrySkipped damages one entry of a two-entry cache
+// file and checks the other entry still loads.
+func TestCacheCorruptEntrySkipped(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/cache.json"
+
+	r := NewRunner(1)
+	r.results[request{cfgName: "V100", workload: "MST"}] = &carsgo.Result{
+		Config: "V100", Workload: "MST", Output: []uint32{1, 2, 3},
+	}
+	r.results[request{cfgName: "V100", workload: "FIB"}] = &carsgo.Result{
+		Config: "V100", Workload: "FIB", Output: []uint32{9},
+	}
+	if err := r.SaveCache(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 { // header + 2 entries
+		t.Fatalf("cache lines = %d", len(lines))
+	}
+	// Flip payload bytes in the second entry; its checksum now fails.
+	lines[2] = strings.Replace(lines[2], `"v":"`, `"v":"QkFE`, 1)
+	os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644)
+
+	r2 := NewRunner(1)
+	n, err := r2.LoadCache(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d entries from a half-corrupt cache, want 1", n)
 	}
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"carsgo"
 	"carsgo/internal/abi"
 	"carsgo/internal/cars"
 	"carsgo/internal/config"
+	"carsgo/internal/serve/jobq"
 	"carsgo/internal/sim"
 	"carsgo/internal/stats"
 	"carsgo/internal/workloads"
@@ -14,7 +16,7 @@ import (
 
 // runPTAKernel runs one PTA kernel in isolation under a configuration,
 // optionally pinning the CARS allocation mechanism.
-func runPTAKernel(cfg sim.Config, kernel string) (*carsgo.Result, error) {
+func runPTAKernel(ctx context.Context, cfg sim.Config, kernel string) (*carsgo.Result, error) {
 	w, err := workloads.ByName("PTA")
 	if err != nil {
 		return nil, err
@@ -40,7 +42,7 @@ func runPTAKernel(cfg sim.Config, kernel string) (*carsgo.Result, error) {
 		if l.Kernel != kernel {
 			continue
 		}
-		st, err := gpu.Run(l)
+		st, err := gpu.RunContext(ctx, l)
 		if err != nil {
 			return nil, err
 		}
@@ -84,36 +86,44 @@ func (r *Runner) Fig14() (*Table, error) {
 		speedup float64
 		ctx     uint64
 	}
+	// One pool job per kernel: the fan-out is bounded by the runner's
+	// shared worker pool rather than a goroutine per kernel.
+	ctx := r.context()
 	results := make([][]cell, len(kernels))
 	errs := make([]error, len(kernels))
-	sem := make(chan struct{}, r.Workers)
-	done := make(chan int)
+	tasks := make([]*jobq.Task, len(kernels))
 	for ki, kernel := range kernels {
-		go func(ki int, kernel string) {
-			defer func() { done <- ki }()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			base, err := runPTAKernel(config.V100(), kernel)
+		ki, kernel := ki, kernel
+		t, err := r.pool.SubmitWait(ctx, func(ctx context.Context) (any, error) {
+			base, err := runPTAKernel(ctx, config.V100(), kernel)
 			if err != nil {
 				errs[ki] = err
-				return
+				return nil, nil
 			}
 			row := make([]cell, len(policies))
 			for pi, p := range policies {
 				cfg := config.WithCARSPolicy(config.V100(), p.policy)
 				cfg.Name = "V100+CARS-" + p.label
-				res, err := runPTAKernel(cfg, kernel)
+				res, err := runPTAKernel(ctx, cfg, kernel)
 				if err != nil {
 					errs[ki] = err
-					return
+					return nil, nil
 				}
 				row[pi] = cell{speedup: res.Speedup(base), ctx: res.Stats.ContextSwitches}
 			}
 			results[ki] = row
-		}(ki, kernel)
+			return nil, nil
+		})
+		if err != nil {
+			errs[ki] = err
+			continue
+		}
+		tasks[ki] = t
 	}
-	for range kernels {
-		<-done
+	for _, t := range tasks {
+		if t != nil {
+			t.Wait(context.Background())
+		}
 	}
 	for ki, kernel := range kernels {
 		if errs[ki] != nil {
@@ -197,11 +207,11 @@ func steadyState(res *carsgo.Result) *stats.Kernel {
 func (r *Runner) Fig11() (*Table, error) {
 	const kernel = "PTA_K7_kernel"
 	const window = 2048
-	base, err := runPTAKernel(config.WithTimeline(config.V100(), window), kernel)
+	base, err := runPTAKernel(r.context(), config.WithTimeline(config.V100(), window), kernel)
 	if err != nil {
 		return nil, err
 	}
-	crs, err := runPTAKernel(config.WithTimeline(config.WithCARS(config.V100()), window), kernel)
+	crs, err := runPTAKernel(r.context(), config.WithTimeline(config.WithCARS(config.V100()), window), kernel)
 	if err != nil {
 		return nil, err
 	}

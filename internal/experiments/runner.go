@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -18,6 +19,7 @@ import (
 
 	"carsgo"
 	"carsgo/internal/config"
+	"carsgo/internal/serve/jobq"
 	"carsgo/internal/sim"
 	"carsgo/internal/workloads"
 )
@@ -88,12 +90,19 @@ type request struct {
 }
 
 // Runner executes and memoises simulation runs for the experiments.
+// All simulations go through one bounded jobq.Pool — the fan-out is
+// capped at the worker count no matter how many requests a figure
+// stages at once.
 type Runner struct {
-	// Workers bounds parallel simulations (each builds its own GPU).
+	// Workers is the pool's parallelism (fixed at construction).
 	Workers int
 	// Log receives progress lines; nil silences them.
 	Log io.Writer
+	// Ctx, when set, bounds every simulation the runner starts (the
+	// carsexp -timeout flag); nil means no deadline.
+	Ctx context.Context
 
+	pool    *jobq.Pool
 	mu      sync.Mutex
 	results map[request]*carsgo.Result
 	errs    map[request]error
@@ -107,10 +116,19 @@ func NewRunner(workers int) *Runner {
 	}
 	return &Runner{
 		Workers: workers,
+		pool:    jobq.New(workers, workers),
 		results: map[request]*carsgo.Result{},
 		errs:    map[request]error{},
 		configs: map[string]sim.Config{},
 	}
+}
+
+// context returns the runner's base context.
+func (r *Runner) context() context.Context {
+	if r.Ctx != nil {
+		return r.Ctx
+	}
+	return context.Background()
 }
 
 // defineConfig registers a named configuration lazily.
@@ -145,32 +163,36 @@ func (r *Runner) prefetch(reqs []request) {
 	if len(missing) == 0 {
 		return
 	}
-	ch := make(chan request)
-	var wg sync.WaitGroup
-	for i := 0; i < r.Workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for q := range ch {
-				res, err := r.execute(q)
-				r.mu.Lock()
-				if err != nil {
-					r.errs[q] = err
-				} else {
-					r.results[q] = res
-				}
-				r.mu.Unlock()
-			}
-		}()
-	}
+	ctx := r.context()
+	tasks := make([]*jobq.Task, 0, len(missing))
 	for _, q := range missing {
-		ch <- q
+		q := q
+		t, err := r.pool.SubmitWait(ctx, func(ctx context.Context) (any, error) {
+			res, err := r.execute(ctx, q)
+			r.mu.Lock()
+			if err != nil {
+				r.errs[q] = err
+			} else {
+				r.results[q] = res
+			}
+			r.mu.Unlock()
+			return nil, nil
+		})
+		if err != nil {
+			// Admission failed (cancelled context): record and move on.
+			r.mu.Lock()
+			r.errs[q] = err
+			r.mu.Unlock()
+			continue
+		}
+		tasks = append(tasks, t)
 	}
-	close(ch)
-	wg.Wait()
+	for _, t := range tasks {
+		t.Wait(context.Background())
+	}
 }
 
-func (r *Runner) execute(q request) (*carsgo.Result, error) {
+func (r *Runner) execute(ctx context.Context, q request) (*carsgo.Result, error) {
 	r.mu.Lock()
 	cfg, ok := r.configs[q.cfgName]
 	r.mu.Unlock()
@@ -183,9 +205,9 @@ func (r *Runner) execute(q request) (*carsgo.Result, error) {
 	}
 	r.logf("run %-10s %-12s lto=%v", q.cfgName, q.workload, q.lto)
 	if q.lto {
-		return carsgo.RunLTO(cfg, w)
+		return carsgo.RunLTOContext(ctx, cfg, w)
 	}
-	return carsgo.Run(cfg, w)
+	return carsgo.RunContext(ctx, cfg, w)
 }
 
 // result fetches (running if needed) one run.

@@ -1,6 +1,7 @@
 package san
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -65,7 +66,7 @@ func ConfigFor(mode abi.Mode) sim.Config {
 // sanitizer attached and returns the sanitizer plus the vet report it
 // was checked against. setup runs after GPU construction and before
 // the launches (device-memory initialisation); it may be nil.
-func RunProgram(prog *isa.Program, cfg sim.Config,
+func RunProgram(ctx context.Context, prog *isa.Program, cfg sim.Config,
 	setup func(g *sim.GPU) ([]isa.Launch, error)) (*Sanitizer, *vet.ProgramReport, error) {
 	rep := vet.Report(prog)
 	for _, d := range rep.Diags {
@@ -73,19 +74,19 @@ func RunProgram(prog *isa.Program, cfg sim.Config,
 			return nil, rep, fmt.Errorf("san: program does not vet: %s", d)
 		}
 	}
-	return runVetted(prog, cfg, rep, setup)
+	return runVetted(ctx, prog, cfg, rep, setup)
 }
 
 // RunProgramUnvetted is RunProgram without the vet gate: the program
 // runs even when the static verifier reports errors. The negative
 // differential harness needs this — its workloads are broken on
 // purpose, and the point is to watch the sanitizer catch them.
-func RunProgramUnvetted(prog *isa.Program, cfg sim.Config,
+func RunProgramUnvetted(ctx context.Context, prog *isa.Program, cfg sim.Config,
 	setup func(g *sim.GPU) ([]isa.Launch, error)) (*Sanitizer, *vet.ProgramReport, error) {
-	return runVetted(prog, cfg, vet.Report(prog), setup)
+	return runVetted(ctx, prog, cfg, vet.Report(prog), setup)
 }
 
-func runVetted(prog *isa.Program, cfg sim.Config, rep *vet.ProgramReport,
+func runVetted(ctx context.Context, prog *isa.Program, cfg sim.Config, rep *vet.ProgramReport,
 	setup func(g *sim.GPU) ([]isa.Launch, error)) (*Sanitizer, *vet.ProgramReport, error) {
 	g, err := sim.New(cfg, prog)
 	if err != nil {
@@ -103,7 +104,7 @@ func runVetted(prog *isa.Program, cfg sim.Config, rep *vet.ProgramReport,
 			return nil, rep, fmt.Errorf("san: launch %s: %w (needs %dB, SM has %dB)",
 				l.Kernel, ErrNoFit, need, cfg.SharedMemBytes)
 		}
-		if _, err := g.Run(l); err != nil {
+		if _, err := g.RunContext(ctx, l); err != nil {
 			return nil, rep, fmt.Errorf("san: launch %s: %w", l.Kernel, err)
 		}
 	}
@@ -188,7 +189,7 @@ func costDom(out *[]string, who, metric string, b vet.CostBound, dyn uint64) {
 
 // RunWorkload runs one built-in workload under one ABI mode with the
 // sanitizer attached and checks the differential invariant.
-func RunWorkload(w *workloads.Workload, mode abi.Mode) (*DiffResult, error) {
+func RunWorkload(ctx context.Context, w *workloads.Workload, mode abi.Mode) (*DiffResult, error) {
 	res := &DiffResult{Workload: w.Name, Mode: mode.String()}
 	prog, err := abi.Link(mode, w.Modules()...)
 	if err != nil {
@@ -201,7 +202,7 @@ func RunWorkload(w *workloads.Workload, mode abi.Mode) (*DiffResult, error) {
 		}
 		return nil, err
 	}
-	s, rep, err := RunProgram(prog, ConfigFor(mode), w.Setup)
+	s, rep, err := RunProgram(ctx, prog, ConfigFor(mode), w.Setup)
 	if err != nil {
 		if errors.Is(err, ErrNoFit) {
 			// The static shared-spill frame is too large for the target
@@ -222,7 +223,7 @@ func RunWorkload(w *workloads.Workload, mode abi.Mode) (*DiffResult, error) {
 // (all of them when names is empty) in every linkable ABI mode,
 // reporting progress to out (which may be io.Discard). It returns the
 // per-run results and whether every run upheld the invariant.
-func DiffWorkloads(names []string, out io.Writer) ([]*DiffResult, bool, error) {
+func DiffWorkloads(ctx context.Context, names []string, out io.Writer) ([]*DiffResult, bool, error) {
 	var list []*workloads.Workload
 	if len(names) == 0 {
 		list = workloads.All()
@@ -239,7 +240,7 @@ func DiffWorkloads(names []string, out io.Writer) ([]*DiffResult, bool, error) {
 	ok := true
 	for _, w := range list {
 		for _, mode := range abi.Modes {
-			res, err := RunWorkload(w, mode)
+			res, err := RunWorkload(ctx, w, mode)
 			if err != nil {
 				return results, false, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
 			}
@@ -270,7 +271,7 @@ func DiffWorkloads(names []string, out io.Writer) ([]*DiffResult, bool, error) {
 // by the static verifier AND observed by the sanitizer, while the
 // clean counterparts must pass both sides. It returns per-run results
 // and whether every expectation held.
-func DiffNegatives(out io.Writer) ([]*DiffResult, bool, error) {
+func DiffNegatives(ctx context.Context, out io.Writer) ([]*DiffResult, bool, error) {
 	var results []*DiffResult
 	ok := true
 	for _, w := range workloads.Negatives() {
@@ -280,7 +281,7 @@ func DiffNegatives(out io.Writer) ([]*DiffResult, bool, error) {
 			if err != nil {
 				return results, false, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
 			}
-			s, rep, err := RunProgramUnvetted(prog, ConfigFor(mode), w.Setup)
+			s, rep, err := RunProgramUnvetted(ctx, prog, ConfigFor(mode), w.Setup)
 			if err != nil {
 				return results, false, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
 			}

@@ -1,6 +1,7 @@
 package san
 
 import (
+	"context"
 	"io"
 	"os"
 	"strings"
@@ -26,7 +27,7 @@ func TestDiffWorkloads(t *testing.T) {
 	if testing.Short() {
 		t.Skip("simulation-heavy differential sweep")
 	}
-	results, ok, err := DiffWorkloads(diffSubset, io.Discard)
+	results, ok, err := DiffWorkloads(context.Background(), diffSubset, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestDiffWorkloads(t *testing.T) {
 // BOTH the static verifier and the sanitizer, and their clean twins by
 // neither, in every ABI mode.
 func TestDiffNegatives(t *testing.T) {
-	results, ok, err := DiffNegatives(io.Discard)
+	results, ok, err := DiffNegatives(context.Background(), io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestDiffTrapsExercised(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunWorkload(w, abi.CARS)
+	res, err := RunWorkload(context.Background(), w, abi.CARS)
 	if err != nil {
 		t.Fatal(err)
 	}

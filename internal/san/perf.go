@@ -1,6 +1,7 @@
 package san
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -100,7 +101,7 @@ func Shapes(launches []isa.Launch) []vet.LaunchShape {
 // runMeasured is runVetted plus measurement: it returns the launches
 // the setup produced and the per-launch kernel statistics alongside
 // the sanitizer.
-func runMeasured(prog *isa.Program, cfg sim.Config,
+func runMeasured(ctx context.Context, prog *isa.Program, cfg sim.Config,
 	setup func(g *sim.GPU) ([]isa.Launch, error)) (*Sanitizer, []isa.Launch, []*stats.Kernel, error) {
 	g, err := sim.New(cfg, prog)
 	if err != nil {
@@ -119,7 +120,7 @@ func runMeasured(prog *isa.Program, cfg sim.Config,
 			return nil, nil, nil, fmt.Errorf("san: launch %s: %w (needs %dB, SM has %dB)",
 				l.Kernel, ErrNoFit, need, cfg.SharedMemBytes)
 		}
-		st, err := g.Run(l)
+		st, err := g.RunContext(ctx, l)
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("san: launch %s: %w", l.Kernel, err)
 		}
@@ -155,7 +156,7 @@ func sumCycles(sts []*stats.Kernel) int64 {
 
 // PerfDiffWorkload runs the perf differential for one workload under
 // one ABI mode.
-func PerfDiffWorkload(w *workloads.Workload, mode abi.Mode, regret float64) (*PerfResult, error) {
+func PerfDiffWorkload(ctx context.Context, w *workloads.Workload, mode abi.Mode, regret float64) (*PerfResult, error) {
 	res := &PerfResult{Workload: w.Name, Mode: mode.String()}
 	prog, err := abi.Link(mode, w.Modules()...)
 	if err != nil {
@@ -172,7 +173,7 @@ func PerfDiffWorkload(w *workloads.Workload, mode abi.Mode, regret float64) (*Pe
 		}
 	}
 	cfg := ConfigFor(mode)
-	s, launches, sts, err := runMeasured(prog, cfg, w.Setup)
+	s, launches, sts, err := runMeasured(ctx, prog, cfg, w.Setup)
 	if err != nil {
 		if errors.Is(err, ErrNoFit) {
 			res.Skipped, res.Reason = true, "shared-spill frame exceeds shared memory"
@@ -238,7 +239,7 @@ func PerfDiffWorkload(w *workloads.Workload, mode abi.Mode, regret float64) (*Pe
 	}
 	for i, lvl := range plan.Levels {
 		fcfg := config.WithCARSPolicy(config.V100(), cars.ForcedPolicy(lvl))
-		fs, _, fsts, err := runMeasured(prog, fcfg, w.Setup)
+		fs, _, fsts, err := runMeasured(ctx, prog, fcfg, w.Setup)
 		if err != nil {
 			return nil, fmt.Errorf("forced %s: %w", lvl.Name(), err)
 		}
@@ -313,7 +314,7 @@ func exactWarps(res *PerfResult, level string, static, simPeak, sanPeak int) {
 // workloads (all of Table I plus the perf-registry cases when names is
 // empty) in every linkable ABI mode. It returns the per-run results
 // and whether every run upheld the invariants.
-func PerfDiffWorkloads(names []string, regret float64, out io.Writer) ([]*PerfResult, bool, error) {
+func PerfDiffWorkloads(ctx context.Context, names []string, regret float64, out io.Writer) ([]*PerfResult, bool, error) {
 	var list []*workloads.Workload
 	if len(names) == 0 {
 		list = append(list, workloads.All()...)
@@ -331,7 +332,7 @@ func PerfDiffWorkloads(names []string, regret float64, out io.Writer) ([]*PerfRe
 	ok := true
 	for _, w := range list {
 		for _, mode := range abi.Modes {
-			res, err := PerfDiffWorkload(w, mode, regret)
+			res, err := PerfDiffWorkload(ctx, w, mode, regret)
 			if err != nil {
 				return results, false, fmt.Errorf("%s/%s: %w", w.Name, mode, err)
 			}

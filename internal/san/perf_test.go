@@ -1,6 +1,7 @@
 package san
 
 import (
+	"context"
 	"testing"
 
 	"carsgo/internal/abi"
@@ -16,7 +17,7 @@ func TestPerfDiffShallowCall(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, mode := range abi.Modes {
-		res, err := PerfDiffWorkload(w, mode, DefaultRegret)
+		res, err := PerfDiffWorkload(context.Background(), w, mode, DefaultRegret)
 		if err != nil {
 			t.Fatalf("[%s] %v", mode, err)
 		}
@@ -57,7 +58,7 @@ func TestPerfDiffDeepCallAvoidsHigh(t *testing.T) {
 	if !w.PerfExpect.AvoidHigh {
 		t.Fatal("PERF_DeepCall must carry the AvoidHigh expectation")
 	}
-	res, err := PerfDiffWorkload(w, abi.CARS, DefaultRegret)
+	res, err := PerfDiffWorkload(context.Background(), w, abi.CARS, DefaultRegret)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestPerfDiffMultiKernelReducesScope(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := PerfDiffWorkload(w, abi.Baseline, DefaultRegret)
+	res, err := PerfDiffWorkload(context.Background(), w, abi.Baseline, DefaultRegret)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,344 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"carsgo"
+	"carsgo/internal/abi"
+	"carsgo/internal/cars"
+	"carsgo/internal/config"
+	"carsgo/internal/serve/cache"
+	"carsgo/internal/vet"
+	"carsgo/internal/workloads"
+)
+
+// SimulateRequest names a simulation: a configuration from the shared
+// registry (config.Named), a workload from Table I, an optional forced
+// CARS allocation level, and an optional per-request timeout.
+type SimulateRequest struct {
+	Config   string `json:"config"`
+	Workload string `json:"workload"`
+	// Force pins CARS to one allocation level ("low", "high", "<N>xlow");
+	// empty keeps the configuration's own policy. CARS configs only.
+	Force     string `json:"force,omitempty"`
+	TimeoutMs int64  `json:"timeoutMs,omitempty"`
+}
+
+// VetRequest names a program to verify: the workload's modules linked
+// for the configuration's ABI mode.
+type VetRequest struct {
+	Config    string `json:"config"`
+	Workload  string `json:"workload"`
+	TimeoutMs int64  `json:"timeoutMs,omitempty"`
+}
+
+// ExperimentRequest names a paper exhibit to regenerate.
+type ExperimentRequest struct {
+	ID        string `json:"id"`
+	TimeoutMs int64  `json:"timeoutMs,omitempty"`
+}
+
+// Response is the success envelope shared by the three endpoints:
+// the content-address of the result, whether it came from the cache,
+// whether a collapsed duplicate shared another caller's execution,
+// and the endpoint-specific payload.
+type Response struct {
+	Key    string          `json:"key"`
+	Cached bool            `json:"cached"`
+	Shared bool            `json:"shared,omitempty"`
+	Result json.RawMessage `json:"result"`
+}
+
+// keySpec is the canonical value hashed into a result's content
+// address: schema version, endpoint kind, configuration, workload,
+// ABI mode, and forced CARS policy. Field order is fixed by the type.
+type keySpec struct {
+	Schema   int    `json:"schema"`
+	Kind     string `json:"kind"`
+	Config   string `json:"config,omitempty"`
+	Workload string `json:"workload,omitempty"`
+	ABIMode  string `json:"abiMode,omitempty"`
+	Forced   string `json:"forced,omitempty"`
+	ID       string `json:"id,omitempty"`
+}
+
+// parseForce maps a wire-level force string to a CARS level.
+func parseForce(s string) (cars.Level, error) {
+	switch t := strings.ToLower(strings.TrimSpace(s)); {
+	case t == "low":
+		return cars.Level{Kind: cars.KindLow, N: 1}, nil
+	case t == "high":
+		return cars.Level{Kind: cars.KindHigh}, nil
+	case strings.HasSuffix(t, "xlow"):
+		n, err := strconv.Atoi(strings.TrimSuffix(t, "xlow"))
+		if err != nil || n < 2 {
+			return cars.Level{}, fmt.Errorf("bad forced level %q", s)
+		}
+		return cars.Level{Kind: cars.KindNxLow, N: n}, nil
+	}
+	return cars.Level{}, fmt.Errorf("unknown forced level %q (want low, high, or <N>xlow)", s)
+}
+
+// abiModeName names the ABI mode a configuration compiles with.
+func abiModeName(cfg carsgo.Config, lto bool) string {
+	switch {
+	case lto:
+		return "lto"
+	case cfg.CARSEnabled:
+		return "cars"
+	case cfg.SharedSpillABI:
+		return "sharedspill"
+	}
+	return "baseline"
+}
+
+// resolveSim turns a SimulateRequest into a runnable configuration,
+// the workload, and the request's cache key spec.
+func resolveSim(req *SimulateRequest) (carsgo.Config, bool, *workloads.Workload, keySpec, error) {
+	var spec keySpec
+	cfg, lto, err := config.Named(req.Config)
+	if err != nil {
+		return cfg, false, nil, spec, err
+	}
+	forced := ""
+	if req.Force != "" {
+		if !cfg.CARSEnabled {
+			return cfg, false, nil, spec, fmt.Errorf("force=%q needs a CARS configuration, not %q", req.Force, req.Config)
+		}
+		lvl, perr := parseForce(req.Force)
+		if perr != nil {
+			return cfg, false, nil, spec, perr
+		}
+		cfg = config.WithCARSPolicy(cfg, cars.ForcedPolicy(lvl))
+		cfg.Name += "-" + lvl.Name()
+		forced = lvl.Name()
+	}
+	w, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return cfg, false, nil, spec, err
+	}
+	spec = keySpec{Schema: SchemaVersion, Kind: "simulate", Config: req.Config,
+		Workload: w.Name, ABIMode: abiModeName(cfg, lto), Forced: forced}
+	return cfg, lto, w, spec, nil
+}
+
+// execCached is the serving core every endpoint goes through:
+// result cache → single-flight (identical in-flight requests join one
+// execution) → bounded pool (full queue rejects, never queues
+// unboundedly) → cache fill. The double cache check inside the flight
+// closes the race where a result lands between the first check and
+// the flight forming.
+func (s *Server) execCached(ctx context.Context, key cache.Key, job func(ctx context.Context) (any, error)) (data []byte, cached, shared bool, err error) {
+	if s.draining.Load() {
+		return nil, false, false, ErrDraining
+	}
+	if data, ok := s.cache.Get(key); ok {
+		return data, true, false, nil
+	}
+	v, err, shared := s.flight.Do(ctx, key.String(), func(fctx context.Context) (any, error) {
+		if data, ok := s.cache.Get(key); ok {
+			return data, nil
+		}
+		t, err := s.pool.Submit(fctx, job)
+		if err != nil {
+			return nil, err
+		}
+		v, err := t.Wait(fctx)
+		if err != nil {
+			return nil, err
+		}
+		data := v.([]byte)
+		s.cache.Put(key, data)
+		return data, nil
+	})
+	if err != nil {
+		return nil, false, shared, err
+	}
+	return v.([]byte), false, shared, nil
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "decode request: %v", err)
+		return false
+	}
+	return true
+}
+
+func (s *Server) respond(w http.ResponseWriter, key cache.Key, data []byte, cached, shared bool) {
+	writeJSON(w, http.StatusOK, Response{
+		Key: key.String(), Cached: cached, Shared: shared, Result: json.RawMessage(data),
+	})
+}
+
+// simulateJob builds the pool job for a simulate request. Execution
+// metrics (sim runs, simulated cycles) are counted here and only
+// here, so cache hits and collapsed duplicates provably do not
+// re-execute: carsd_sim_runs_total is the daemon's ground truth.
+func (s *Server) simulateJob(cfg carsgo.Config, lto bool, w *workloads.Workload) func(ctx context.Context) (any, error) {
+	return func(ctx context.Context) (any, error) {
+		run := carsgo.RunContext
+		if lto {
+			run = carsgo.RunLTOContext
+		}
+		res, err := run(ctx, cfg, w)
+		if err != nil {
+			return nil, err
+		}
+		s.simRuns.Inc()
+		s.simCycles.Add(float64(res.Stats.Cycles))
+		return json.Marshal(res)
+	}
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req SimulateRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	cfg, lto, wl, spec, err := resolveSim(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	key, err := cache.KeyOf(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout(req.TimeoutMs))
+	defer cancel()
+	data, cached, shared, err := s.execCached(ctx, key, s.simulateJob(cfg, lto, wl))
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	s.respond(w, key, data, cached, shared)
+}
+
+// vetJob links the workload for the configuration's ABI mode and runs
+// the full static verifier, returning the machine-readable report.
+// Unlike the simulator path, a program with vet errors is the useful
+// answer here, so linking is non-strict.
+func vetJob(cfg carsgo.Config, lto bool, wl *workloads.Workload) func(ctx context.Context) (any, error) {
+	return func(_ context.Context) (any, error) {
+		var rep *vet.ProgramReport
+		if lto {
+			flat, err := abi.InlineAllBudget(128, wl.Modules()...)
+			if err != nil {
+				return nil, err
+			}
+			prog, err := abi.Link(abi.Baseline, flat)
+			if err != nil {
+				return nil, err
+			}
+			rep = vet.Report(prog)
+		} else {
+			mode := abi.Baseline
+			switch {
+			case cfg.CARSEnabled:
+				mode = abi.CARS
+			case cfg.SharedSpillABI:
+				mode = abi.SharedSpill
+			}
+			prog, err := abi.Link(mode, wl.Modules()...)
+			if err != nil {
+				return nil, err
+			}
+			rep = vet.Report(prog)
+		}
+		return json.Marshal(rep)
+	}
+}
+
+// resolveVet turns a VetRequest into a configuration, the workload,
+// and the request's cache key spec.
+func resolveVet(req *VetRequest) (carsgo.Config, bool, *workloads.Workload, keySpec, error) {
+	var spec keySpec
+	cfg, lto, err := config.Named(req.Config)
+	if err != nil {
+		return cfg, false, nil, spec, err
+	}
+	wl, err := workloads.ByName(req.Workload)
+	if err != nil {
+		return cfg, false, nil, spec, err
+	}
+	spec = keySpec{Schema: SchemaVersion, Kind: "vet", Config: req.Config,
+		Workload: wl.Name, ABIMode: abiModeName(cfg, lto)}
+	return cfg, lto, wl, spec, nil
+}
+
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	var req VetRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	cfg, lto, wl, spec, err := resolveVet(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "%v", err)
+		return
+	}
+	key, err := cache.KeyOf(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout(req.TimeoutMs))
+	defer cancel()
+	data, cached, shared, err := s.execCached(ctx, key, vetJob(cfg, lto, wl))
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	s.respond(w, key, data, cached, shared)
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	var req ExperimentRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	known := false
+	for _, id := range s.runner.IDs() {
+		if id == req.ID {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusNotFound, "not_found",
+			"unknown experiment %q (have %s)", req.ID, strings.Join(s.runner.IDs(), ", "))
+		return
+	}
+	spec := keySpec{Schema: SchemaVersion, Kind: "experiment", ID: req.ID}
+	key, err := cache.KeyOf(spec)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", "%v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.reqTimeout(req.TimeoutMs))
+	defer cancel()
+	// The experiment's own simulations run on the shared runner (its
+	// own pool, its own memo, daemon-lifetime context): abandoning the
+	// request at its deadline does not waste them — a retry finds the
+	// memoised results and finishes quickly.
+	data, cached, shared, err := s.execCached(ctx, key, func(_ context.Context) (any, error) {
+		tb, err := s.runner.Run(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(tb)
+	})
+	if err != nil {
+		s.writeExecError(w, err)
+		return
+	}
+	s.respond(w, key, data, cached, shared)
+}

@@ -1,0 +1,337 @@
+// Package metrics is a dependency-free Prometheus-text-format metric
+// registry for the carsd daemon: counters, gauges (including callback
+// gauges sampled at scrape time), and cumulative histograms, with
+// optional label sets. Output is deterministic — families sort by
+// name, series by label values — so tests can assert on exact lines.
+//
+// The exposition format follows the Prometheus text format v0.0.4:
+// one HELP and TYPE line per family, then one line per series.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them on demand.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+type familyKind int
+
+const (
+	kindCounter familyKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k familyKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	}
+	return "histogram"
+}
+
+// family is one named metric with a fixed label-name schema.
+type family struct {
+	name    string
+	help    string
+	kind    familyKind
+	labels  []string // label names, fixed at registration
+	buckets []float64
+
+	mu     sync.Mutex
+	series map[string]any // label-values key -> *Counter/*Gauge/*Histogram
+	fns    map[string]func() float64
+}
+
+func (r *Registry) family(name, help string, kind familyKind, labels []string, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: %s re-registered with a different schema", name))
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels,
+		buckets: buckets, series: map[string]any{}, fns: map[string]func() float64{}}
+	r.families[name] = f
+	return f
+}
+
+// seriesKey renders label values into a stable map key / label string.
+func (f *family) seriesKey(values []string) string {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(values)))
+	}
+	if len(values) == 0 {
+		return ""
+	}
+	parts := make([]string, len(values))
+	for i, v := range values {
+		parts[i] = fmt.Sprintf("%s=%q", f.labels[i], escape(v))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+func escape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return s
+}
+
+// Counter is a monotonically-increasing value.
+type Counter struct{ bits atomic.Uint64 }
+
+// Add increments the counter; negative deltas are ignored.
+func (c *Counter) Add(delta float64) {
+	if delta < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if c.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value reads the current count.
+func (c *Counter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		v := math.Float64frombits(old) + delta
+		if g.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a cumulative-bucket histogram.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets []float64 // upper bounds, ascending; +Inf implicit
+	counts  []uint64
+	sum     float64
+	total   uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, ub := range h.buckets {
+		if v <= ub {
+			h.counts[i]++
+			break
+		}
+	}
+	h.sum += v
+	h.total++
+}
+
+// Counter registers (or fetches) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.CounterVec(name, help).With()
+}
+
+// CounterFamily is a labeled counter family.
+type CounterFamily struct{ f *family }
+
+// CounterVec registers a counter family with the given label names.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterFamily {
+	return &CounterFamily{r.family(name, help, kindCounter, labels, nil)}
+}
+
+// With returns the series for the given label values.
+func (cf *CounterFamily) With(values ...string) *Counter {
+	k := cf.f.seriesKey(values)
+	cf.f.mu.Lock()
+	defer cf.f.mu.Unlock()
+	if s, ok := cf.f.series[k]; ok {
+		return s.(*Counter)
+	}
+	c := &Counter{}
+	cf.f.series[k] = c
+	return c
+}
+
+// Gauge registers (or fetches) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	f := r.family(name, help, kindGauge, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s, ok := f.series[""]; ok {
+		return s.(*Gauge)
+	}
+	g := &Gauge{}
+	f.series[""] = g
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is sampled at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindGauge, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fns[""] = fn
+}
+
+// CounterFunc registers a counter whose value is sampled at scrape
+// time — for monotonic counts another subsystem already maintains
+// (pool and cache statistics).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	f := r.family(name, help, kindCounter, nil, nil)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.fns[""] = fn
+}
+
+// DefBuckets is the default latency bucket ladder (seconds).
+var DefBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30}
+
+// HistogramFamily is a labeled histogram family.
+type HistogramFamily struct{ f *family }
+
+// HistogramVec registers a histogram family; nil buckets use DefBuckets.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramFamily {
+	if buckets == nil {
+		buckets = DefBuckets
+	}
+	return &HistogramFamily{r.family(name, help, kindHistogram, labels, buckets)}
+}
+
+// With returns the series for the given label values.
+func (hf *HistogramFamily) With(values ...string) *Histogram {
+	k := hf.f.seriesKey(values)
+	hf.f.mu.Lock()
+	defer hf.f.mu.Unlock()
+	if s, ok := hf.f.series[k]; ok {
+		return s.(*Histogram)
+	}
+	h := &Histogram{buckets: hf.f.buckets, counts: make([]uint64, len(hf.f.buckets))}
+	hf.f.series[k] = h
+	return h
+}
+
+// WriteTo renders every family in Prometheus text format.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, n := range names {
+		fams[n].write(&b)
+	}
+	nn, err := io.WriteString(w, b.String())
+	return int64(nn), err
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fmt.Fprintf(b, "# HELP %s %s\n", f.name, f.help)
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
+	keys := make([]string, 0, len(f.series)+len(f.fns))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	for k := range f.fns {
+		if _, dup := f.series[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if fn, ok := f.fns[k]; ok {
+			fmt.Fprintf(b, "%s%s %s\n", f.name, k, fmtFloat(fn()))
+			continue
+		}
+		switch s := f.series[k].(type) {
+		case *Counter:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, k, fmtFloat(s.Value()))
+		case *Gauge:
+			fmt.Fprintf(b, "%s%s %s\n", f.name, k, fmtFloat(s.Value()))
+		case *Histogram:
+			s.writeSeries(b, f.name, k)
+		}
+	}
+}
+
+// writeSeries emits the cumulative bucket lines plus _sum and _count.
+func (h *Histogram) writeSeries(b *strings.Builder, name, key string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cum := uint64(0)
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketKey(key, fmtFloat(ub)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketKey(key, "+Inf"), h.total)
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, key, fmtFloat(h.sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, key, h.total)
+}
+
+// bucketKey splices le="..." into an existing label set.
+func bucketKey(key, le string) string {
+	le = fmt.Sprintf("le=%q", le)
+	if key == "" {
+		return "{" + le + "}"
+	}
+	return strings.TrimSuffix(key, "}") + "," + le + "}"
+}
+
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Handler serves the registry over HTTP (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteTo(w)
+	})
+}

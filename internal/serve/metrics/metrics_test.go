@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(r *Registry) string {
+	var b strings.Builder
+	r.WriteTo(&b)
+	return b.String()
+}
+
+func TestCounterAndGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cars_test_total", "a counter")
+	c.Inc()
+	c.Add(2)
+	c.Add(-5) // ignored: counters are monotonic
+	g := r.Gauge("cars_test_depth", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+
+	out := render(r)
+	for _, want := range []string{
+		"# HELP cars_test_total a counter",
+		"# TYPE cars_test_total counter",
+		"cars_test_total 3",
+		"# TYPE cars_test_depth gauge",
+		"cars_test_depth 5",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledCounterSortedOutput(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("cars_req_total", "requests", "endpoint", "code")
+	cv.With("simulate", "200").Add(2)
+	cv.With("vet", "200").Inc()
+	cv.With("simulate", "429").Inc()
+
+	out := render(r)
+	i200 := strings.Index(out, `cars_req_total{endpoint="simulate",code="200"} 2`)
+	i429 := strings.Index(out, `cars_req_total{endpoint="simulate",code="429"} 1`)
+	ivet := strings.Index(out, `cars_req_total{endpoint="vet",code="200"} 1`)
+	if i200 < 0 || i429 < 0 || ivet < 0 {
+		t.Fatalf("series missing:\n%s", out)
+	}
+	if !(i200 < i429 && i429 < ivet) {
+		t.Fatalf("series not sorted:\n%s", out)
+	}
+	// Same label values return the same series.
+	if cv.With("vet", "200") != cv.With("vet", "200") {
+		t.Fatal("With is not stable")
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("cars_lat_seconds", "latency", []float64{0.1, 1, 10}, "endpoint")
+	h := hv.With("simulate")
+	for _, v := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(v)
+	}
+	out := render(r)
+	for _, want := range []string{
+		`cars_lat_seconds_bucket{endpoint="simulate",le="0.1"} 1`,
+		`cars_lat_seconds_bucket{endpoint="simulate",le="1"} 3`,
+		`cars_lat_seconds_bucket{endpoint="simulate",le="10"} 4`,
+		`cars_lat_seconds_bucket{endpoint="simulate",le="+Inf"} 5`,
+		`cars_lat_seconds_sum{endpoint="simulate"} 56.05`,
+		`cars_lat_seconds_count{endpoint="simulate"} 5`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnlabeledHistogramBucketKey(t *testing.T) {
+	r := NewRegistry()
+	h := r.HistogramVec("cars_plain_seconds", "plain", []float64{1}).With()
+	h.Observe(0.5)
+	out := render(r)
+	if !strings.Contains(out, `cars_plain_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("unlabeled bucket key broken:\n%s", out)
+	}
+}
+
+func TestGaugeFuncSampledAtScrape(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	r.GaugeFunc("cars_live", "sampled", func() float64 { return v })
+	r.CounterFunc("cars_live_total", "sampled counter", func() float64 { return v * 10 })
+	if !strings.Contains(render(r), "cars_live 1\n") {
+		t.Fatal("first scrape wrong")
+	}
+	v = 3
+	out := render(r)
+	if !strings.Contains(out, "cars_live 3\n") || !strings.Contains(out, "cars_live_total 30\n") {
+		t.Fatalf("second scrape not resampled:\n%s", out)
+	}
+}
+
+func TestReregistrationIsIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("cars_same_total", "x")
+	b := r.Counter("cars_same_total", "x")
+	if a != b {
+		t.Fatal("re-registration made a new series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("schema change did not panic")
+		}
+	}()
+	r.Gauge("cars_same_total", "now a gauge")
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("cars_h_total", "h").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "cars_h_total 1") {
+		t.Fatalf("body:\n%s", rec.Body.String())
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("cars_conc_total", "c")
+	h := r.HistogramVec("cars_conc_seconds", "h", nil).With()
+	g := r.Gauge("cars_conc_depth", "g")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(0.01)
+				render(r)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || g.Value() != 8000 {
+		t.Fatalf("counter=%v gauge=%v", c.Value(), g.Value())
+	}
+	if !strings.Contains(render(r), "cars_conc_seconds_count 8000") {
+		t.Fatal("histogram lost observations")
+	}
+}

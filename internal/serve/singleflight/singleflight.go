@@ -1,0 +1,108 @@
+// Package singleflight collapses duplicate concurrent calls: while a
+// function call for a key is in flight, later calls for the same key
+// wait for its result instead of executing again (the daemon's
+// request-deduplication layer in front of the result cache).
+//
+// Unlike the classic x/sync version, Do is context-aware on both
+// sides: a waiter whose context ends abandons the flight with its own
+// context error, and the executing function receives a context that
+// is cancelled once every caller has abandoned — an orphaned
+// simulation does not keep burning a worker.
+package singleflight
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// call is one in-flight execution.
+type call struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// Group collapses concurrent calls per key.
+type Group struct {
+	mu sync.Mutex
+	m  map[string]*call
+
+	executions atomic.Uint64
+	collapsed  atomic.Uint64
+}
+
+// Stats is a snapshot of the group's counters.
+type Stats struct {
+	Executions uint64 // calls that actually ran fn
+	Collapsed  uint64 // calls that joined an existing flight
+}
+
+// Stats snapshots the counters.
+func (g *Group) Stats() Stats {
+	return Stats{Executions: g.executions.Load(), Collapsed: g.collapsed.Load()}
+}
+
+// Do executes fn for key, collapsing concurrent duplicates: exactly
+// one caller runs fn, the rest wait and share its result. shared
+// reports whether the result came from another caller's execution.
+// When ctx ends before the flight completes, Do returns ctx.Err()
+// and the flight continues for any remaining waiters; once the last
+// waiter abandons, the fn context is cancelled.
+func (g *Group) Do(ctx context.Context, key string, fn func(ctx context.Context) (any, error)) (v any, err error, shared bool) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = map[string]*call{}
+	}
+	if c, ok := g.m[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		g.collapsed.Add(1)
+		return g.wait(ctx, key, c, true)
+	}
+	// Leader: run fn on a context detached from any single caller's
+	// deadline; it dies only when every waiter has abandoned.
+	fctx, cancel := context.WithCancel(context.Background())
+	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.m[key] = c
+	g.mu.Unlock()
+	g.executions.Add(1)
+
+	go func() {
+		v, err := fn(fctx)
+		c.val, c.err = v, err
+		g.mu.Lock()
+		if g.m[key] == c {
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		close(c.done)
+		cancel()
+	}()
+	return g.wait(ctx, key, c, false)
+}
+
+// wait blocks for the call's completion or the waiter's ctx, managing
+// the waiter refcount that keeps the flight's context alive.
+func (g *Group) wait(ctx context.Context, key string, c *call, shared bool) (any, error, bool) {
+	select {
+	case <-c.done:
+		return c.val, c.err, shared
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		if last && g.m[key] == c {
+			// No one is listening: forget the flight so a fresh caller
+			// re-executes rather than joining a cancelled run.
+			delete(g.m, key)
+		}
+		g.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, ctx.Err(), shared
+	}
+}

@@ -1,0 +1,206 @@
+package singleflight
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestCollapse fires N concurrent identical calls and checks exactly
+// one executed while all callers got the result.
+func TestCollapse(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	gate := make(chan struct{})
+
+	const n = 32
+	var wg sync.WaitGroup
+	results := make([]any, n)
+	errs := make([]error, n)
+	sharedCount := atomic.Int64{}
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, shared := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				execs.Add(1)
+				<-gate // hold the flight open until every caller joined
+				return "value", nil
+			})
+			results[i], errs[i] = v, err
+			if shared {
+				sharedCount.Add(1)
+			}
+		}(i)
+	}
+	// Wait until all callers are either leading or waiting.
+	deadline := time.After(2 * time.Second)
+	for {
+		if g.Stats().Collapsed == n-1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("collapsed = %d, want %d", g.Stats().Collapsed, n-1)
+		case <-time.After(time.Millisecond):
+		}
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("fn executed %d times, want 1", got)
+	}
+	for i := range results {
+		if errs[i] != nil || results[i] != "value" {
+			t.Fatalf("caller %d got %v, %v", i, results[i], errs[i])
+		}
+	}
+	if sharedCount.Load() != n-1 {
+		t.Fatalf("shared callers = %d, want %d", sharedCount.Load(), n-1)
+	}
+	st := g.Stats()
+	if st.Executions != 1 || st.Collapsed != n-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSequentialCallsReExecute(t *testing.T) {
+	var g Group
+	n := 0
+	for i := 0; i < 3; i++ {
+		v, err, shared := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			n++
+			return n, nil
+		})
+		if err != nil || shared || v != i+1 {
+			t.Fatalf("call %d = %v, %v, shared=%v", i, v, err, shared)
+		}
+	}
+}
+
+func TestWaiterAbandons(t *testing.T) {
+	var g Group
+	gate := make(chan struct{})
+	leaderDone := make(chan struct{})
+	go func() {
+		defer close(leaderDone)
+		v, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			<-gate
+			return "slow", nil
+		})
+		if err != nil || v != "slow" {
+			t.Errorf("leader = %v, %v", v, err)
+		}
+	}()
+	for g.Stats().Executions == 0 {
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err, _ := g.Do(ctx, "k", func(context.Context) (any, error) {
+		t.Error("waiter must not execute")
+		return nil, nil
+	})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("abandoning waiter got %v", err)
+	}
+	// The flight is still alive for the leader.
+	close(gate)
+	<-leaderDone
+}
+
+// TestLastWaiterCancelsFn: when every caller abandons, the executing
+// function's context is cancelled so the work can stop.
+func TestLastWaiterCancelsFn(t *testing.T) {
+	var g Group
+	fnCancelled := make(chan struct{})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err, _ := g.Do(ctx, "k", func(fctx context.Context) (any, error) {
+			<-fctx.Done()
+			close(fnCancelled)
+			return nil, fctx.Err()
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("caller err = %v", err)
+		}
+	}()
+	for g.Stats().Executions == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	select {
+	case <-fnCancelled:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fn context never cancelled after the last waiter left")
+	}
+	<-done
+
+	// A fresh call re-executes instead of joining the cancelled flight.
+	v, err, shared := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+		return "fresh", nil
+	})
+	if err != nil || shared || v != "fresh" {
+		t.Fatalf("post-abandon call = %v, %v, shared=%v", v, err, shared)
+	}
+}
+
+func TestErrorsShared(t *testing.T) {
+	var g Group
+	boom := errors.New("boom")
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+				<-gate
+				return nil, boom
+			})
+			errs[i] = err
+		}(i)
+	}
+	for g.Stats().Collapsed != 3 {
+		time.Sleep(time.Millisecond)
+	}
+	close(gate)
+	wg.Wait()
+	for i, err := range errs {
+		if !errors.Is(err, boom) {
+			t.Fatalf("caller %d err = %v", i, err)
+		}
+	}
+	if g.Stats().Executions != 1 {
+		t.Fatalf("executions = %d", g.Stats().Executions)
+	}
+}
+
+func TestDistinctKeysRunConcurrently(t *testing.T) {
+	var g Group
+	var execs atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := string(rune('a' + i))
+			g.Do(context.Background(), key, func(context.Context) (any, error) {
+				execs.Add(1)
+				return key, nil
+			})
+		}(i)
+	}
+	wg.Wait()
+	if execs.Load() != 8 {
+		t.Fatalf("executions = %d, want 8", execs.Load())
+	}
+}

@@ -2,6 +2,27 @@ package sim
 
 import "fmt"
 
+// CancelError is the structured error RunContext returns when a
+// launch's context is cancelled or its deadline expires mid-
+// simulation: it records how far the launch got so callers (the carsd
+// daemon, the -timeout CLI flags) can report a meaningful partial
+// state instead of a bare context error. Unwrap exposes the
+// underlying context error for errors.Is(ctx.Err()) checks.
+type CancelError struct {
+	Kernel      string // launched kernel name
+	Cycles      int64  // simulated cycles completed before the cut
+	BlocksDone  int
+	TotalBlocks int
+	Err         error // context.Canceled or context.DeadlineExceeded
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("sim: kernel %q cancelled after %d cycles (%d/%d blocks done): %v",
+		e.Kernel, e.Cycles, e.BlocksDone, e.TotalBlocks, e.Err)
+}
+
+func (e *CancelError) Unwrap() error { return e.Err }
+
 // ExecError is a structured functional-execution fault: a condition
 // the program's own code caused (divergent indirect target, invalid
 // function index, register-stack misuse) rather than a simulator bug.

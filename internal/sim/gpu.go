@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"carsgo/internal/callgraph"
@@ -127,7 +128,22 @@ func (g *GPU) CodeBytes() uint64 {
 // Run executes one kernel launch to completion and returns its stats.
 // Functional-execution faults (see ExecError) surface as the returned
 // error rather than a panic.
-func (g *GPU) Run(launch isa.Launch) (st *stats.Kernel, err error) {
+func (g *GPU) Run(launch isa.Launch) (*stats.Kernel, error) {
+	return g.RunContext(context.Background(), launch)
+}
+
+// ctxCheckInterval is how many scheduler-loop iterations pass between
+// cooperative context checks: frequent enough that a cancelled launch
+// dies within microseconds of wall time, rare enough that the check
+// never shows up in a profile.
+const ctxCheckInterval = 4096
+
+// RunContext is Run with cooperative cancellation: the cycle loop
+// polls ctx and abandons the launch with a structured *CancelError
+// when the context ends. The GPU must not be reused after a
+// cancellation — mid-launch state (resident blocks, in-flight memory
+// events) is abandoned, not rolled back.
+func (g *GPU) RunContext(ctx context.Context, launch isa.Launch) (st *stats.Kernel, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			ee, ok := r.(*ExecError)
@@ -207,7 +223,21 @@ func (g *GPU) Run(launch isa.Launch) (st *stats.Kernel, err error) {
 	g.waveOpen = true
 	start := g.clock
 	cycle := g.clock
+	ctxDone := ctx.Done()
+	sinceCheck := 0
 	for g.blocksDone < g.totalBlocks {
+		if sinceCheck++; sinceCheck >= ctxCheckInterval {
+			sinceCheck = 0
+			select {
+			case <-ctxDone:
+				return nil, &CancelError{
+					Kernel: launch.Kernel, Cycles: cycle - start,
+					BlocksDone: g.blocksDone, TotalBlocks: g.totalBlocks,
+					Err: ctx.Err(),
+				}
+			default:
+			}
+		}
 		g.Sys.RunEvents(cycle)
 		if g.admitDirty {
 			g.scheduleBlocks(cycle)
