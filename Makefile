@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint san test test-short bench experiments examples serve-smoke serve-test clean
+.PHONY: all build vet lint san fuzz test test-short bench experiments examples serve-smoke serve-test clean
 
 all: build vet lint test
 
@@ -18,6 +18,7 @@ vet:
 	$(GO) run ./cmd/carsvet -workloads
 	$(GO) run ./cmd/carsvet examples/vetdemo/clean.carsasm
 	! $(GO) run ./cmd/carsvet -race examples/vetdemo/racy.carsasm
+	$(GO) run ./cmd/carsvet internal/spec/testdata/workloads
 
 # Repo-custom analyzers (internal/lint) over the simulator hot paths.
 lint:
@@ -36,6 +37,17 @@ san:
 	$(GO) run ./cmd/carsvet -diff
 	$(GO) run ./cmd/carsvet -diff examples/vetdemo/clean.carsasm
 	$(GO) run ./cmd/carsvet -perfdiff
+
+# Generative differential fuzzing (cmd/carsfuzz): 200 seeded random
+# workload specs through the full static/dynamic stack — any verdict,
+# dominance, or occupancy-exactness disagreement fails, writing a
+# minimized reproducer to fuzz-corpus/. The selftest then rebuilds the
+# oracle with a planted analyzer weakening (-tags vetweaken) and
+# asserts the same campaign catches it. Fixed seed: the run is
+# bit-reproducible.
+fuzz:
+	$(GO) run ./cmd/carsfuzz -n 200 -seed 1 -corpus fuzz-corpus
+	$(GO) run -tags vetweaken ./cmd/carsfuzz -selftest -n 50 -seed 1 -corpus fuzz-corpus
 
 test:
 	$(GO) test ./...

@@ -4,9 +4,15 @@
 // Usage:
 //
 //	carsexp [-run fig8,tab1] [-parallel N] [-timeout 10m] [-md] [-v]
+//	carsexp -spec my.json [-configs base,cars] [-md]
 //
 // With no -run flag every experiment runs in paper order. -md emits
 // GitHub-flavoured markdown (the format EXPERIMENTS.md uses).
+//
+// -spec sidesteps the paper experiments entirely: it loads one
+// declarative workload spec (internal/spec) and renders a cross-
+// configuration comparison for it — the ad-hoc analogue of the paper's
+// per-workload speedup rows.
 package main
 
 import (
@@ -16,8 +22,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
+	"carsgo"
+	"carsgo/internal/config"
 	"carsgo/internal/experiments"
+	"carsgo/internal/spec"
+	"carsgo/internal/workloads"
 )
 
 func main() {
@@ -30,7 +41,23 @@ func main() {
 	verbose := flag.Bool("v", false, "log each simulation run")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cache := flag.String("cache", "", "JSON results cache: reuse prior runs, save new ones")
+	specPath := flag.String("spec", "", "render a cross-configuration table for one workload spec file instead of the paper experiments")
+	specConfigs := flag.String("configs", "base,cars", "configurations for -spec (comma-separated, see carsim)")
 	flag.Parse()
+
+	if *specPath != "" {
+		t, err := specTable(*specPath, strings.Split(*specConfigs, ","), *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "carsexp: %v\n", err)
+			os.Exit(1)
+		}
+		if *md {
+			t.Markdown(os.Stdout)
+		} else {
+			t.Render(os.Stdout)
+		}
+		return
+	}
 
 	n := *parallel
 	if *workers > 0 {
@@ -90,4 +117,58 @@ func main() {
 			}
 		}
 	}
+}
+
+// specTable runs one workload spec under each named configuration and
+// tabulates the comparison, with speedups relative to the first
+// configuration given.
+func specTable(path string, configs []string, timeout time.Duration) (*experiments.Table, error) {
+	s, err := spec.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	w := workloads.FromSpec(s)
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	t := &experiments.Table{
+		ID:    "spec",
+		Title: fmt.Sprintf("workload spec %s (%s)", s.Name, path),
+		Columns: []string{
+			"Config", "Cycles", "Speedup", "CPKI", "L1D MPKI", "Depth", "Energy (µJ)",
+		},
+	}
+	var base *carsgo.Result
+	for _, name := range configs {
+		name = strings.TrimSpace(name)
+		cfg, lto, err := config.Named(name)
+		if err != nil {
+			return nil, err
+		}
+		var res *carsgo.Result
+		if lto {
+			res, err = carsgo.RunLTOContext(ctx, cfg, w)
+		} else {
+			res, err = carsgo.RunContext(ctx, cfg, w)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if base == nil {
+			base = res
+		}
+		t.Rows = append(t.Rows, []string{
+			cfg.Name,
+			fmt.Sprintf("%d", res.Stats.Cycles),
+			fmt.Sprintf("%.3f", res.Speedup(base)),
+			fmt.Sprintf("%.2f", res.Stats.CPKI()),
+			fmt.Sprintf("%.2f", res.Stats.MPKI()),
+			fmt.Sprintf("%d", res.Stats.MaxCallDepth),
+			fmt.Sprintf("%.2f", res.EnergyNJ/1e3),
+		})
+	}
+	return t, nil
 }

@@ -7,6 +7,7 @@
 //	carsim -w MST -config cars    # V100 + CARS
 //	carsim -w PTA -config 10mb -v
 //	carsim -w FIB -config cars -san
+//	carsim -spec my.json -config cars   # declarative workload spec
 //	carsim -list                  # workload names
 //
 // Configurations: base, cars, ideal, 10mb, allhit, swl<N>, 3070,
@@ -27,6 +28,7 @@ import (
 	"carsgo/internal/config"
 	"carsgo/internal/mem"
 	"carsgo/internal/san"
+	"carsgo/internal/spec"
 	"carsgo/internal/stats"
 	"carsgo/internal/workloads"
 )
@@ -37,6 +39,7 @@ func pickConfig(name string) (carsgo.Config, bool, error) {
 
 func main() {
 	wname := flag.String("w", "", "workload name (see -list)")
+	specPath := flag.String("spec", "", "declarative workload spec file (internal/spec JSON) instead of -w")
 	cname := flag.String("config", "base", "configuration")
 	list := flag.Bool("list", false, "list workloads and exit")
 	verbose := flag.Bool("v", false, "print per-launch stats")
@@ -59,12 +62,20 @@ func main() {
 		}
 		return
 	}
-	if *wname == "" {
-		fmt.Fprintln(os.Stderr, "carsim: -w <workload> required (-list to enumerate)")
+	if (*wname == "") == (*specPath == "") {
+		fmt.Fprintln(os.Stderr, "carsim: exactly one of -w <workload> (-list to enumerate) or -spec <file> required")
 		os.Exit(2)
 	}
-	w, err := carsgo.Workload(*wname)
-	if err != nil {
+	var w *workloads.Workload
+	var err error
+	if *specPath != "" {
+		s, serr := spec.Load(*specPath)
+		if serr != nil {
+			fmt.Fprintln(os.Stderr, "carsim:", serr)
+			os.Exit(1)
+		}
+		w = workloads.FromSpec(s)
+	} else if w, err = carsgo.Workload(*wname); err != nil {
 		fmt.Fprintln(os.Stderr, "carsim:", err)
 		os.Exit(1)
 	}

@@ -11,7 +11,12 @@
 //     error hides faults;
 //   - unusedmonitorhook: internal/san and internal/sim, where an
 //     empty-bodied sim.Monitor hook silently swallows part of the
-//     event stream the sanitizer's invariants depend on.
+//     event stream the sanitizer's invariants depend on;
+//   - seededrand: the packages whose reproducibility contract the
+//     fuzzer depends on (internal/spec, internal/workloads,
+//     internal/sim, internal/experiments, cmd/carsfuzz), where a
+//     math/rand global-source draw or a time-derived seed would make
+//     a printed seed unable to replay its run.
 //
 // Pass directories to run every analyzer over those instead.
 //
@@ -37,6 +42,10 @@ var checks = []struct {
 		"cmd/carsvet", "cmd/carsim",
 	}},
 	{lint.UnusedMonitorHook, []string{"internal/san", "internal/sim"}},
+	{lint.SeededRand, []string{
+		"internal/spec", "internal/workloads", "internal/sim",
+		"internal/experiments", "cmd/carsfuzz",
+	}},
 }
 
 func main() {

@@ -7,6 +7,8 @@
 //
 //	carsvet prog.bin                  # vet a linked binary image
 //	carsvet kernel.s                  # pre-ABI vet + link & vet each mode
+//	carsvet spec.json                 # lower a workload spec, then vet it
+//	carsvet dir/ more.s spec.json     # directories walk *.carsasm + *.json
 //	carsvet -mode cars kernel.s       # restrict to one ABI mode
 //	carsvet -workloads                # vet all 22 paper workloads
 //	carsvet -json kernel.s            # machine-readable per-function report
@@ -57,7 +59,10 @@
 // the best measured level by more than -regret.
 //
 // Inputs are sniffed, not judged by extension: files starting with the
-// "CARS" magic are binary images, anything else is assembly text.
+// "CARS" magic are binary images, JSON documents are workload specs
+// (internal/spec) lowered before vetting, anything else is assembly
+// text. A directory input is walked recursively for *.carsasm and
+// *.json files, so a whole spec corpus vets in one aggregate run.
 //
 // Exit status is part of the contract:
 //
@@ -77,14 +82,20 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"sort"
+	"strings"
 
 	"carsgo/internal/abi"
 	"carsgo/internal/asm"
 	"carsgo/internal/binfmt"
 	"carsgo/internal/isa"
+	"carsgo/internal/kir"
 	"carsgo/internal/san"
 	"carsgo/internal/sim"
+	"carsgo/internal/spec"
 	"carsgo/internal/vet"
 	"carsgo/internal/workloads"
 )
@@ -169,7 +180,7 @@ func main() {
 		dirty = vetWorkloads(modes) || dirty
 	}
 	for _, path := range flag.Args() {
-		dirty = vetFile(path, modes) || dirty
+		dirty = vetPath(path, modes) || dirty
 	}
 	if jsonOut {
 		emitJSON(jsonDoc{SchemaVersion: schemaVersion, Units: units})
@@ -448,7 +459,49 @@ func dirtyDiags(diags []vet.Diagnostic) bool {
 	return false
 }
 
-// vetFile vets one input and reports whether it was dirty.
+// vetPath vets one input path: a directory walks every *.carsasm and
+// *.json under it; a file vets directly. The aggregate run keeps the
+// 0/1/2 exit-code contract — findings in any unit dirty the run,
+// unreadable inputs mark an internal error.
+func vetPath(path string, modes []abi.Mode) bool {
+	info, err := os.Stat(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsvet:", err)
+		internalErr = true
+		return false
+	}
+	if !info.IsDir() {
+		return vetFile(path, modes)
+	}
+	var files []string
+	err = filepath.WalkDir(path, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && (strings.HasSuffix(p, ".carsasm") || strings.HasSuffix(p, ".json")) {
+			files = append(files, p)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carsvet:", err)
+		internalErr = true
+		return false
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		fmt.Fprintf(os.Stderr, "carsvet: %s: no *.carsasm or *.json files\n", path)
+		internalErr = true
+		return false
+	}
+	dirty := false
+	for _, f := range files {
+		dirty = vetFile(f, modes) || dirty
+	}
+	return dirty
+}
+
+// vetFile vets one input file and reports whether it was dirty.
 func vetFile(path string, modes []abi.Mode) bool {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -457,6 +510,9 @@ func vetFile(path string, modes []abi.Mode) bool {
 		fmt.Fprintln(os.Stderr, "carsvet:", err)
 		internalErr = true
 		return false
+	}
+	if isSpec(raw) {
+		return vetSpec(path, raw, modes)
 	}
 	if bytes.HasPrefix(raw, binfmt.Magic[:]) {
 		prog, err := binfmt.Read(bytes.NewReader(raw))
@@ -481,16 +537,53 @@ func vetFile(path string, modes []abi.Mode) bool {
 		fmt.Printf("%s: %v\n", path, err)
 		return true
 	}
-	dirty := emitPreABI(path+" [pre-abi]", vet.Modules(m))
+	return vetModules(path, []*kir.Module{m}, modes, nil)
+}
+
+// isSpec sniffs a workload-spec document: JSON object syntax, which no
+// assembly source or binary image starts with.
+func isSpec(raw []byte) bool {
+	trimmed := bytes.TrimLeft(raw, " \t\r\n")
+	return len(trimmed) > 0 && trimmed[0] == '{'
+}
+
+// vetSpec lowers a workload-spec document and vets the result exactly
+// like an assembly unit. A malformed spec is a finding (the unit is
+// dirty), not an internal error: vetting corpora of specs is the
+// point, and a bad document is a defect in that corpus.
+func vetSpec(path string, raw []byte, modes []abi.Mode) bool {
+	s, err := spec.Parse(raw)
+	if err != nil {
+		fmt.Printf("%s: %v\n", path, err)
+		return true
+	}
+	w := workloads.FromSpec(s)
+	return vetModules(path, s.Modules(), modes, w.Setup)
+}
+
+// vetModules runs the shared pre-ABI + per-mode vet pipeline over a
+// unit's compilation units. setup supplies the launch geometry for
+// -perf (nil falls back to a smoke launch).
+func vetModules(path string, mods []*kir.Module, modes []abi.Mode,
+	setup func(*sim.GPU) ([]isa.Launch, error)) bool {
+	dirty := emitPreABI(path+" [pre-abi]", vet.Modules(mods...))
 	for _, mode := range modes {
-		prog, err := abi.Link(mode, m)
+		prog, err := abi.Link(mode, mods...)
 		if err != nil {
+			if errors.Is(err, abi.ErrRecursive) && mode == abi.SharedSpill {
+				// The shared-spill ABI legitimately rejects recursion.
+				continue
+			}
 			dirty = emit(path, mode.String(), nil, nil, err) || dirty
 			continue
 		}
 		rep := vet.Report(prog)
 		if perfOut {
-			dirty = attachPerf(fmt.Sprintf("%s [%s]", path, mode), prog, rep, mode, smokeSetup(prog)) || dirty
+			su := setup
+			if su == nil {
+				su = smokeSetup(prog)
+			}
+			dirty = attachPerf(fmt.Sprintf("%s [%s]", path, mode), prog, rep, mode, su) || dirty
 		}
 		dirty = emit(path, mode.String(), prog, rep, nil) || dirty
 	}

@@ -13,16 +13,23 @@ import (
 	"carsgo/internal/cars"
 	"carsgo/internal/config"
 	"carsgo/internal/serve/cache"
+	wspec "carsgo/internal/spec"
 	"carsgo/internal/vet"
 	"carsgo/internal/workloads"
 )
 
 // SimulateRequest names a simulation: a configuration from the shared
-// registry (config.Named), a workload from Table I, an optional forced
-// CARS allocation level, and an optional per-request timeout.
+// registry (config.Named), a workload — either a Table I name or an
+// inline declarative spec document (internal/spec) — an optional
+// forced CARS allocation level, and an optional per-request timeout.
 type SimulateRequest struct {
 	Config   string `json:"config"`
-	Workload string `json:"workload"`
+	Workload string `json:"workload,omitempty"`
+	// Spec is an inline workload-spec document; exactly one of
+	// Workload and Spec must be set. Spec-built results are content-
+	// addressed by the spec's canonical JSON, so two documents
+	// describing the same workload share one cache entry.
+	Spec json.RawMessage `json:"spec,omitempty"`
 	// Force pins CARS to one allocation level ("low", "high", "<N>xlow");
 	// empty keeps the configuration's own policy. CARS configs only.
 	Force     string `json:"force,omitempty"`
@@ -30,11 +37,13 @@ type SimulateRequest struct {
 }
 
 // VetRequest names a program to verify: the workload's modules linked
-// for the configuration's ABI mode.
+// for the configuration's ABI mode. Workload and Spec behave as in
+// SimulateRequest.
 type VetRequest struct {
-	Config    string `json:"config"`
-	Workload  string `json:"workload"`
-	TimeoutMs int64  `json:"timeoutMs,omitempty"`
+	Config    string          `json:"config"`
+	Workload  string          `json:"workload,omitempty"`
+	Spec      json.RawMessage `json:"spec,omitempty"`
+	TimeoutMs int64           `json:"timeoutMs,omitempty"`
 }
 
 // ExperimentRequest names a paper exhibit to regenerate.
@@ -62,9 +71,13 @@ type keySpec struct {
 	Kind     string `json:"kind"`
 	Config   string `json:"config,omitempty"`
 	Workload string `json:"workload,omitempty"`
-	ABIMode  string `json:"abiMode,omitempty"`
-	Forced   string `json:"forced,omitempty"`
-	ID       string `json:"id,omitempty"`
+	// Spec is the canonical single-line JSON (spec.Canon) of an inline
+	// workload spec: the content address covers the whole document, so
+	// renaming a field's value — not just the workload name — misses.
+	Spec    string `json:"spec,omitempty"`
+	ABIMode string `json:"abiMode,omitempty"`
+	Forced  string `json:"forced,omitempty"`
+	ID      string `json:"id,omitempty"`
 }
 
 // parseForce maps a wire-level force string to a CARS level.
@@ -97,6 +110,25 @@ func abiModeName(cfg carsgo.Config, lto bool) string {
 	return "baseline"
 }
 
+// resolveWorkload turns a request's workload naming — a registry name
+// or an inline spec document, exactly one of the two — into the
+// workload plus the canonical spec text for content addressing
+// (empty for registry workloads).
+func resolveWorkload(name string, doc json.RawMessage) (*workloads.Workload, string, error) {
+	if (name == "") == (len(doc) == 0) {
+		return nil, "", fmt.Errorf("exactly one of workload and spec must be set")
+	}
+	if name != "" {
+		w, err := workloads.ByName(name)
+		return w, "", err
+	}
+	s, err := wspec.Parse(doc)
+	if err != nil {
+		return nil, "", err
+	}
+	return workloads.FromSpec(s), wspec.Canon(s), nil
+}
+
 // resolveSim turns a SimulateRequest into a runnable configuration,
 // the workload, and the request's cache key spec.
 func resolveSim(req *SimulateRequest) (carsgo.Config, bool, *workloads.Workload, keySpec, error) {
@@ -118,12 +150,12 @@ func resolveSim(req *SimulateRequest) (carsgo.Config, bool, *workloads.Workload,
 		cfg.Name += "-" + lvl.Name()
 		forced = lvl.Name()
 	}
-	w, err := workloads.ByName(req.Workload)
+	w, canon, err := resolveWorkload(req.Workload, req.Spec)
 	if err != nil {
 		return cfg, false, nil, spec, err
 	}
 	spec = keySpec{Schema: SchemaVersion, Kind: "simulate", Config: req.Config,
-		Workload: w.Name, ABIMode: abiModeName(cfg, lto), Forced: forced}
+		Workload: w.Name, Spec: canon, ABIMode: abiModeName(cfg, lto), Forced: forced}
 	return cfg, lto, w, spec, nil
 }
 
@@ -266,12 +298,12 @@ func resolveVet(req *VetRequest) (carsgo.Config, bool, *workloads.Workload, keyS
 	if err != nil {
 		return cfg, false, nil, spec, err
 	}
-	wl, err := workloads.ByName(req.Workload)
+	wl, canon, err := resolveWorkload(req.Workload, req.Spec)
 	if err != nil {
 		return cfg, false, nil, spec, err
 	}
 	spec = keySpec{Schema: SchemaVersion, Kind: "vet", Config: req.Config,
-		Workload: wl.Name, ABIMode: abiModeName(cfg, lto)}
+		Workload: wl.Name, Spec: canon, ABIMode: abiModeName(cfg, lto)}
 	return cfg, lto, wl, spec, nil
 }
 

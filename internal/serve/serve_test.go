@@ -433,3 +433,89 @@ func TestMetricsExposition(t *testing.T) {
 		t.Error("simulated cycles not counted")
 	}
 }
+
+// tinySpec is a minimal but call-exercising workload-spec document.
+// Written as raw JSON: the wire format is the surface under test.
+const tinySpec = `{
+  "schema": 1, "name": "tiny", "grid": 1, "block": 32, "iters": 1,
+  "pattern": "gather", "footprintWords": 256,
+  "kernel": {"calls": ["f"]},
+  "funcs": [{"name": "f", "calleeSaved": 1, "alu": 2}]
+}`
+
+func TestSpecWorkloadEndpoints(t *testing.T) {
+	s := testServer(t, Options{})
+	rec := doJSON(s, "POST", "/v1/vet",
+		map[string]any{"config": "cars", "spec": json.RawMessage(tinySpec)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vet spec = %d: %s", rec.Code, rec.Body.String())
+	}
+	var r Response
+	if err := json.Unmarshal(rec.Body.Bytes(), &r); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Mode  string `json:"mode"`
+		Funcs []any  `json:"funcs"`
+	}
+	if err := json.Unmarshal(r.Result, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode == "" || len(rep.Funcs) == 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+
+	// Content addressing hashes the canonical spec: a reformatted
+	// document (reordered fields, different whitespace) is the same
+	// workload and must hit the first request's cache entry.
+	reformatted := `{"name":"tiny","schema":1,"iters":1,"block":32,"grid":1,
+		"footprintWords":256,"pattern":"gather",
+		"funcs":[{"calleeSaved":1,"name":"f","alu":2}],
+		"kernel":{"calls":["f"]}}`
+	rec = doJSON(s, "POST", "/v1/vet",
+		map[string]any{"config": "cars", "spec": json.RawMessage(reformatted)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("vet reformatted spec = %d: %s", rec.Code, rec.Body.String())
+	}
+	var r2 Response
+	json.Unmarshal(rec.Body.Bytes(), &r2)
+	if r2.Key != r.Key {
+		t.Fatalf("reformatted spec got key %s, want %s (content address must cover the canonical form)", r2.Key, r.Key)
+	}
+	if !r2.Cached {
+		t.Fatal("reformatted spec missed the cache")
+	}
+
+	// The simulate endpoint accepts the same inline document.
+	rec = doJSON(s, "POST", "/v1/simulate",
+		map[string]any{"config": "cars", "spec": json.RawMessage(tinySpec)})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("simulate spec = %d: %s", rec.Code, rec.Body.String())
+	}
+
+	// And so does async submit, under the same content address family.
+	rec = doJSON(s, "POST", "/v1/jobs", map[string]any{
+		"kind":     "simulate",
+		"simulate": map[string]any{"config": "cars", "spec": json.RawMessage(tinySpec)},
+	})
+	if rec.Code != http.StatusAccepted {
+		t.Fatalf("submit spec job = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSpecWorkloadBadRequests(t *testing.T) {
+	s := testServer(t, Options{})
+	for name, doc := range map[string]map[string]any{
+		"both workload and spec": {"config": "base", "workload": "FIB", "spec": json.RawMessage(tinySpec)},
+		"neither":                {"config": "base"},
+		"invalid spec":           {"config": "base", "spec": json.RawMessage(`{"schema": 1, "name": "x"}`)},
+		"wrong schema":           {"config": "base", "spec": json.RawMessage(`{"schema": 99}`)},
+	} {
+		for _, path := range []string{"/v1/simulate", "/v1/vet"} {
+			rec := doJSON(s, "POST", path, doc)
+			if rec.Code != http.StatusBadRequest {
+				t.Errorf("%s %s = %d, want 400: %s", path, name, rec.Code, rec.Body.String())
+			}
+		}
+	}
+}

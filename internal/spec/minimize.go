@@ -1,0 +1,235 @@
+package spec
+
+// Minimizer: greedy shrinking of a failing spec. Each pass proposes a
+// batch of simplifications — drop the last function, halve depths,
+// loops, and knobs, strip divergence and staging — and keeps any
+// candidate on which the failure predicate still fires, iterating to a
+// fixpoint. The result is the small reproducer carsfuzz writes to its
+// corpus directory.
+
+// dropFunc removes funcs[i] and every reference to it. An indirect
+// site losing a candidate is dissolved entirely (its other candidate
+// may become unreachable, which a later pass then drops).
+func dropFunc(s *Spec, i int) *Spec {
+	c := s.Clone()
+	name := c.Funcs[i].Name
+	c.Funcs = append(c.Funcs[:i], c.Funcs[i+1:]...)
+	strip := func(calls []string) []string {
+		out := calls[:0]
+		for _, t := range calls {
+			if t != name {
+				out = append(out, t)
+			}
+		}
+		if len(out) == 0 {
+			return nil
+		}
+		return out
+	}
+	c.Kernel.Calls = strip(c.Kernel.Calls)
+	for j := range c.Funcs {
+		f := &c.Funcs[j]
+		f.Calls = strip(f.Calls)
+		for _, t := range f.Indirect {
+			if t == name {
+				f.Indirect = nil
+				break
+			}
+		}
+	}
+	// Dropping a function can orphan others; prune until every
+	// remaining function is reachable so the candidate validates.
+	for {
+		orphan := -1
+		reach := map[string]bool{}
+		var mark func(name string)
+		mark = func(name string) {
+			if reach[name] {
+				return
+			}
+			reach[name] = true
+			for j := range c.Funcs {
+				if c.Funcs[j].Name == name {
+					for _, t := range c.Funcs[j].Calls {
+						mark(t)
+					}
+					for _, t := range c.Funcs[j].Indirect {
+						mark(t)
+					}
+				}
+			}
+		}
+		for _, t := range c.Kernel.Calls {
+			mark(t)
+		}
+		for j := range c.Funcs {
+			if !reach[c.Funcs[j].Name] {
+				orphan = j
+				break
+			}
+		}
+		if orphan < 0 {
+			break
+		}
+		// Unreachable functions are only referenced by other unreachable
+		// functions, so dropping them one by one converges to a
+		// consistent spec without further edge surgery.
+		c.Funcs = append(c.Funcs[:orphan], c.Funcs[orphan+1:]...)
+	}
+	return c
+}
+
+// candidates proposes one round of strictly-smaller specs.
+func candidates(s *Spec) []*Spec {
+	var out []*Spec
+	add := func(c *Spec) {
+		if c.Validate() == nil {
+			out = append(out, c)
+		}
+	}
+	for i := len(s.Funcs) - 1; i >= 0; i-- {
+		add(dropFunc(s, i))
+	}
+	if s.Iters > 1 {
+		c := s.Clone()
+		c.Iters /= 2
+		add(c)
+	}
+	if s.Launches > 1 {
+		c := s.Clone()
+		c.Launches = 1
+		add(c)
+	}
+	if s.Grid > 1 {
+		c := s.Clone()
+		c.Grid /= 2
+		add(c)
+	}
+	if s.Block > 32 {
+		c := s.Clone()
+		c.Block /= 2
+		if c.Kernel.SmemWords > 0 && c.Kernel.SmemWords > c.Block {
+			c.Kernel.SmemWords /= 2
+		}
+		add(c)
+	}
+	k := s.Kernel
+	if k.Loads > 0 {
+		c := s.Clone()
+		c.Kernel.Loads /= 2
+		add(c)
+	}
+	if k.ALU > 0 {
+		c := s.Clone()
+		c.Kernel.ALU /= 2
+		add(c)
+	}
+	if k.Regs > 0 {
+		c := s.Clone()
+		c.Kernel.Regs /= 2
+		add(c)
+	}
+	if k.ExtraLocalWords > 0 {
+		c := s.Clone()
+		c.Kernel.ExtraLocalWords = 0
+		add(c)
+	}
+	if k.SmemWords > 0 {
+		c := s.Clone()
+		c.Kernel.SmemWords = 0
+		add(c)
+	}
+	if k.BarrierEvery > 0 {
+		c := s.Clone()
+		c.Kernel.BarrierEvery = 0
+		add(c)
+	}
+	if k.CallEvery > 1 {
+		c := s.Clone()
+		c.Kernel.CallEvery = 0
+		add(c)
+	}
+	if s.FootprintWords > 1<<8 {
+		c := s.Clone()
+		c.FootprintWords /= 2
+		if c.RegionWords > c.FootprintWords {
+			c.RegionWords = c.FootprintWords
+		}
+		add(c)
+	}
+	for i := range s.Funcs {
+		f := s.Funcs[i]
+		if f.CalleeSaved > 1 {
+			c := s.Clone()
+			c.Funcs[i].CalleeSaved /= 2
+			add(c)
+		}
+		if f.ALU > 0 {
+			c := s.Clone()
+			c.Funcs[i].ALU /= 2
+			add(c)
+		}
+		if f.Loads > 0 {
+			c := s.Clone()
+			c.Funcs[i].Loads /= 2
+			add(c)
+		}
+		if f.Loop != nil {
+			c := s.Clone()
+			c.Funcs[i].Loop = nil
+			add(c)
+		}
+		if f.Divergent {
+			c := s.Clone()
+			c.Funcs[i].Divergent = false
+			add(c)
+		}
+		if f.XorTag != 0 {
+			c := s.Clone()
+			c.Funcs[i].XorTag = 0
+			add(c)
+		}
+		if len(f.Indirect) == 2 {
+			c := s.Clone()
+			c.Funcs[i].Indirect = nil
+			add(c)
+		}
+		if len(f.Calls) > 0 {
+			c := s.Clone()
+			c.Funcs[i].Calls = c.Funcs[i].Calls[:len(f.Calls)-1]
+			if len(c.Funcs[i].Calls) == 0 {
+				c.Funcs[i].Calls = nil
+			}
+			// Dropping an edge can orphan a subtree; dropFunc's pruning
+			// is not available here, so only keep validating candidates.
+			add(c)
+		}
+	}
+	return out
+}
+
+// Minimize greedily shrinks a spec while fails keeps returning true
+// for the shrunk candidate. fails must be deterministic; maxSteps
+// bounds the total number of candidate evaluations (each one typically
+// runs the full differential).
+func Minimize(s *Spec, fails func(*Spec) bool, maxSteps int) *Spec {
+	cur := s.Clone()
+	steps := 0
+	for {
+		progressed := false
+		for _, c := range candidates(cur) {
+			if steps >= maxSteps {
+				return cur
+			}
+			steps++
+			if fails(c) {
+				cur = c
+				progressed = true
+				break // restart the pass from the smaller spec
+			}
+		}
+		if !progressed {
+			return cur
+		}
+	}
+}

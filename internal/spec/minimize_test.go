@@ -1,0 +1,91 @@
+package spec_test
+
+import (
+	"testing"
+
+	"carsgo/internal/spec"
+)
+
+// TestMinimizeShrinksToPredicateCore: with a cheap synthetic failure
+// predicate ("some function has a wide callee-saved window"), the
+// minimizer must strip every irrelevant structure from a big generated
+// spec and keep only what the predicate needs.
+func TestMinimizeShrinksToPredicateCore(t *testing.T) {
+	var s *spec.Spec
+	for seed := uint64(1); ; seed++ {
+		s = spec.Generate(seed)
+		wide := false
+		for i := range s.Funcs {
+			if s.Funcs[i].CalleeSaved >= 3 {
+				wide = true
+			}
+		}
+		if wide && len(s.Funcs) >= 3 {
+			break
+		}
+	}
+	fails := func(c *spec.Spec) bool {
+		for i := range c.Funcs {
+			if c.Funcs[i].CalleeSaved >= 3 {
+				return true
+			}
+		}
+		return false
+	}
+	min := spec.Minimize(s, fails, 10_000)
+	if err := min.Validate(); err != nil {
+		t.Fatalf("minimized spec invalid: %v", err)
+	}
+	if !fails(min) {
+		t.Fatal("minimized spec no longer satisfies the failure predicate")
+	}
+	if len(min.Funcs) != 1 {
+		t.Errorf("want exactly 1 surviving function, got %d:\n%s", len(min.Funcs), spec.Encode(min))
+	}
+	// Every halvable knob unrelated to the predicate must be at floor.
+	if min.Iters != 1 || min.Grid != 1 || min.Block != 32 {
+		t.Errorf("geometry not at floor: iters=%d grid=%d block=%d", min.Iters, min.Grid, min.Block)
+	}
+	if min.Kernel.SmemWords != 0 || min.Kernel.BarrierEvery != 0 || min.Kernel.ExtraLocalWords != 0 {
+		t.Errorf("kernel staging knobs survived: %+v", min.Kernel)
+	}
+	for i := range min.Funcs {
+		f := &min.Funcs[i]
+		if f.Loop != nil || f.Divergent || f.XorTag != 0 {
+			t.Errorf("irrelevant function structure survived: %+v", f)
+		}
+		// CalleeSaved halves until another halving would break the
+		// predicate: 3 (from 3), or 3..5 (from up to 2×+1 ranges).
+		if f.CalleeSaved < 3 || f.CalleeSaved > 5 {
+			t.Errorf("calleeSaved=%d, want the smallest value still >= 3", f.CalleeSaved)
+		}
+	}
+}
+
+// TestMinimizeRespectsBudget: the evaluation budget caps predicate
+// calls even when more shrinking is possible.
+func TestMinimizeRespectsBudget(t *testing.T) {
+	s := spec.Generate(7)
+	calls := 0
+	fails := func(c *spec.Spec) bool {
+		calls++
+		return true // everything "fails" — shrinks forever without a cap
+	}
+	spec.Minimize(s, fails, 25)
+	if calls > 25 {
+		t.Fatalf("minimizer made %d predicate calls, budget was 25", calls)
+	}
+}
+
+// TestMinimizeNoFailureReturnsClone: when nothing smaller fails, the
+// input comes back unchanged (as an independent clone).
+func TestMinimizeNoFailureReturnsClone(t *testing.T) {
+	s := spec.Generate(3)
+	min := spec.Minimize(s, func(*spec.Spec) bool { return false }, 1_000)
+	if spec.Canon(min) != spec.Canon(s) {
+		t.Fatal("minimizer changed a spec whose shrinks never fail")
+	}
+	if min == s {
+		t.Fatal("minimizer must return a clone, not the input")
+	}
+}

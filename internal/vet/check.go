@@ -567,11 +567,20 @@ func checkStackDemand(p *isa.Program, sums []*funcSummary) ([]Diagnostic, []Kern
 	return diags, reports
 }
 
+// Weakened reports whether this build carries the planted analyzer
+// weakening (`-tags vetweaken`, see weaken.go) that the fuzzer
+// self-test must catch. Production binaries always return false.
+func Weakened() bool { return weakenStackDemand }
+
 // stackDemand computes the worst-case register-stack slots consumed
 // below a function's frame base: its own deepest push state, or a
 // call site's depth plus the saved-RFP slot plus the callee's demand.
 // Only called on acyclic graphs.
 func stackDemand(p *isa.Program, sums []*funcSummary, root int) int {
+	rfpSlot := 1
+	if weakenStackDemand {
+		rfpSlot = 0
+	}
 	memo := map[int]int{}
 	onStack := map[int]bool{}
 	var demand func(fi int) int
@@ -599,7 +608,7 @@ func stackDemand(p *isa.Program, sums []*funcSummary, root int) int {
 				cands = f.IndirectTargets[site.indirect]
 			}
 			for _, ti := range cands {
-				if v := site.depth + 1 + demand(ti); v > d {
+				if v := site.depth + rfpSlot + demand(ti); v > d {
 					d = v
 				}
 			}

@@ -1,0 +1,12 @@
+//go:build vetweaken
+
+package vet
+
+// Planted analyzer weakening (fuzzer self-test, DESIGN.md §11): builds
+// tagged `vetweaken` drop the saved-RFP slot from the interprocedural
+// stack-demand sum, so StackSlots undercounts by one slot per call
+// level. cmd/carsfuzz -selftest requires this build and asserts the
+// generative differential notices — any spec that executes a call
+// under CARS pushes the saved RFP and drives MaxRSP past the weakened
+// static bound.
+const weakenStackDemand = true

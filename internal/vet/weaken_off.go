@@ -1,0 +1,6 @@
+//go:build !vetweaken
+
+package vet
+
+// Production builds carry no analyzer weakening; see weaken.go.
+const weakenStackDemand = false
