@@ -31,8 +31,11 @@ lint:
 # silent, and the negative workloads (racy / barrier-divergent plus
 # clean twins) must be flagged by both sides or neither. The perf
 # differential then holds the static cost/occupancy model to dominance
-# and exactness at every forced CARS level and bounds the watermark
-# advisor's regret. Takes a few minutes.
+# and exactness at every forced CARS level AND every spill-backend
+# design point — the shared-spill base and the full RF-cache window
+# ladder — with per-backend advisor regret bounded and shared-memory
+# transaction counters held to sim/sanitizer parity. Takes a few
+# minutes.
 san:
 	$(GO) run ./cmd/carsvet -diff
 	$(GO) run ./cmd/carsvet -diff examples/vetdemo/clean.carsasm
@@ -48,6 +51,7 @@ san:
 fuzz:
 	$(GO) run ./cmd/carsfuzz -n 200 -seed 1 -corpus fuzz-corpus
 	$(GO) run -tags vetweaken ./cmd/carsfuzz -selftest -n 50 -seed 1 -corpus fuzz-corpus
+	$(GO) run ./cmd/carsfuzz -backends-selftest -n 50 -seed 1
 
 test:
 	$(GO) test ./...

@@ -135,6 +135,9 @@ func BenchmarkFig15_Energy(b *testing.B)        { benchExperiment(b, "fig15", "c
 func BenchmarkFig16_InliningLTO(b *testing.B)   { benchExperiment(b, "fig16", "cars-geomean-x") }
 func BenchmarkFig17_L1Bandwidth(b *testing.B)   { benchExperiment(b, "fig17", "cars-8x-geomean-x") }
 func BenchmarkFig18_Ampere(b *testing.B)        { benchExperiment(b, "fig18", "") }
+func BenchmarkFig19_BackendLattice(b *testing.B) {
+	benchExperiment(b, "fig19", "")
+}
 
 // --- Ablations on the design choices DESIGN.md calls out ---
 

@@ -13,6 +13,14 @@
 //
 //	carsfuzz -n 200 -seed 1 -corpus fuzz-corpus
 //
+// With -backends (on by default) each spec also has its static
+// spill-backend lattice cross-checked: vet's per-backend rows and the
+// merged cross-backend advice must satisfy the lattice's structural
+// invariants (advice indices in range, coverage implying zero residual
+// spill, the cross winner top-ranked). -backends-selftest plants
+// forced mismatches in those invariants and asserts the checker
+// catches every one.
+//
 // The -selftest mode verifies the oracle itself: built with
 // `-tags vetweaken` (which plants a known analyzer weakening, see
 // internal/vet/weaken.go), it asserts the differential catches the
@@ -50,6 +58,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-spec differential timeout")
 		verbose   = flag.Bool("v", false, "per-spec progress")
 		selftest  = flag.Bool("selftest", false, "assert a -tags vetweaken build is caught within the budget")
+		backends  = flag.Bool("backends", true, "cross-check the static spill-backend lattice (vet's per-backend rows and cross advice) per spec")
+		backSelf  = flag.Bool("backends-selftest", false, "assert the lattice cross-check catches planted forced mismatches, then exit")
 		emitSeeds = flag.String("emit-seeds", "", "write go-fuzz corpus seeds from generated specs to this directory and exit")
 	)
 	flag.Parse()
@@ -66,8 +76,11 @@ func main() {
 	if thresh < 0 {
 		thresh = math.Inf(1)
 	}
-	h := &harness{regret: thresh, timeout: *timeout}
+	h := &harness{regret: thresh, timeout: *timeout, backends: *backends}
 
+	if *backSelf {
+		os.Exit(runBackendsSelftest(*n, *seed))
+	}
 	if *selftest {
 		os.Exit(h.runSelftest(*n, *seed, *corpus, *maxShrink))
 	}
@@ -79,8 +92,9 @@ func main() {
 
 // harness runs one spec through the whole differential stack.
 type harness struct {
-	regret  float64
-	timeout time.Duration
+	regret   float64
+	timeout  time.Duration
+	backends bool // also cross-check the static backend lattice
 }
 
 // run returns every static/dynamic disagreement for one spec. Infra
@@ -130,6 +144,13 @@ func (h *harness) run(s *spec.Spec) (violations []string, err error) {
 		for _, v := range res.Violations {
 			violations = append(violations, fmt.Sprintf("%s: %s", mode, v))
 		}
+	}
+	if h.backends {
+		lat, lerr := checkBackends(s)
+		if lerr != nil {
+			return nil, lerr
+		}
+		violations = append(violations, lat...)
 	}
 	return violations, nil
 }

@@ -16,7 +16,11 @@
 //     fuzzer depends on (internal/spec, internal/workloads,
 //     internal/sim, internal/experiments, cmd/carsfuzz), where a
 //     math/rand global-source draw or a time-derived seed would make
-//     a printed seed unable to replay its run.
+//     a printed seed unable to replay its run;
+//   - backendexhaustive: the packages that branch on the spill-backend
+//     enum (internal/cars, internal/sim, internal/vet, internal/san,
+//     internal/config, internal/experiments), where a switch missing a
+//     backend case silently falls through when the lattice grows.
 //
 // Pass directories to run every analyzer over those instead.
 //
@@ -45,6 +49,10 @@ var checks = []struct {
 	{lint.SeededRand, []string{
 		"internal/spec", "internal/workloads", "internal/sim",
 		"internal/experiments", "cmd/carsfuzz",
+	}},
+	{lint.BackendExhaustive, []string{
+		"internal/cars", "internal/sim", "internal/vet",
+		"internal/san", "internal/config", "internal/experiments",
 	}},
 }
 

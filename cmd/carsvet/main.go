@@ -26,11 +26,17 @@
 // diagnostics — wrapped in a versioned envelope with stable field
 // order:
 //
-//	{"schemaVersion": 1, "units": [...]}     // vet reports
-//	{"schemaVersion": 1, "perf": [...]}      // -perfdiff results
+//	{"schemaVersion": 2, "units": [...]}     // vet reports
+//	{"schemaVersion": 2, "perf": [...]}      // -perfdiff results
 //
 // The schemaVersion field is bumped whenever a field is renamed,
-// removed, or changes meaning; adding fields is not a bump.
+// removed, or changes meaning; adding fields is not a bump. Version 2
+// is the cross-backend lattice schema: advice is now per backend
+// (each perf.backends column carries its own advice row) and the
+// top-level perf.advice field is reserved for the CARS watermark
+// ladder — v1 consumers that read perf.advice for non-CARS units must
+// move to perf.backends. v1 documents still decode: no v1 field was
+// renamed or removed (see testdata/golden_v1.json).
 //
 // -sync prints each kernel's synchronization verdicts — BarrierSafe
 // (every reachable BAR.SYNC provably executes convergently) and
@@ -109,7 +115,9 @@ var (
 
 // schemaVersion is the -json envelope version: bumped whenever a field
 // is renamed, removed, or changes meaning (additions are not bumps).
-const schemaVersion = 1
+// v2: per-backend advice (perf.backends, report-level cross) — the
+// top-level perf.advice now describes only the CARS watermark ladder.
+const schemaVersion = 2
 
 // jsonDoc is the -json envelope.
 type jsonDoc struct {
@@ -421,6 +429,30 @@ func perfReport(tag string, rep *vet.ProgramReport) {
 		if a := k.Perf.Advice; a != nil {
 			fmt.Printf("%s: perf %s advice: %s (%s)\n", tag, k.Kernel, a.Level, a.Reason)
 		}
+		for _, bp := range k.Perf.Backends {
+			for _, bl := range bp.Levels {
+				fmt.Printf("%s: perf %s backend %-7s %-6s stack=%-4d resident=%-3d covered=%-5v spill=%sB txns=%s\n",
+					tag, k.Kernel, bp.Backend, bl.Level, bl.StackSlots, bl.ResidentWarps,
+					bl.Covered, bl.SpillSmemBytes.Sym, bl.SmemTxns.Sym)
+			}
+			if a := bp.Advice; a != nil {
+				fmt.Printf("%s: perf %s backend %-7s advice: %s (%s)\n", tag, k.Kernel, bp.Backend, a.Level, a.Reason)
+			}
+		}
+	}
+}
+
+// crossReport merges the per-mode backend lattices of one unit into
+// the cross-backend recommendation and, in text mode, prints it. The
+// merged advice lands on every report's Cross field, where -json picks
+// it up through the already-recorded unit pointers.
+func crossReport(label string, reps []*vet.ProgramReport) {
+	cross := vet.CrossBackendAdvice(reps...)
+	if jsonOut {
+		return
+	}
+	for _, ca := range cross {
+		fmt.Printf("%s: cross %s -> %s/%s (%s)\n", label, ca.Kernel, ca.Backend, ca.Level, ca.Reason)
 	}
 }
 
@@ -567,6 +599,7 @@ func vetSpec(path string, raw []byte, modes []abi.Mode) bool {
 func vetModules(path string, mods []*kir.Module, modes []abi.Mode,
 	setup func(*sim.GPU) ([]isa.Launch, error)) bool {
 	dirty := emitPreABI(path+" [pre-abi]", vet.Modules(mods...))
+	var perfReps []*vet.ProgramReport
 	for _, mode := range modes {
 		prog, err := abi.Link(mode, mods...)
 		if err != nil {
@@ -584,8 +617,12 @@ func vetModules(path string, mods []*kir.Module, modes []abi.Mode,
 				su = smokeSetup(prog)
 			}
 			dirty = attachPerf(fmt.Sprintf("%s [%s]", path, mode), prog, rep, mode, su) || dirty
+			perfReps = append(perfReps, rep)
 		}
 		dirty = emit(path, mode.String(), prog, rep, nil) || dirty
+	}
+	if len(perfReps) > 0 {
+		crossReport(path, perfReps)
 	}
 	return dirty
 }
@@ -595,6 +632,7 @@ func vetWorkloads(modes []abi.Mode) bool {
 	for _, w := range workloads.All() {
 		mods := w.Modules()
 		dirty = emitPreABI(w.Name+" [pre-abi]", vet.Modules(mods...)) || dirty
+		var perfReps []*vet.ProgramReport
 		for _, mode := range modes {
 			prog, err := abi.Link(mode, mods...)
 			if err != nil {
@@ -610,8 +648,12 @@ func vetWorkloads(modes []abi.Mode) bool {
 			rep := vet.Report(prog)
 			if perfOut {
 				dirty = attachPerf(fmt.Sprintf("%s [%s]", w.Name, mode), prog, rep, mode, w.Setup) || dirty
+				perfReps = append(perfReps, rep)
 			}
 			dirty = emit(w.Name, mode.String(), prog, rep, nil) || dirty
+		}
+		if len(perfReps) > 0 {
+			crossReport(w.Name, perfReps)
 		}
 	}
 	if !dirty && !jsonOut {

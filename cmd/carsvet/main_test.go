@@ -1,0 +1,77 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestDecodesV1Golden pins backward compatibility of the -json
+// envelope: a checked-in schemaVersion-1 document (emitted before the
+// cross-backend lattice landed) must keep decoding into today's
+// types, with every v1 field surviving and every v2-only field
+// zero-valued. The schema contract allows additions without a bump,
+// so v1 consumers' documents stay readable across the v2 transition.
+func TestDecodesV1Golden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("v1 golden no longer decodes: %v", err)
+	}
+	if doc.SchemaVersion != 1 {
+		t.Fatalf("golden schemaVersion = %d, want 1", doc.SchemaVersion)
+	}
+	if len(doc.Units) != 4 {
+		t.Fatalf("golden has %d units, want 4 (pre-abi + three ABI modes)", len(doc.Units))
+	}
+	var checked int
+	for _, u := range doc.Units {
+		if u.Report == nil {
+			continue // pre-ABI unit carries only diags
+		}
+		rep := u.Report
+		if len(rep.Funcs) == 0 || len(rep.Kernels) == 0 {
+			t.Errorf("%s [%s]: report lost its funcs/kernels", u.Unit, u.Mode)
+		}
+		for _, f := range rep.Funcs {
+			if f.Func == "" {
+				t.Errorf("%s [%s]: function report lost its name", u.Unit, u.Mode)
+			}
+		}
+		for _, k := range rep.Kernels {
+			if k.Perf == nil {
+				t.Errorf("%s [%s]: %s lost its perf cost bounds", u.Unit, u.Mode, k.Kernel)
+				continue
+			}
+			if k.Perf.Cost.SpillStores.Sym == "" {
+				t.Errorf("%s [%s]: %s cost bound lost its symbolic form", u.Unit, u.Mode, k.Kernel)
+			}
+			// v2-only fields must default cleanly on v1 documents.
+			if len(k.Perf.Backends) != 0 {
+				t.Errorf("%s [%s]: v1 document decoded phantom backend rows", u.Unit, u.Mode)
+			}
+			if k.Perf.Cost.SharedTxns.Sym != "" || k.Perf.Cost.SharedTxns.Value != 0 {
+				t.Errorf("%s [%s]: v1 document decoded a phantom sharedTxns bound", u.Unit, u.Mode)
+			}
+		}
+		if len(rep.Cross) != 0 {
+			t.Errorf("%s [%s]: v1 document decoded phantom cross advice", u.Unit, u.Mode)
+		}
+		checked++
+	}
+	if checked != 3 {
+		t.Fatalf("checked %d linked units, want 3", checked)
+	}
+}
+
+// TestSchemaVersionIsTwo pins the current envelope version so a future
+// field rename remembers to bump it (and to regenerate the docs).
+func TestSchemaVersionIsTwo(t *testing.T) {
+	if schemaVersion != 2 {
+		t.Fatalf("schemaVersion = %d; the doc comment, the golden set, and this test track 2", schemaVersion)
+	}
+}

@@ -1,0 +1,132 @@
+package cars
+
+// This file generalises the CARS allocation ladder into a spill-policy
+// lattice: CARS register stacks are one backend among three. The other
+// two rungs come from the competing designs PAPERS.md names — RegDem's
+// shared-memory register spilling and a compiler-assisted register
+// file cache — re-expressed over the same Plan/Level machinery so the
+// static occupancy model, the watermark advisor, and the perf
+// differential can score every backend through one interface.
+
+import "fmt"
+
+// Backend names one rung family of the spill-policy lattice.
+type Backend uint8
+
+const (
+	// BackendCARS allocates per-warp register stacks with the
+	// Low..High watermark ladder and trap fallback (this paper).
+	BackendCARS Backend = iota
+	// BackendSmemSpill is RegDem-style shared-memory spilling: the
+	// callee-saved frames live in the smem segment, so occupancy is
+	// traded through shared-memory pressure instead of register
+	// pressure, and every spill pays bank-conflict-serialised smem
+	// traffic.
+	BackendSmemSpill
+	// BackendRFCache fronts the shared-memory spill frames with a
+	// bounded per-thread register window that absorbs the hottest
+	// (stack-top) spill slots at register cost: occupancy is traded
+	// through the window size.
+	BackendRFCache
+)
+
+// Backends lists every declared backend in lattice order. New backends
+// must be appended here; the backendexhaustive lint analyzer keeps
+// switch statements over Backend in sync with this list.
+var Backends = []Backend{BackendCARS, BackendSmemSpill, BackendRFCache}
+
+// String renders the backend the way CLI flags and reports spell it.
+func (b Backend) String() string {
+	switch b {
+	case BackendCARS:
+		return "cars"
+	case BackendSmemSpill:
+		return "smem"
+	case BackendRFCache:
+		return "rfcache"
+	}
+	return fmt.Sprintf("Backend(%d)", uint8(b))
+}
+
+// ParseBackend resolves a CLI spelling to a Backend.
+func ParseBackend(s string) (Backend, error) {
+	for _, b := range Backends {
+		if s == b.String() {
+			return b, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown backend %q (want cars, smem, or rfcache)", s)
+}
+
+// ForcedBackendPolicy pins every thread block to one design point of
+// one backend. For BackendCARS this is exactly ForcedPolicy; for the
+// other backends the level indexes the backend's own ladder (the
+// window ladder for the RF cache, the single full-frame point for
+// shared-memory spilling).
+func ForcedBackendPolicy(b Backend, l Level) Policy {
+	return Policy{Backend: b, Forced: l}
+}
+
+// NewSmemPlan builds the (single-point) shared-memory spilling ladder:
+// RegDem has no watermark to tune — every call spills its whole frame
+// to the statically-sized smem segment, costing zero extra registers.
+// The degenerate one-level plan keeps the backend addressable by the
+// same ladder indices as the others.
+func NewSmemPlan(base int) *Plan {
+	return &Plan{
+		Base:    base,
+		Levels:  []Level{{Kind: KindHigh, StackSlots: 0}},
+		Backend: BackendSmemSpill,
+	}
+}
+
+// NewWindowPlan builds the RF-cache window ladder for a kernel whose
+// per-thread shared-memory spill frame totals spillWords words and
+// whose largest single function frame is maxFrameWords.
+//
+// The ladder mirrors NewPlan's shape over window sizes: Low is the
+// smallest window that keeps the hottest single frame entirely in
+// registers, the N×Low points double it, and High covers the whole
+// spill segment — at High every spill access is absorbed, the
+// "miss-free" analogue of CARS' trap-free High. StackSlots is the
+// window size in warp-register slots beyond the kernel base (one
+// cached spill word per thread costs one vector register per warp).
+func NewWindowPlan(base, maxFrameWords, spillWords, maxWarpsOther, regSlotsPerSM int) *Plan {
+	p := &Plan{Base: base, Backend: BackendRFCache}
+	low := maxFrameWords
+	high := spillWords
+	if low > high {
+		low = high
+	}
+	// The window lives in the register file: cap High at the capacity
+	// left beyond the kernel base, exactly as NewPlan caps its High.
+	if regSlotsPerSM > 0 {
+		if maxStack := regSlotsPerSM - base; high > maxStack {
+			if maxStack < low {
+				maxStack = low
+			}
+			if maxStack < 0 {
+				maxStack = 0
+			}
+			high = maxStack
+		}
+	}
+	if low >= high {
+		p.Levels = []Level{{Kind: KindHigh, StackSlots: high}}
+	} else {
+		p.Levels = append(p.Levels, Level{Kind: KindLow, N: 1, StackSlots: low})
+		if low > 0 {
+			for n := 2; low*n < high; n *= 2 {
+				p.Levels = append(p.Levels, Level{Kind: KindNxLow, N: n, StackSlots: low * n})
+			}
+		}
+		p.Levels = append(p.Levels, Level{Kind: KindHigh, StackSlots: high})
+	}
+	if maxWarpsOther > 0 {
+		minRegsPerWarp := regSlotsPerSM / maxWarpsOther
+		if minRegsPerWarp >= p.Base+high {
+			p.HighFree = true
+		}
+	}
+	return p
+}

@@ -46,6 +46,10 @@ func (l Level) Name() string {
 
 // Policy selects how the runtime chooses a level.
 type Policy struct {
+	// Backend names the spill-policy lattice rung the level indexes.
+	// The zero value is BackendCARS, so existing policies are CARS
+	// policies unchanged.
+	Backend Backend
 	// Adaptive enables the Fig. 5 state machine. When false, Forced is
 	// used for every thread block (the per-mechanism study of Fig. 14).
 	Adaptive bool
@@ -75,6 +79,9 @@ type Plan struct {
 	// MaxFRU is the largest single function FRU; every level's stack is
 	// at least this big so any single frame fits the hardware stack.
 	MaxFRU int
+	// Backend names the lattice rung whose ladder this is. The zero
+	// value is BackendCARS: NewPlan builds CARS plans.
+	Backend Backend
 }
 
 // NewPlan builds the level ladder for a kernel.

@@ -11,6 +11,7 @@
 package config
 
 import (
+	"fmt"
 	"strings"
 
 	"carsgo/internal/cars"
@@ -102,6 +103,18 @@ func WithRegisterWindows(c sim.Config) sim.Config {
 func WithSharedSpill(c sim.Config) sim.Config {
 	c.Name += "+SmemSpill"
 	c.SharedSpillABI = true
+	return c
+}
+
+// WithRFCache layers the RF-cache backend over the shared-spill ABI:
+// a per-thread register window of `words` spill slots absorbs the
+// hottest (stack-top) spill traffic at register cost.
+func WithRFCache(c sim.Config, words int) sim.Config {
+	if !c.SharedSpillABI {
+		c = WithSharedSpill(c)
+	}
+	c.Name += fmt.Sprintf("+RFC%d", words)
+	c.RFCacheWindow = words
 	return c
 }
 

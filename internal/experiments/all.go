@@ -27,6 +27,7 @@ func (r *Runner) experimentFns() []struct {
 		{"fig16", r.Fig16},
 		{"fig17", r.Fig17},
 		{"fig18", r.Fig18},
+		{"fig19", r.Fig19},
 	}
 }
 

@@ -1,0 +1,91 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+)
+
+// BackendExhaustive flags switch statements over the spill-backend
+// enum (cars.Backend) that neither cover every backend nor carry a
+// default clause. The backend set is the spine of the spill-policy
+// lattice: the simulator's admission paths, vet's occupancy rows, and
+// the differential's study stages all branch on it, and a switch that
+// silently falls through for a newly-added backend is exactly the bug
+// the enum's growth will produce. The check is syntactic — a switch
+// counts as a backend switch when any of its case expressions names a
+// declared Backend constant (bare or cars-qualified) — so it needs no
+// type information and runs in the same stdlib-only harness as the
+// other analyzers. A switch that handles a strict subset on purpose
+// must say so with a default clause, which also documents the
+// fallback behaviour.
+var BackendExhaustive = &Analyzer{
+	Name: "backendexhaustive",
+	Doc:  "flag non-exhaustive switches over the cars.Backend enum that lack a default clause",
+	Run:  runBackendExhaustive,
+}
+
+// backendConsts is the declared cars.Backend constant set. Kept in
+// sync with internal/cars/backend.go by TestBackendConstSetCurrent.
+var backendConsts = map[string]bool{
+	"BackendCARS":      true,
+	"BackendSmemSpill": true,
+	"BackendRFCache":   true,
+}
+
+// backendConstName extracts the identifier a case expression ends in:
+// BackendCARS or cars.BackendCARS both yield "BackendCARS".
+func backendConstName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	}
+	return ""
+}
+
+func runBackendExhaustive(pass *Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			seen := map[string]bool{}
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+					continue
+				}
+				for _, e := range cc.List {
+					if name := backendConstName(e); backendConsts[name] {
+						seen[name] = true
+					}
+				}
+			}
+			if len(seen) == 0 || hasDefault || len(seen) == len(backendConsts) {
+				return true
+			}
+			var missing []string
+			for name := range backendConsts {
+				if !seen[name] {
+					missing = append(missing, name)
+				}
+			}
+			sort.Strings(missing)
+			pass.Report(Diagnostic{
+				Pos: pass.Fset.Position(sw.Pos()),
+				Message: "switch over cars.Backend misses " + strings.Join(missing, ", ") +
+					" and has no default: handle every backend or document the fallback with a default clause",
+			})
+			return true
+		})
+	}
+	return nil
+}

@@ -34,6 +34,7 @@ var monitorHooks = map[string]bool{
 	"SpillFill":      true,
 	"TrapSlot":       true,
 	"SharedAccess":   true,
+	"SharedTxn":      true,
 	"Barrier":        true,
 	"BarrierRelease": true,
 	"LocalAccess":    true,

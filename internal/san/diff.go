@@ -172,6 +172,7 @@ func Check(rep *vet.ProgramReport, s *Sanitizer, cars bool) []string {
 			costDom(&out, kr.Kernel, "warp spill fills", c.SpillFills, ko.MaxWarpSpillFills)
 			costDom(&out, kr.Kernel, "warp local traffic", c.LocalBytes, ko.MaxWarpLocalBytes)
 			costDom(&out, kr.Kernel, "warp shared traffic", c.SharedBytes, ko.MaxWarpSharedBytes)
+			costDom(&out, kr.Kernel, "warp shared transactions", c.SharedTxns, ko.MaxWarpSmemTxns)
 		}
 	}
 	sort.Strings(out)

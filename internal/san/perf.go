@@ -44,6 +44,17 @@ type LevelRun struct {
 	Cycles      int64  `json:"cycles"`
 }
 
+// BackendRun is one spill-policy backend's measured level ladder
+// (the per-backend half of the lattice differential).
+type BackendRun struct {
+	Backend string     `json:"backend"`
+	Levels  []LevelRun `json:"levels"`
+	Advised string     `json:"advised,omitempty"`
+	// Regret is the backend advisor's measured overshoot within its own
+	// ladder — hard-gated at the regret threshold.
+	Regret float64 `json:"regret"`
+}
+
 // PerfResult is the outcome of the perf differential for one workload
 // under one ABI mode.
 type PerfResult struct {
@@ -58,6 +69,15 @@ type PerfResult struct {
 	// Regret is the advised level's measured overshoot over the best
 	// level: cycles(advised)/min(cycles) - 1. Zero when advised wins.
 	Regret float64 `json:"regret"`
+
+	// Backends carries the per-backend ladders measured under this mode
+	// (shared-spill mode realises the smem and rfcache backends; CARS
+	// mode's ladder is the Levels field above). CrossBackend/CrossRegret
+	// record — without gating — how the cross-backend advisor's pick
+	// fared against the best measured cell of this mode's lattice.
+	Backends     []BackendRun `json:"backends,omitempty"`
+	CrossBackend string       `json:"crossBackend,omitempty"`
+	CrossRegret  float64      `json:"crossRegret,omitempty"`
 
 	Violations []string `json:"violations,omitempty"`
 }
@@ -222,9 +242,18 @@ func PerfDiffWorkload(ctx context.Context, w *workloads.Workload, mode abi.Mode,
 			SimWarps: simPeak, SanWarps: sanPeak, Cycles: sumCycles(sts),
 		}}
 		exactWarps(res, row.Level, row.ResidentWarps, simPeak, sanPeak)
+		smemParity(res, row.Level, s, sts, kernel)
+		if mode == abi.SharedSpill && prog.SmemSpillPerThread > 0 {
+			// Zero-spill programs link under SharedSpill without a
+			// frame: no lattice to study, the base row says it all.
+			if err := backendStudy(ctx, res, w, prog, rep, kr, m, shapes[0], s, sts, regret); err != nil {
+				return nil, err
+			}
+		}
 		return res, nil
 	}
 
+	smemParity(res, "adaptive", s, sts, kernel)
 	// CARS: pin the simulator to each ladder level in turn and hold the
 	// model to exactness at every design point.
 	plan, err := m.PlanFor(prog, shapes[0])
@@ -256,6 +285,7 @@ func PerfDiffWorkload(ctx context.Context, w *workloads.Workload, mode abi.Mode,
 			SimWarps: simPeak, SanWarps: sanPeak, Cycles: sumCycles(fsts),
 		})
 		exactWarps(res, row.Level, row.ResidentWarps, simPeak, sanPeak)
+		smemParity(res, "forced "+lvl.Name(), fs, fsts, kernel)
 	}
 
 	// Advisor regret: the recommended level, measured in cycles, may
@@ -294,7 +324,189 @@ func PerfDiffWorkload(ctx context.Context, w *workloads.Workload, mode abi.Mode,
 					highRow.ResidentWarps, adv.Level, advRow.ResidentWarps))
 		}
 	}
+	// Mirror the ladder as the cars backend's lattice column.
+	res.Backends = append(res.Backends, BackendRun{
+		Backend: cars.BackendCARS.String(), Levels: res.Levels,
+		Advised: adv.Level, Regret: res.Regret,
+	})
 	return res, nil
+}
+
+// kernelObsFor returns the sanitizer's per-kernel observation row, or
+// nil when the kernel never started a warp.
+func kernelObsFor(s *Sanitizer, kernel string) *KernelObs {
+	obs := s.Observations()
+	for i := range obs.Kernels {
+		if obs.Kernels[i].Kernel == kernel {
+			return &obs.Kernels[i]
+		}
+	}
+	return nil
+}
+
+// smemParity holds the simulator's and the sanitizer's independently-
+// accumulated shared-memory transaction and RF-cache hit counters to
+// exact agreement for one measured run of a single kernel.
+func smemParity(res *PerfResult, label string, s *Sanitizer, sts []*stats.Kernel, kernel string) {
+	var simTxns, simHits uint64
+	for _, st := range sts {
+		simTxns += st.SmemTxns
+		simHits += st.RFCacheHits
+	}
+	ko := kernelObsFor(s, kernel)
+	var sanTxns, sanHits uint64
+	if ko != nil {
+		sanTxns, sanHits = ko.SmemTxns, ko.RFCacheHits
+	}
+	if simTxns != sanTxns {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: simulator counted %d shared transactions, sanitizer %d", label, simTxns, sanTxns))
+	}
+	if simHits != sanHits {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: simulator counted %d RF-cache hits, sanitizer %d", label, simHits, sanHits))
+	}
+}
+
+// backendPerf finds one backend's lattice column in a kernel report.
+func backendPerf(kr *vet.KernelReport, name string) *vet.BackendPerf {
+	if kr.Perf == nil {
+		return nil
+	}
+	for i := range kr.Perf.Backends {
+		if kr.Perf.Backends[i].Backend == name {
+			return &kr.Perf.Backends[i]
+		}
+	}
+	return nil
+}
+
+// residDom holds one measured run to a backend level's residual
+// traffic bounds: the per-warp unabsorbed spill bytes and bank
+// transactions may not exceed the static residual at that level.
+func residDom(res *PerfResult, label string, bl vet.BackendLevel, ko *KernelObs) {
+	if ko == nil {
+		return
+	}
+	if b := bl.SpillSmemBytes; b.Finite() && ko.MaxWarpSmemSpillBytes > uint64(b.Value) {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: dynamic residual spill traffic %dB exceeds static bound %s",
+				label, ko.MaxWarpSmemSpillBytes, b.Sym))
+	}
+	if b := bl.SmemTxns; b.Finite() && ko.MaxWarpSmemTxns > uint64(b.Value) {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: dynamic shared transactions %d exceed static bound %s",
+				label, ko.MaxWarpSmemTxns, b.Sym))
+	}
+}
+
+// backendStudy runs the shared-spill mode's half of the lattice
+// differential: the smem backend (the primary run, one design point)
+// and the RF-cache window ladder, each window pinned in the simulator
+// and held to dominance, occupancy exactness, counter parity, and —
+// within the rfcache ladder — the advisor regret gate. The cross-
+// backend advisor's pick is measured against the best cell and
+// recorded (not gated) as CrossRegret.
+func backendStudy(ctx context.Context, res *PerfResult, w *workloads.Workload, prog *isa.Program,
+	rep *vet.ProgramReport, kr *vet.KernelReport, m vet.MachineParams, shape vet.LaunchShape,
+	s *Sanitizer, sts []*stats.Kernel, regret float64) error {
+
+	smemBP := backendPerf(kr, cars.BackendSmemSpill.String())
+	rfcBP := backendPerf(kr, cars.BackendRFCache.String())
+	if smemBP == nil || rfcBP == nil || len(smemBP.Levels) == 0 {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: shared-spill program lacks backend lattice rows", kr.Kernel))
+		return nil
+	}
+
+	// smem backend: the primary run is its single design point.
+	smemRun := BackendRun{Backend: smemBP.Backend, Levels: []LevelRun{res.Levels[0]}}
+	if adv := smemBP.Advice; adv != nil {
+		smemRun.Advised = adv.Level
+	}
+	residDom(res, "smem base", smemBP.Levels[0], kernelObsFor(s, kr.Kernel))
+	res.Backends = append(res.Backends, smemRun)
+
+	// RF-cache backend: force every window of the very ladder vet
+	// modelled and hold each cell to the full invariant set.
+	plan, err := m.WindowPlanFor(prog, shape)
+	if err != nil {
+		return err
+	}
+	if len(plan.Levels) != len(rfcBP.Levels) {
+		res.Violations = append(res.Violations,
+			fmt.Sprintf("%s: window plan has %d levels but the report has %d rfcache rows",
+				kr.Kernel, len(plan.Levels), len(rfcBP.Levels)))
+		return nil
+	}
+	rfcRun := BackendRun{Backend: rfcBP.Backend}
+	for i, lvl := range plan.Levels {
+		label := "rfcache " + lvl.Name()
+		fcfg := config.WithRFCache(config.V100(), lvl.StackSlots)
+		fs, _, fsts, err := runMeasured(ctx, prog, fcfg, w.Setup)
+		if err != nil {
+			return fmt.Errorf("forced %s: %w", label, err)
+		}
+		for _, d := range fs.Diags() {
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: sanitizer: %s", label, d))
+		}
+		for _, v := range Check(rep, fs, false) {
+			res.Violations = append(res.Violations, fmt.Sprintf("%s: %s", label, v))
+		}
+		bl := rfcBP.Levels[i]
+		simPeak, sanPeak := peaks(fs, fsts, kr.Kernel)
+		rfcRun.Levels = append(rfcRun.Levels, LevelRun{
+			Level: bl.Level, StackSlots: lvl.StackSlots, StaticWarps: bl.ResidentWarps,
+			SimWarps: simPeak, SanWarps: sanPeak, Cycles: sumCycles(fsts),
+		})
+		exactWarps(res, label, bl.ResidentWarps, simPeak, sanPeak)
+		smemParity(res, label, fs, fsts, kr.Kernel)
+		residDom(res, label, bl, kernelObsFor(fs, kr.Kernel))
+	}
+	if adv := rfcBP.Advice; adv != nil && adv.LevelIndex < len(rfcRun.Levels) {
+		rfcRun.Advised = adv.Level
+		best := rfcRun.Levels[0].Cycles
+		for _, lr := range rfcRun.Levels[1:] {
+			if lr.Cycles < best {
+				best = lr.Cycles
+			}
+		}
+		advised := rfcRun.Levels[adv.LevelIndex].Cycles
+		if best > 0 {
+			rfcRun.Regret = float64(advised)/float64(best) - 1
+		}
+		if rfcRun.Regret > regret {
+			res.Violations = append(res.Violations,
+				fmt.Sprintf("rfcache advisor picked %s (%d cycles) but the best window runs in %d cycles: regret %.2f exceeds %.2f",
+					adv.Level, advised, best, rfcRun.Regret, regret))
+		}
+	}
+	res.Backends = append(res.Backends, rfcRun)
+
+	// Cross-backend advice over this mode's columns, measured and
+	// recorded: the smem-mode lattice cannot include the cars cells
+	// (a different ABI program), so the cross pick is only held up
+	// against the cells measured here.
+	for _, ca := range vet.CrossBackendAdvice(rep) {
+		if ca.Kernel != kr.Kernel {
+			continue
+		}
+		res.CrossBackend = ca.Backend + "/" + ca.Level
+		cells := map[string]int64{smemBP.Backend + "/" + smemBP.Levels[0].Level: res.Levels[0].Cycles}
+		for _, lr := range rfcRun.Levels {
+			cells[rfcBP.Backend+"/"+lr.Level] = lr.Cycles
+		}
+		best := int64(-1)
+		for _, c := range cells {
+			if best < 0 || c < best {
+				best = c
+			}
+		}
+		if advised, ok := cells[res.CrossBackend]; ok && best > 0 {
+			res.CrossRegret = float64(advised)/float64(best) - 1
+		}
+	}
+	return nil
 }
 
 // exactWarps asserts the static occupancy model's exactness for one

@@ -128,6 +128,17 @@ type KernelObs struct {
 	MaxWarpSpillFills  uint64 `json:"maxWarpSpillFills"`
 	MaxWarpLocalBytes  uint64 `json:"maxWarpLocalBytes"`
 	MaxWarpSharedBytes uint64 `json:"maxWarpSharedBytes"`
+	// Spill-policy lattice accounting. SmemTxns totals bank-serialised
+	// shared-memory transactions and RFCacheHits the spill accesses the
+	// RF-cache window absorbed; both mirror the simulator's own
+	// counters and must match them exactly on single-kernel launches.
+	// The MaxWarp* pair are the largest per-warp cumulative totals over
+	// one kernel activation: vet's per-backend transaction and
+	// residual-spill-traffic bounds must dominate them when finite.
+	SmemTxns              uint64 `json:"smemTxns"`
+	RFCacheHits           uint64 `json:"rfCacheHits"`
+	MaxWarpSmemTxns       uint64 `json:"maxWarpSmemTxns"`
+	MaxWarpSmemSpillBytes uint64 `json:"maxWarpSmemSpillBytes"`
 	// ResidentWarps is the warp occupancy a single SM reached during a
 	// launch's opening admission wave (admissions before the first warp
 	// exit), tracked independently from the simulator's own statistic;
@@ -225,6 +236,10 @@ type warpShadow struct {
 	spillFills  uint64
 	localBytes  uint64
 	sharedBytes uint64
+	// Per-activation lattice accounting: serialised shared-memory
+	// transactions and spill shared bytes the RF cache did not absorb.
+	smemTxns      uint64
+	smemSpillByte uint64
 
 	// blockID/wInBlock locate the warp within its block; startMask is
 	// the launch-time active mask a convergent BAR.SYNC must present.
@@ -418,6 +433,7 @@ func (s *Sanitizer) WarpStart(gwid, blockID, wInBlock, fn, stackSlots int, activ
 	s.lastKernelFn = fn
 	w.spillStores, w.spillFills = 0, 0
 	w.localBytes, w.sharedBytes = 0, 0
+	w.smemTxns, w.smemSpillByte = 0, 0
 	w.blockID, w.wInBlock, w.startMask = blockID, wInBlock, active
 	if wInBlock == 0 {
 		// Warp 0 of a block is always initialized first: a fresh (or
@@ -813,6 +829,31 @@ func (s *Sanitizer) LocalAccess(gwid, fn, pc int, store, spill bool, lanes uint3
 	w.localBytes += 4
 	if ko := s.kernelObs(w.kernelFn); w.localBytes > ko.MaxWarpLocalBytes {
 		ko.MaxWarpLocalBytes = w.localBytes
+	}
+}
+
+// SharedTxn accumulates one shared access's bank-serialisation and
+// RF-cache-absorption accounting: the dynamic side of vet's
+// per-backend transaction and residual-spill-traffic bounds.
+func (s *Sanitizer) SharedTxn(gwid, blockID int, store, spill bool, txns int, absorbed bool) {
+	w := s.warps[gwid]
+	if w == nil {
+		return
+	}
+	ko := s.kernelObs(w.kernelFn)
+	ko.SmemTxns += uint64(txns)
+	if absorbed {
+		ko.RFCacheHits++
+	}
+	w.smemTxns += uint64(txns)
+	if w.smemTxns > ko.MaxWarpSmemTxns {
+		ko.MaxWarpSmemTxns = w.smemTxns
+	}
+	if spill && !absorbed {
+		w.smemSpillByte += 4
+		if w.smemSpillByte > ko.MaxWarpSmemSpillBytes {
+			ko.MaxWarpSmemSpillBytes = w.smemSpillByte
+		}
 	}
 }
 

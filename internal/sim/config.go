@@ -72,6 +72,16 @@ type Config struct {
 	// Mutually exclusive with CARSEnabled.
 	SharedSpillABI bool
 
+	// RFCacheWindow fronts the shared-spill frames with a per-thread
+	// register-file cache of this many words (the compiler-assisted
+	// RF-cache backend of the spill-policy lattice): a spill access
+	// whose slot lies within the window below the frame top is served
+	// from registers (ALU latency, no shared-memory transaction), and
+	// admission charges the window as extra register slots per warp.
+	// Requires SharedSpillABI; the shared-memory frame itself stays
+	// allocated as the cache's backing store.
+	RFCacheWindow int
+
 	// WindowedStacks replaces CARS' exact-FRU frames with fixed-size
 	// register windows (the §VII related-work alternative): every call
 	// consumes a window sized for the program's largest FRU, wasting

@@ -540,6 +540,12 @@ func (s *SM) execLocal(now int64, w *Warp, in *isa.Instruction, guard uint32) {
 	s.dispatchMem(now, w, in, accs, class, isLoad, true)
 }
 
+// smemBanks is the shared-memory bank count: successive 4-byte words
+// map to successive banks, and active lanes whose words collide on a
+// bank at distinct words serialise into extra transactions. Mirrored
+// by vet's static bank-conflict multipliers (internal/vet/cost.go).
+const smemBanks = 32
+
 func (s *SM) execShared(now int64, w *Warp, in *isa.Instruction, guard uint32) {
 	b := w.Block
 	addrs := w.reg(in.SrcA)
@@ -550,11 +556,14 @@ func (s *SM) execShared(now int64, w *Warp, in *isa.Instruction, guard uint32) {
 	} else {
 		val = w.reg(in.SrcC)
 	}
+	var bytes [isa.WarpSize]uint32
 	for l := 0; l < isa.WarpSize; l++ {
 		if guard&(1<<l) == 0 {
 			continue
 		}
-		word := (addrs[l] + uint32(in.Imm)) / 4
+		addr := addrs[l] + uint32(in.Imm)
+		bytes[l] = addr
+		word := addr / 4
 		if int(word) >= len(b.Shared) {
 			s.execFault(w, "shared-memory access at word %d beyond the block's %d words", word, len(b.Shared))
 		}
@@ -564,9 +573,80 @@ func (s *SM) execShared(now int64, w *Warp, in *isa.Instruction, guard uint32) {
 			b.Shared[word] = val[l]
 		}
 	}
-	if isLoad {
-		w.ReadyAt[in.Dst] = now + s.gpu.Cfg.SmemLat
+
+	// RF-cache absorption: a spill access whose slot lies within the
+	// window below every active lane's frame top is served from the
+	// register cache — same functional effect on the smem backing
+	// store, no shared-memory transaction, register-file latency.
+	absorbed := false
+	if win := s.gpu.Cfg.RFCacheWindow; win > 0 && in.Spill && guard != 0 {
+		absorbed = true
+		spill := s.gpu.Prog.SmemSpillPerThread
+		base := s.gpu.launch.SharedBytes
+		for l := 0; l < isa.WarpSize; l++ {
+			if guard&(1<<l) == 0 {
+				continue
+			}
+			top := uint32(base + (w.WInBlock*isa.WarpSize+l+1)*spill)
+			if bytes[l] >= top || top-bytes[l] > uint32(4*win) {
+				absorbed = false
+				break
+			}
+		}
 	}
+
+	txns := 0
+	if guard != 0 && !absorbed {
+		txns = smemTransactions(guard, &bytes)
+	}
+	st := s.stats()
+	st.SmemTxns += uint64(txns)
+	if absorbed {
+		st.RFCacheHits++
+	}
+	if mon := s.gpu.San; mon != nil {
+		mon.SharedTxn(w.GWID, b.ID, !isLoad, in.Spill, txns, absorbed)
+	}
+	if isLoad {
+		if absorbed {
+			w.ReadyAt[in.Dst] = now + s.gpu.Cfg.ALULat
+		} else {
+			// Each serialised pass beyond the first costs one cycle.
+			w.ReadyAt[in.Dst] = now + s.gpu.Cfg.SmemLat + int64(txns-1)
+		}
+	}
+}
+
+// smemTransactions counts the serialised passes a shared access needs:
+// the maximum, over banks, of the number of distinct words the active
+// lanes address in that bank (same-word lanes broadcast in one pass).
+func smemTransactions(guard uint32, bytes *[isa.WarpSize]uint32) int {
+	var words [smemBanks][isa.WarpSize]uint32
+	var n [smemBanks]int
+	max := 0
+	for l := 0; l < isa.WarpSize; l++ {
+		if guard&(1<<l) == 0 {
+			continue
+		}
+		wd := bytes[l] / 4
+		bank := wd % smemBanks
+		dup := false
+		for i := 0; i < n[bank]; i++ {
+			if words[bank][i] == wd {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		words[bank][n[bank]] = wd
+		n[bank]++
+		if n[bank] > max {
+			max = n[bank]
+		}
+	}
+	return max
 }
 
 // dispatchMem enqueues the coalesced accesses into the LSU.

@@ -202,6 +202,15 @@ func (g *GPU) RunContext(ctx context.Context, launch isa.Launch) (st *stats.Kern
 	// Baseline allocation: worst-case register usage over the kernel's
 	// reachable call graph (§II), not the whole program.
 	g.baseRegsPerWarp = g.Cfg.roundRegs(an.MaxRegs)
+	if win := g.Cfg.RFCacheWindow; win > 0 {
+		// The RF-cache backend provisions its window at admission: one
+		// cached spill word per thread is one vector register per warp,
+		// on top of the kernel's base demand.
+		if g.Cfg.CARSEnabled {
+			return nil, fmt.Errorf("sim: RFCacheWindow requires the shared-spill ABI, not CARS")
+		}
+		g.baseRegsPerWarp = g.Cfg.roundRegs(an.MaxRegs + win)
+	}
 
 	if g.Cfg.CARSEnabled {
 		g.plan = cars.NewPlan(an, g.maxWarpsOther(launch), g.Cfg.RegFileSlots)
@@ -457,7 +466,7 @@ func (g *GPU) OccupancyFor(launch isa.Launch, regsPerWarp int) (Occupancy, error
 		return Occupancy{}, err
 	}
 	if regsPerWarp <= 0 {
-		regsPerWarp = g.Cfg.roundRegs(an.MaxRegs)
+		regsPerWarp = g.Cfg.roundRegs(an.MaxRegs + g.Cfg.RFCacheWindow)
 	}
 	cfg := &g.Cfg
 	o := Occupancy{

@@ -233,8 +233,8 @@ func TestInvalidIndirectTargetError(t *testing.T) {
 	m := &kir.Module{Name: "m"}
 	k := kir.NewKernel("main")
 	k.MovI(9, 1000). // far beyond the linked function count
-			CallIndirect(9, "va").
-			Exit()
+				CallIndirect(9, "va").
+				Exit()
 	m.AddFunc(k.MustBuild())
 	va := kir.NewFunc("va")
 	va.IAddI(4, 4, 1).Ret()

@@ -38,6 +38,10 @@ type RegVals func(r uint8) *[isa.WarpSize]uint32
 //   - SharedAccess fires before a shared-memory load or store commits,
 //     with the per-lane byte addresses (before the immediate offset is
 //     applied) and whether the access is ABI spill traffic.
+//   - SharedTxn fires after a shared-memory access commits, with the
+//     number of bank-serialised transactions it cost (0 for a fully
+//     predicated-off access) and whether the RF-cache window absorbed
+//     it (absorbed accesses cost no transactions).
 //   - Barrier fires when a warp arrives at BAR.SYNC, with its current
 //     active mask; BarrierRelease fires once when the whole block's
 //     barrier opens (including the degenerate release on warp exit).
@@ -67,6 +71,7 @@ type Monitor interface {
 	SpillFill(gwid, fn, pc int, r uint8, off int32, lanes uint32, vals *[isa.WarpSize]uint32)
 	TrapSlot(gwid int, fill bool, abs int, vals *[isa.WarpSize]uint32)
 	SharedAccess(gwid, blockID, fn, pc int, store, spill bool, lanes uint32, addrs *[isa.WarpSize]uint32, imm int32)
+	SharedTxn(gwid, blockID int, store, spill bool, txns int, absorbed bool)
 	Barrier(gwid, blockID, fn, pc int, active uint32)
 	BarrierRelease(blockID int)
 	LocalAccess(gwid, fn, pc int, store, spill bool, lanes uint32)

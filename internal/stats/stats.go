@@ -94,6 +94,15 @@ type Kernel struct {
 	CtxSwitchSlots   uint64 // register slots moved by context switches
 	StalledWarpTicks uint64 // warp-cycles spent register-deactivated
 
+	// Shared-memory backend accounting (spill-policy lattice).
+	// SmemTxns counts bank-serialised shared-memory transactions: each
+	// LDS/STS contributes the number of serialised passes its active
+	// lanes' bank mapping forces (1 when conflict-free or broadcast).
+	SmemTxns uint64
+	// RFCacheHits counts spill-flagged shared accesses absorbed by the
+	// RF-cache window (no smem transaction, register-file latency).
+	RFCacheHits uint64
+
 	// Occupancy.
 	// ResidentWarps is the warp occupancy reached by the launch's
 	// opening admission wave on the busiest SM (register-deactivated
@@ -103,7 +112,7 @@ type Kernel struct {
 	// so the steady-state wave, not the transient, is the occupancy
 	// figure. The static model in internal/vet predicts it exactly.
 	ResidentWarps int
-	WarpCycles        uint64 // sum over cycles of resident warps
+	WarpCycles    uint64 // sum over cycles of resident warps
 	ActiveCycles  uint64 // sum over cycles of issuable warps
 	IssuedCycles  uint64 // cycles with ≥1 issue per SM, summed
 	RegSlotsAlloc uint64 // register slots allocated × blocks (demand proxy)
@@ -182,6 +191,8 @@ func (k *Kernel) Merge(o *Kernel) {
 	k.ContextSwitches += o.ContextSwitches
 	k.CtxSwitchSlots += o.CtxSwitchSlots
 	k.StalledWarpTicks += o.StalledWarpTicks
+	k.SmemTxns += o.SmemTxns
+	k.RFCacheHits += o.RFCacheHits
 	k.WarpCycles += o.WarpCycles
 	k.ActiveCycles += o.ActiveCycles
 	k.IssuedCycles += o.IssuedCycles

@@ -48,6 +48,53 @@ type Advice struct {
 	Rows       []AdviceRow `json:"rows"`
 }
 
+// adviseBackend scores one non-CARS backend's level ladder with the
+// same currency advise uses: resident warps, with the trap-free bonus
+// granted to a level that statically absorbs every spill — an RF-cache
+// window covering the full interprocedural frame depth, or the
+// degenerate zero-spill case. Ties break upward (a deeper window can
+// only absorb more).
+func adviseBackend(kernel string, levels []BackendLevel, highFree bool) *Advice {
+	a := &Advice{Kernel: kernel, HighFree: highFree}
+	best, bestScore := 0, -1.0
+	for i, bl := range levels {
+		row := AdviceRow{
+			Level:         bl.Level,
+			StackSlots:    bl.StackSlots,
+			ResidentWarps: bl.ResidentWarps,
+			TrapFree:      bl.Covered,
+		}
+		row.Score = float64(bl.ResidentWarps)
+		if row.TrapFree {
+			row.Score *= 1 + trapFreeBonus
+		}
+		a.Rows = append(a.Rows, row)
+		if row.Score >= bestScore {
+			best, bestScore = i, row.Score
+		}
+	}
+	if len(levels) == 0 {
+		return a
+	}
+	if highFree {
+		best = len(levels) - 1
+		a.Level, a.LevelIndex = levels[best].Level, best
+		a.Reason = "the full-coverage window is free: the register file covers it at the launch's non-register warp ceiling"
+		return a
+	}
+	a.LevelIndex = best
+	a.Level = levels[best].Level
+	row := a.Rows[best]
+	if row.TrapFree {
+		a.Reason = fmt.Sprintf("%s keeps %d warps resident with every spill statically absorbed",
+			row.Level, row.ResidentWarps)
+	} else {
+		a.Reason = fmt.Sprintf("%s maximizes resident warps (%d); residual spill traffic pays the shared-memory path",
+			row.Level, row.ResidentWarps)
+	}
+	return a
+}
+
 // advise scores every ladder level from the kernel's occupancy rows
 // (already attached by AnalyzePerf) and the stack-demand report.
 func advise(kr *KernelReport, plan *cars.Plan) *Advice {

@@ -1,0 +1,52 @@
+package vet
+
+import "testing"
+
+func TestGcdBanks(t *testing.T) {
+	cases := []struct{ stride, want int64 }{
+		{1, 1},   // conflict-free: every lane in its own bank
+		{2, 2},   // pairs of lanes share a bank at distinct words
+		{3, 1},   // odd strides permute the banks: no conflict
+		{4, 4},   //
+		{8, 8},   //
+		{16, 16}, //
+		{32, 32}, // whole warp in one bank: full serialisation
+		{33, 1},  // 33 ≡ 1 (mod 32)
+		{48, 16}, // gcd(48, 32)
+		{0, 32},  // degenerate zero stride defends with the worst case
+		{-8, 8},  // descending frames conflict like ascending ones
+	}
+	for _, tc := range cases {
+		if got := gcdBanks(tc.stride); got != tc.want {
+			t.Errorf("gcdBanks(%d) = %d, want %d", tc.stride, got, tc.want)
+		}
+	}
+}
+
+func TestBankMult(t *testing.T) {
+	affine := func(cL int64) aval { return aval{kind: avAffine, sym: symNone, cL: cL} }
+	const frame = 16 // spill stride: a 4-word per-thread frame
+	cases := []struct {
+		name  string
+		addr  aval
+		spill bool
+		want  int64
+	}{
+		{"uniform broadcasts", uniformVal(), false, 1},
+		{"constant broadcasts", constVal(64), false, 1},
+		{"unit word stride is conflict-free", affine(4), false, 1},
+		{"two-word stride pairs banks", affine(8), false, 2},
+		{"32-word stride serialises fully", affine(128), false, 32},
+		{"sub-word stride defends with the worst case", affine(6), false, 32},
+		{"negative stride conflicts like positive", affine(-16), false, 4},
+		{"degraded user access is worst-case", topVal(), false, 32},
+		{"degraded spill falls back to the frame stride", topVal(), true, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := bankMult(tc.addr, frame, tc.spill); got != tc.want {
+				t.Errorf("bankMult(%+v, %d, %v) = %d, want %d", tc.addr, frame, tc.spill, got, tc.want)
+			}
+		})
+	}
+}

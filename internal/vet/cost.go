@@ -165,6 +165,11 @@ type CostReport struct {
 	SpillFills  CostBound `json:"spillFills"`
 	LocalBytes  CostBound `json:"localBytes"`
 	SharedBytes CostBound `json:"sharedBytes"`
+	// SharedTxns bounds the bank-serialised shared-memory transactions:
+	// every LDS/STS execution charged at its static bank-conflict
+	// multiplier, derived from the affine access lattice (backend.go).
+	// Filled after the sync pass; zero until then.
+	SharedTxns  CostBound `json:"sharedTxns"`
 	Loops       int       `json:"loops"`
 	Irreducible bool      `json:"irreducible,omitempty"`
 }
@@ -176,8 +181,19 @@ type costSite struct {
 	indirect  int // ordinal among OpCallI sites; -1 = direct
 }
 
+// smemSite is one shared-memory access with its loop context, recorded
+// so the backend pass (backend.go) can charge it at the bank-conflict
+// multiplier the sync pass derives for the site.
+type smemSite struct {
+	index     int
+	loopDepth int // -1: unbounded multiplicity (irreducible region)
+	spill     bool
+}
+
 // funcCost is the per-function half of the analysis, stored on the
-// funcSummary for the interprocedural pass.
+// funcSummary for the interprocedural pass. The txn/spill-smem
+// accumulators are filled late, by fillTxnCosts, once the sync pass
+// has produced the per-site address lattice.
 type funcCost struct {
 	spillStores costVal
 	spillFills  costVal
@@ -186,6 +202,13 @@ type funcCost struct {
 	loops       int
 	irreducible bool
 	sites       []costSite
+	smems       []smemSite
+
+	// Filled by fillTxnCosts (backend.go) after the sync pass.
+	sharedTxns    costVal // all LDS/STS × bank multiplier
+	userTxns      costVal // non-spill LDS/STS × bank multiplier
+	spillTxns     costVal // spill LDS/STS × bank multiplier
+	spillSmemByte costVal // spill LDS/STS × 4 bytes
 }
 
 func (fc *funcCost) report() *CostReport {
@@ -194,6 +217,7 @@ func (fc *funcCost) report() *CostReport {
 		SpillFills:  fc.spillFills.bound(),
 		LocalBytes:  fc.localBytes.bound(),
 		SharedBytes: fc.sharedBytes.bound(),
+		SharedTxns:  fc.sharedTxns.bound(),
 		Loops:       fc.loops,
 		Irreducible: fc.irreducible,
 	}
@@ -240,6 +264,7 @@ func (v *funcVet) analyzeCost() {
 				charge(&fc.localBytes, 4)
 			case isa.OpLdS, isa.OpStS:
 				charge(&fc.sharedBytes, 4)
+				fc.smems = append(fc.smems, smemSite{index: i, loopDepth: d, spill: in.Spill})
 			case isa.OpCall, isa.OpCallI:
 				site := costSite{index: i, loopDepth: d, indirect: -1}
 				if in.Op == isa.OpCallI {

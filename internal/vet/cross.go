@@ -1,0 +1,141 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+
+	"carsgo/internal/cars"
+)
+
+// Cross-backend advice: the top of the spill-policy lattice. Each ABI
+// mode realises a subset of the backends (CARS its register stacks;
+// shared-spill the smem and rfcache backends), so one ProgramReport
+// only ever carries its own columns. CrossBackendAdvice merges the
+// per-backend advice of the same kernel analyzed under different
+// modes into a single ranked recommendation.
+
+// CrossRow is one backend's advised design point in the cross-backend
+// ranking.
+type CrossRow struct {
+	Backend        string    `json:"backend"`
+	Level          string    `json:"level"`
+	StackSlots     int       `json:"stackSlots"`
+	ResidentWarps  int       `json:"residentWarps"`
+	Covered        bool      `json:"covered"`
+	SpillSmemBytes CostBound `json:"spillSmemBytes"`
+	SmemTxns       CostBound `json:"smemTxns"`
+	Score          float64   `json:"score"`
+}
+
+// CrossAdvice is the merged recommendation for one kernel: the winning
+// backend and level, with every candidate's row for the rationale.
+type CrossAdvice struct {
+	Kernel  string     `json:"kernel"`
+	Backend string     `json:"backend"`
+	Level   string     `json:"level"`
+	Reason  string     `json:"reason"`
+	Rows    []CrossRow `json:"rows"`
+}
+
+// backendOrder ranks backend names by their cars.Backend ordinal so
+// ties break toward the register-stack backend regardless of the
+// order reports were passed in.
+func backendOrder(name string) int {
+	if b, err := cars.ParseBackend(name); err == nil {
+		return int(b)
+	}
+	return len(cars.Backends)
+}
+
+// CrossBackendAdvice merges the backend lattices of the given reports
+// (typically one per ABI mode, produced by Report + AnalyzePerf for
+// the same modules) into one ranked cross-backend recommendation per
+// kernel. The merged slice is attached to every report's Cross field
+// and returned, sorted by kernel name. Kernels whose reports carry no
+// backend rows are skipped; a backend appearing in several reports
+// keeps its first occurrence.
+func CrossBackendAdvice(reps ...*ProgramReport) []CrossAdvice {
+	type cand struct {
+		row CrossRow
+	}
+	byKernel := map[string][]cand{}
+	var names []string
+	for _, rep := range reps {
+		if rep == nil {
+			continue
+		}
+		for i := range rep.Kernels {
+			kr := &rep.Kernels[i]
+			if kr.Perf == nil {
+				continue
+			}
+			for _, bp := range kr.Perf.Backends {
+				if bp.Advice == nil || len(bp.Levels) == 0 {
+					continue
+				}
+				idx := bp.Advice.LevelIndex
+				if idx < 0 || idx >= len(bp.Levels) {
+					continue
+				}
+				dup := false
+				for _, c := range byKernel[kr.Kernel] {
+					if c.row.Backend == bp.Backend {
+						dup = true
+					}
+				}
+				if dup {
+					continue
+				}
+				bl := bp.Levels[idx]
+				score := float64(bl.ResidentWarps)
+				if bl.Covered {
+					score *= 1 + trapFreeBonus
+				}
+				if _, ok := byKernel[kr.Kernel]; !ok {
+					names = append(names, kr.Kernel)
+				}
+				byKernel[kr.Kernel] = append(byKernel[kr.Kernel], cand{row: CrossRow{
+					Backend:        bp.Backend,
+					Level:          bl.Level,
+					StackSlots:     bl.StackSlots,
+					ResidentWarps:  bl.ResidentWarps,
+					Covered:        bl.Covered,
+					SpillSmemBytes: bl.SpillSmemBytes,
+					SmemTxns:       bl.SmemTxns,
+					Score:          score,
+				}})
+			}
+		}
+	}
+	sort.Strings(names)
+	var out []CrossAdvice
+	for _, kernel := range names {
+		cands := byKernel[kernel]
+		sort.SliceStable(cands, func(i, j int) bool {
+			a, b := cands[i].row, cands[j].row
+			if a.Score != b.Score {
+				return a.Score > b.Score
+			}
+			return backendOrder(a.Backend) < backendOrder(b.Backend)
+		})
+		ca := CrossAdvice{Kernel: kernel}
+		for _, c := range cands {
+			ca.Rows = append(ca.Rows, c.row)
+		}
+		win := ca.Rows[0]
+		ca.Backend, ca.Level = win.Backend, win.Level
+		detail := "pays residual spill traffic through shared memory"
+		if win.Covered {
+			detail = "absorbs every spill statically"
+		}
+		ca.Reason = fmt.Sprintf("%s/%s keeps %d warps resident and %s (score %.1f over %d candidate(s))",
+			win.Backend, win.Level, win.ResidentWarps, detail, win.Score, len(ca.Rows))
+		out = append(out, ca)
+	}
+	for _, rep := range reps {
+		if rep != nil {
+			rep.Cross = out
+		}
+	}
+	return out
+}

@@ -1,0 +1,22 @@
+package vet
+
+import "carsgo/internal/callgraph"
+
+// Test-only exports: the lattice's interprocedural internals, reachable
+// from the vet_test package (which, unlike this one, may import abi to
+// link real programs — abi imports vet, so the internal test file
+// cannot).
+
+// SpillDepthsForTest exposes spillDepths.
+func SpillDepthsForTest(an *callgraph.Analysis) map[int]int { return spillDepths(an) }
+
+// ResidAt evaluates the kernel's residual-traffic bounds at an RF-cache
+// window of w words (w <= 0: no absorption). ok is false when Report
+// attached no evaluator.
+func (kr *KernelReport) ResidAt(w int) (spillBytes, txns CostBound, ok bool) {
+	if kr.resid == nil {
+		return CostBound{}, CostBound{}, false
+	}
+	sb, tx := kr.resid.at(w)
+	return sb, tx, true
+}

@@ -86,12 +86,14 @@ type LevelOccupancy struct {
 
 // KernelPerf is the perf analysis family's per-kernel result: the
 // interprocedural cost bounds (always computed), and — when a launch
-// shape is supplied to AnalyzePerf — the per-level occupancy model and
-// the watermark advisor's recommendation.
+// shape is supplied to AnalyzePerf — the per-level occupancy model,
+// the watermark advisor's recommendation, and the spill-policy
+// backend lattice (backend.go).
 type KernelPerf struct {
 	Cost      CostReport       `json:"cost"`
 	Occupancy []LevelOccupancy `json:"occupancy,omitempty"`
 	Advice    *Advice          `json:"advice,omitempty"`
+	Backends  []BackendPerf    `json:"backends,omitempty"`
 }
 
 // maxWarpsOther mirrors GPU.maxWarpsOther: the per-SM warp bound from
@@ -242,6 +244,7 @@ func AnalyzePerf(rep *ProgramReport, p *isa.Program, m MachineParams, shapes []L
 			o.StackSlots = 0
 			kr.Perf.Occupancy = append(kr.Perf.Occupancy, o)
 			kr.Perf.Advice = nil
+			analyzeBackends(kr, p, m, shape, an)
 			continue
 		}
 		plan := cars.NewPlan(an, m.maxWarpsOther(shape), m.RegFileSlots)
@@ -254,6 +257,7 @@ func AnalyzePerf(rep *ProgramReport, p *isa.Program, m MachineParams, shapes []L
 			kr.Perf.Occupancy = append(kr.Perf.Occupancy, o)
 		}
 		kr.Perf.Advice = advise(kr, plan)
+		analyzeBackends(kr, p, m, shape, an)
 	}
 	return nil
 }

@@ -259,6 +259,15 @@ type shSite struct {
 	addr  aval
 }
 
+// txSite is one shared-memory access — ABI spill traffic included —
+// with its abstract byte address. The backend pass (backend.go) turns
+// the per-lane address stride into a static bank-conflict multiplier.
+type txSite struct {
+	index int
+	spill bool
+	addr  aval
+}
+
 type syncFunc struct {
 	name     string
 	isKernel bool
@@ -277,6 +286,7 @@ type syncFunc struct {
 	divBranch []bool // per instruction: predicated BRA, varying predicate
 	tainted   []bool // per block: executes under divergent control
 	sites     []shSite
+	txs       []txSite
 	pairs     []RacePair
 	barriers  int
 	divCount  int
@@ -777,7 +787,7 @@ func (sp *syncProgram) analyzeFunc(f *syncFunc, final bool) syncSummary {
 	in := sp.classify(f)
 	sum := syncSummary{analyzed: true, retUniform: true}
 	if final {
-		f.sites = f.sites[:0]
+		f.sites, f.txs = f.sites[:0], f.txs[:0]
 		f.barriers, f.divCount = 0, 0
 	}
 
@@ -793,12 +803,15 @@ func (sp *syncProgram) analyzeFunc(f *syncFunc, final bool) syncSummary {
 				f.barriers++
 			}
 		case isa.OpLdS, isa.OpStS:
-			if !ins.Spill {
-				sum.sharedUser = true
-				if final {
-					addr := addVal(regOr(st, ins.SrcA, topVal()), constVal(int64(ins.Imm)))
+			if final {
+				addr := addVal(regOr(st, ins.SrcA, topVal()), constVal(int64(ins.Imm)))
+				f.txs = append(f.txs, txSite{index: i, spill: ins.Spill, addr: addr})
+				if !ins.Spill {
 					f.sites = append(f.sites, shSite{index: i, store: ins.Op == isa.OpStS, addr: addr})
 				}
+			}
+			if !ins.Spill {
+				sum.sharedUser = true
 			}
 		case isa.OpRet:
 			if !st.regs[4].uniform() {

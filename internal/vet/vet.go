@@ -64,6 +64,26 @@ func (s Severity) String() string {
 // stays readable and stable if the numeric order ever changes.
 func (s Severity) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
 
+// UnmarshalJSON parses the name form back, so emitted reports (any
+// schema version) round-trip through consumers of the JSON envelope.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "info":
+		*s = SevInfo
+	case "warning":
+		*s = SevWarning
+	case "error":
+		*s = SevError
+	default:
+		return fmt.Errorf("vet: unknown severity %q", name)
+	}
+	return nil
+}
+
 // Check identifies the analysis that produced a diagnostic, so tools
 // can filter by class.
 type Check string
@@ -239,6 +259,14 @@ type KernelReport struct {
 	// interprocedural cost bounds always; the occupancy model and the
 	// watermark advice when AnalyzePerf ran with a launch shape.
 	Perf *KernelPerf `json:"perf,omitempty"`
+
+	// resid evaluates the kernel's residual shared-memory traffic
+	// bounds at a given RF-cache window (backend.go). Stashed by
+	// Report so AnalyzePerf can refine the backend lattice rows
+	// without rerunning the interprocedural passes; nil on hand-built
+	// reports. Deliberately a data struct, not a closure: reports
+	// built from identical programs stay reflect.DeepEqual.
+	resid *residEval
 }
 
 // RacePair is one may-race between two shared-memory access sites
@@ -258,6 +286,10 @@ type ProgramReport struct {
 	Funcs   []FuncReport   `json:"funcs"`
 	Kernels []KernelReport `json:"kernels,omitempty"`
 	Diags   []Diagnostic   `json:"diags,omitempty"`
+	// Cross carries the merged cross-backend advice when
+	// CrossBackendAdvice combined this report with the same modules'
+	// reports under the other ABI modes.
+	Cross []CrossAdvice `json:"cross,omitempty"`
 }
 
 // Func returns the report for the named function, or nil.
@@ -423,6 +455,16 @@ func Report(p *isa.Program) *ProgramReport {
 			rep.Kernels[i].RacePairs = ks.racePairs
 		}
 	}
+	// Bank-transaction costs (backend.go): every LDS/STS site charged
+	// at the bank-conflict multiplier the sync pass's address lattice
+	// yields. Runs after the sync pass, before the interprocedural
+	// passes consume the accumulators.
+	fillTxnCosts(p, sums, sp)
+	for fi := range rep.Funcs {
+		if rep.Funcs[fi].Cost != nil {
+			rep.Funcs[fi].Cost.SharedTxns = sums[fi].cost.sharedTxns.bound()
+		}
+	}
 	// Static cost bounds (cost.go): interprocedural, per kernel.
 	costs := kernelCosts(p, sums)
 	for i := range rep.Kernels {
@@ -430,6 +472,9 @@ func Report(p *isa.Program) *ProgramReport {
 			rep.Kernels[i].Perf = &KernelPerf{Cost: *c}
 		}
 	}
+	// Residual traffic closures for the backend lattice (backend.go);
+	// also fills the kernel-level SharedTxns bound.
+	attachResiduals(rep, p, sums)
 	rep.Diags = Normalize(diags)
 	return rep
 }
