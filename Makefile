@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint san fuzz test test-short bench experiments examples serve-smoke serve-test clean
+.PHONY: all build vet lint check san fuzz test test-short race-short bench experiments examples serve-smoke serve-test clean
 
 all: build vet lint test
 
@@ -20,9 +20,20 @@ vet:
 	! $(GO) run ./cmd/carsvet -race examples/vetdemo/racy.carsasm
 	$(GO) run ./cmd/carsvet internal/spec/testdata/workloads
 
-# Repo-custom analyzers (internal/lint) over the simulator hot paths.
+# Repo-custom analyzers (internal/lint): the five legacy syntax
+# checks over the simulator hot paths plus the carsguard suite —
+# whole-module concurrency/resource-safety analysis of the serving
+# layer (ctxflow, goleak, lockheld, atomicmix, metriclabels; DESIGN.md
+# §13). The selftest holds every guard analyzer to its
+# planted-violation fixture first: like the racy vet demo, the plants
+# must keep FAILING, or the analyzers have lost their teeth.
 lint:
+	$(GO) run ./cmd/carslint -selftest
 	$(GO) run ./cmd/carslint
+
+# Pre-push gate: compile everything, both vet layers, the analyzer
+# suite, and the short test matrix. CI runs exactly this first.
+check: build vet lint test-short
 
 # Static/dynamic differential harness: every workload in every ABI
 # mode under the shadow sanitizer (internal/san); vet's bounds must
@@ -59,6 +70,11 @@ test:
 # Skip the whole-suite workload tests (fast development loop).
 test-short:
 	$(GO) test -short ./...
+
+# Race matrix over every internal package in short mode — wider than
+# serve-test (which races only the serving layer, unabridged).
+race-short:
+	$(GO) test -race -short ./internal/...
 
 # Regenerate every table and figure (writes to stdout; see EXPERIMENTS.md).
 experiments:

@@ -1,6 +1,11 @@
 // Command carslint runs the repo's custom analyzers (internal/lint)
-// over the simulator's Go sources. With no arguments each analyzer
-// checks its default packages:
+// over the simulator's Go sources: the five legacy syntax-level
+// analyzers, each defending its default packages, plus the carsguard
+// suite — five type-aware, whole-module concurrency and
+// resource-safety analyzers sharing one set of call-graph facts
+// (ctxflow, goleak, lockheld, atomicmix, metriclabels; DESIGN.md §13).
+//
+// Legacy analyzer defaults:
 //
 //   - nonakedpanic: internal/sim and internal/cars, where a stray
 //     panic would take down a whole multi-launch run instead of
@@ -22,20 +27,38 @@
 //     internal/config, internal/experiments), where a switch missing a
 //     backend case silently falls through when the lattice grows.
 //
-// Pass directories to run every analyzer over those instead.
+// The guard suite always analyzes the whole module (reachability and
+// lock-order facts are global); pass directories to filter which
+// findings are reported (and to point the legacy analyzers at those
+// directories instead of their defaults).
 //
-// Exit status 1 when any finding is reported.
+// Modes:
+//
+//	-selftest  run every guard analyzer against its planted-violation
+//	           fixture (internal/lint/testdata/src) and require all
+//	           plants to fire with zero false positives on the clean
+//	           twins — proof the analyzers still have teeth;
+//	-json      emit a schemaVersioned machine-readable report;
+//	-table     print a per-analyzer findings summary table.
+//
+// Exit status: 0 clean, 1 findings (or selftest failure), 2 usage or
+// analysis error — the carsvet contract.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"carsgo/internal/lint"
 )
 
-// checks pairs each analyzer with the directories it defends.
+// reportSchemaVersion identifies the -json envelope layout.
+const reportSchemaVersion = 1
+
+// checks pairs each legacy analyzer with the directories it defends.
 var checks = []struct {
 	analyzer *lint.Analyzer
 	dirs     []string
@@ -56,39 +79,215 @@ var checks = []struct {
 	}},
 }
 
+// finding is one diagnostic in the -json report.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// report is the -json envelope.
+type report struct {
+	SchemaVersion int       `json:"schemaVersion"`
+	Analyzers     []string  `json:"analyzers"`
+	Findings      []finding `json:"findings"`
+	Clean         bool      `json:"clean"`
+}
+
 func main() {
+	jsonOut := flag.Bool("json", false, "emit a schemaVersioned JSON report instead of plain lines")
+	selftest := flag.Bool("selftest", false, "run the guard analyzers against their planted-violation fixtures")
+	table := flag.Bool("table", false, "print a per-analyzer findings summary table")
 	flag.Parse()
-	dirty := false
-	run := func(a *lint.Analyzer, dir string) {
-		diags, err := lint.RunDir(a, dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "carslint:", err)
-			os.Exit(2)
-		}
+
+	if *selftest {
+		os.Exit(runSelfTest(*jsonOut))
+	}
+
+	findings := []finding{}
+	addDiags := func(name string, diags []lint.Diagnostic) {
 		for _, d := range diags {
-			fmt.Println(d)
-			dirty = true
+			findings = append(findings, finding{
+				Analyzer: name,
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+			})
 		}
 	}
-	if dirs := flag.Args(); len(dirs) > 0 {
-		for _, c := range checks {
-			for _, dir := range dirs {
-				run(c.analyzer, dir)
-			}
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "carslint:", err)
+		os.Exit(2)
+	}
+
+	// Legacy syntax-level analyzers, per directory.
+	dirs := flag.Args()
+	for _, c := range checks {
+		targets := c.dirs
+		if len(dirs) > 0 {
+			targets = dirs
 		}
-	} else {
-		for _, c := range checks {
-			for _, dir := range c.dirs {
-				run(c.analyzer, dir)
+		for _, dir := range targets {
+			diags, err := lint.RunDir(c.analyzer, dir)
+			if err != nil {
+				fail(err)
 			}
+			addDiags(c.analyzer.Name, diags)
 		}
 	}
-	if dirty {
+
+	// The carsguard suite: whole-module analysis, shared facts.
+	mod, err := lint.LoadModule(".")
+	if err != nil {
+		fail(err)
+	}
+	facts := lint.BuildFacts(mod)
+	for _, g := range lint.Guards {
+		diags, err := lint.RunGuard(g, mod, facts)
+		if err != nil {
+			fail(err)
+		}
+		addDiags(g.Name, lint.FilterDirs(diags, dirs))
+	}
+
+	names := analyzerNames()
+	if *jsonOut {
+		emitJSON(report{
+			SchemaVersion: reportSchemaVersion,
+			Analyzers:     names,
+			Findings:      findings,
+			Clean:         len(findings) == 0,
+		})
+		if len(findings) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
+
+	for _, f := range findings {
+		fmt.Printf("%s:%d:%d: %s\n", f.File, f.Line, f.Col, f.Message)
+	}
+	if *table {
+		printTable(names, findings)
+	}
+	if len(findings) > 0 {
 		os.Exit(1)
 	}
 	fmt.Print("carslint:")
-	for _, c := range checks {
-		fmt.Print(" ", c.analyzer.Name)
+	for _, n := range names {
+		fmt.Print(" ", n)
 	}
 	fmt.Println(" clean")
+}
+
+// analyzerNames lists every analyzer in reporting order.
+func analyzerNames() []string {
+	var names []string
+	for _, c := range checks {
+		names = append(names, c.analyzer.Name)
+	}
+	for _, g := range lint.Guards {
+		names = append(names, g.Name)
+	}
+	return names
+}
+
+// printTable renders the per-analyzer findings summary.
+func printTable(names []string, findings []finding) {
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	width := 0
+	for _, n := range names {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	fmt.Printf("%-*s  findings\n", width, "analyzer")
+	for _, n := range names {
+		fmt.Printf("%-*s  %d\n", width, n, counts[n])
+	}
+}
+
+// selftestResult is one analyzer's fixture verdict in the -selftest
+// JSON report.
+type selftestResult struct {
+	Analyzer   string   `json:"analyzer"`
+	Planted    int      `json:"planted"`
+	Fired      int      `json:"fired"`
+	Missing    []string `json:"missing,omitempty"`
+	Unexpected []string `json:"unexpected,omitempty"`
+	OK         bool     `json:"ok"`
+}
+
+// runSelfTest holds every guard analyzer to its planted fixture.
+func runSelfTest(jsonOut bool) int {
+	results, err := lint.SelfTest(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "carslint: selftest:", err)
+		return 2
+	}
+	var out []selftestResult
+	allOK := true
+	for _, r := range results {
+		sr := selftestResult{
+			Analyzer:   r.Analyzer,
+			Planted:    r.Wanted,
+			Fired:      r.Wanted - len(r.Missing),
+			Missing:    r.Missing,
+			Unexpected: r.Unexpected,
+			OK:         r.OK(),
+		}
+		if !sr.OK {
+			allOK = false
+		}
+		out = append(out, sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Analyzer < out[j].Analyzer })
+
+	if jsonOut {
+		emitJSON(struct {
+			SchemaVersion int              `json:"schemaVersion"`
+			Results       []selftestResult `json:"results"`
+			OK            bool             `json:"ok"`
+		}{reportSchemaVersion, out, allOK})
+	} else {
+		width := len("analyzer")
+		for _, r := range out {
+			if len(r.Analyzer) > width {
+				width = len(r.Analyzer)
+			}
+		}
+		fmt.Printf("%-*s  planted  fired  verdict\n", width, "analyzer")
+		for _, r := range out {
+			verdict := "ok"
+			if !r.OK {
+				verdict = "FAIL"
+			}
+			fmt.Printf("%-*s  %7d  %5d  %s\n", width, r.Analyzer, r.Planted, r.Fired, verdict)
+			for _, m := range r.Missing {
+				fmt.Printf("  missing: %s\n", m)
+			}
+			for _, u := range r.Unexpected {
+				fmt.Printf("  unexpected: %s\n", u)
+			}
+		}
+	}
+	if !allOK {
+		return 1
+	}
+	return 0
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fmt.Fprintln(os.Stderr, "carslint:", err)
+		os.Exit(2)
+	}
 }

@@ -1,0 +1,198 @@
+// The carsguard suite: type-aware, whole-module concurrency and
+// resource-safety analyzers over the serving layer, sharing one set of
+// call-graph facts. Where the legacy Analyzer runs per-directory on
+// bare syntax, a GuardAnalyzer runs once over a type-checked Module.
+//
+// The five analyzers and their false-positive policies are documented
+// in DESIGN.md §13; each ships with a planted-violation fixture under
+// internal/lint/testdata/src/<name> that the carslint -selftest mode
+// (and the package tests) hold it to.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// GuardPass carries one analysis run: the loaded module, the shared
+// facts, and the diagnostic sink.
+type GuardPass struct {
+	Mod    *Module
+	Facts  *Facts
+	Report func(Diagnostic)
+}
+
+// GuardAnalyzer is one whole-module analyzer.
+type GuardAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(*GuardPass) error
+}
+
+// Guards lists the carsguard suite in reporting order.
+var Guards = []*GuardAnalyzer{CtxFlow, GoLeak, LockHeld, AtomicMix, MetricLabels}
+
+// GuardByName finds a suite analyzer, or nil.
+func GuardByName(name string) *GuardAnalyzer {
+	for _, g := range Guards {
+		if g.Name == name {
+			return g
+		}
+	}
+	return nil
+}
+
+// RunGuard applies one analyzer to a loaded module with prebuilt
+// facts, returning position-sorted diagnostics.
+func RunGuard(a *GuardAnalyzer, m *Module, facts *Facts) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &GuardPass{Mod: m, Facts: facts,
+		Report: func(d Diagnostic) { diags = append(diags, d) }}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Offset < b.Offset
+	})
+	return diags, nil
+}
+
+// report is the analyzers' shared diagnostic constructor.
+func (p *GuardPass) report(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: posOf(p.Mod.Fset, pos), Message: fmt.Sprintf(format, args...)})
+}
+
+// FilterDirs filters a diagnostic set to files under any of the given
+// directories (carslint's positional-argument mode); an empty dir list
+// keeps everything.
+func FilterDirs(diags []Diagnostic, dirs []string) []Diagnostic {
+	if len(dirs) == 0 {
+		return diags
+	}
+	var out []Diagnostic
+	for _, d := range diags {
+		for _, dir := range dirs {
+			abs, err := filepath.Abs(dir)
+			if err != nil {
+				continue
+			}
+			if fabs, err := filepath.Abs(d.Pos.Filename); err == nil {
+				if rel, err := filepath.Rel(abs, fabs); err == nil && !strings.HasPrefix(rel, "..") {
+					out = append(out, d)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ---- shared syntax helpers -------------------------------------------------
+
+// selectHasDefault reports a select with a default clause.
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// selectCancellable reports a select with a cancellation-shaped case:
+// a receive whose channel expression contains a call to a method
+// named Done (ctx.Done(), task.Done()) or an identifier spelled like
+// a done channel (done, stop, quit, closed, sigc — a signal channel
+// is a process-lifetime cancellation source).
+func selectCancellable(sel *ast.SelectStmt) bool {
+	for _, c := range sel.Body.List {
+		cc, ok := c.(*ast.CommClause)
+		if !ok || cc.Comm == nil {
+			continue
+		}
+		var recv ast.Expr
+		switch s := cc.Comm.(type) {
+		case *ast.ExprStmt:
+			if u, ok := s.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+				recv = u.X
+			}
+		case *ast.AssignStmt:
+			if len(s.Rhs) == 1 {
+				if u, ok := s.Rhs[0].(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+					recv = u.X
+				}
+			}
+		}
+		if recv != nil && cancellationShaped(recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// cancellationShaped matches channel expressions that exist to signal
+// cancellation or completion.
+func cancellationShaped(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Done" {
+				found = true
+			}
+		case *ast.Ident:
+			switch strings.ToLower(n.Name) {
+			case "done", "stop", "quit", "closed", "sigc", "errc":
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// calleePkgPath returns the callee's defining package path ("" when
+// unresolvable or builtin).
+func calleePkgPath(info *types.Info, call *ast.CallExpr) string {
+	callee := CalleeOf(info, call)
+	if callee == nil || callee.Pkg() == nil {
+		return ""
+	}
+	return callee.Pkg().Path()
+}
+
+// isChanType reports whether t is (or points at) a channel.
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isWaitGroupMethod reports a method of *sync.WaitGroup.
+func isWaitGroupMethod(f *types.Func) bool {
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

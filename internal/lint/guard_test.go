@@ -1,0 +1,82 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelfTest holds every guard analyzer to its planted-violation
+// fixture: all plants fire, nothing else does. This is the same
+// contract `carslint -selftest` enforces in CI.
+func TestSelfTest(t *testing.T) {
+	results, err := SelfTest("../..")
+	if err != nil {
+		t.Fatalf("selftest: %v", err)
+	}
+	if len(results) != len(Guards) {
+		t.Fatalf("selftest covered %d analyzers, want %d", len(results), len(Guards))
+	}
+	for _, r := range results {
+		if r.Wanted == 0 {
+			t.Errorf("%s: fixture has no planted violations", r.Analyzer)
+		}
+		for _, m := range r.Missing {
+			t.Errorf("%s: planted violation did not fire: %s", r.Analyzer, m)
+		}
+		for _, u := range r.Unexpected {
+			t.Errorf("%s: unexpected diagnostic (false positive on a clean twin): %s", r.Analyzer, u)
+		}
+	}
+}
+
+// TestGuardsCleanOnTree runs the whole suite over the real module:
+// the tree must stay clean, so any finding here is a regression (or a
+// new bug the analyzer just caught — fix the code, not the test).
+func TestGuardsCleanOnTree(t *testing.T) {
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	facts := BuildFacts(mod)
+	for _, g := range Guards {
+		diags, err := RunGuard(g, mod, facts)
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name, err)
+		}
+		for _, d := range diags {
+			t.Errorf("%s: %s", g.Name, d)
+		}
+	}
+}
+
+// TestFactsServeRoots pins the root set the reachability rules hang
+// off: the HTTP handlers and the daemon entry point must be roots.
+func TestFactsServeRoots(t *testing.T) {
+	mod, err := LoadModule("../..")
+	if err != nil {
+		t.Fatalf("load module: %v", err)
+	}
+	facts := BuildFacts(mod)
+	roots := facts.ServeRoots()
+	rootSet := map[string]bool{}
+	for _, r := range roots {
+		rootSet[r] = true
+	}
+	for _, want := range []string{
+		"(*carsgo/internal/serve.Server).handleSimulate",
+		"(*carsgo/internal/serve.Server).handleJobSubmit",
+	} {
+		if !rootSet[want] {
+			t.Errorf("serve root missing: %s", want)
+		}
+	}
+	hasMain := false
+	for r := range rootSet {
+		if strings.Contains(r, "cmd/carsd") {
+			hasMain = true
+		}
+	}
+	if !hasMain {
+		t.Errorf("no cmd/carsd function in serve roots")
+	}
+}

@@ -1,0 +1,135 @@
+// Selftest: every guard analyzer must fire on its planted-violation
+// fixture, and must stay silent on the clean twins planted beside the
+// violations. Fixtures live in internal/lint/testdata/src/<analyzer>,
+// one package each, with `// want "substring"` markers on the lines
+// that must produce a diagnostic. The contract is exact in both
+// directions — a marker with no diagnostic means the analyzer lost its
+// teeth (the carsfuzz vetweaken discipline), and a diagnostic with no
+// marker is a false positive on code the fixture declares clean.
+//
+// Both the package tests and `carslint -selftest` run this.
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// SelfTestResult is one analyzer's verdict against its fixture.
+type SelfTestResult struct {
+	Analyzer   string
+	Dir        string
+	Findings   []Diagnostic
+	Wanted     int      // planted violations in the fixture
+	Missing    []string // want markers no diagnostic matched
+	Unexpected []string // diagnostics no want marker matched
+}
+
+// OK reports a fixture fully matched: every planted violation fired,
+// nothing else did.
+func (r SelfTestResult) OK() bool {
+	return r.Wanted > 0 && len(r.Missing) == 0 && len(r.Unexpected) == 0
+}
+
+// FixtureDir is where the planted-violation fixtures live, relative
+// to the module root.
+const FixtureDir = "internal/lint/testdata/src"
+
+// SelfTest runs every guard analyzer against its fixture package.
+func SelfTest(moduleRoot string) ([]SelfTestResult, error) {
+	root, err := FindModuleRoot(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	var results []SelfTestResult
+	for _, g := range Guards {
+		r, err := selfTestOne(root, g)
+		if err != nil {
+			return nil, fmt.Errorf("selftest %s: %w", g.Name, err)
+		}
+		results = append(results, r)
+	}
+	return results, nil
+}
+
+func selfTestOne(root string, g *GuardAnalyzer) (SelfTestResult, error) {
+	dir := filepath.Join(root, filepath.FromSlash(FixtureDir), g.Name)
+	res := SelfTestResult{Analyzer: g.Name, Dir: dir}
+	mod, err := LoadFixture(root, dir, "carsguardfixture/"+g.Name)
+	if err != nil {
+		return res, err
+	}
+	diags, err := RunGuard(g, mod, BuildFacts(mod))
+	if err != nil {
+		return res, err
+	}
+	res.Findings = diags
+
+	wants, err := parseWants(dir)
+	if err != nil {
+		return res, err
+	}
+	res.Wanted = len(wants)
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] {
+				continue
+			}
+			if filepath.Base(d.Pos.Filename) == w.file && d.Pos.Line == w.line &&
+				strings.Contains(d.Message, w.substr) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			res.Missing = append(res.Missing,
+				fmt.Sprintf("%s:%d: want %q", w.file, w.line, w.substr))
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			res.Unexpected = append(res.Unexpected, d.String())
+		}
+	}
+	return res, nil
+}
+
+// want is one planted-violation marker.
+type want struct {
+	file   string // base name
+	line   int
+	substr string
+}
+
+var wantRE = regexp.MustCompile(`// want "([^"]+)"`)
+
+// parseWants scans the fixture's Go files for `// want "..."` markers.
+func parseWants(dir string) ([]want, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRE.FindAllStringSubmatch(line, -1) {
+				wants = append(wants, want{file: e.Name(), line: i + 1, substr: m[1]})
+			}
+		}
+	}
+	return wants, nil
+}

@@ -1,0 +1,45 @@
+// Package atomfix plants mixed atomic/plain field accesses. A field
+// touched through sync/atomic anywhere must be touched that way
+// everywhere; the plain read and write below tear against concurrent
+// atomic writers.
+package atomfix
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64
+	reads int64
+}
+
+// Inc is the atomic side of the mix.
+func (c *counter) Inc() { atomic.AddInt64(&c.n, 1) }
+
+// Snapshot reads the same field plainly.
+func (c *counter) Snapshot() int64 {
+	return c.n // want "atomicmix: plain access to atomicmix.counter.n"
+}
+
+// Reset writes it plainly.
+func (c *counter) Reset() {
+	c.n = 0 // want "atomicmix: plain access to atomicmix.counter.n"
+}
+
+// ---- clean twins -----------------------------------------------------------
+
+// Reads only ever goes through the atomic API.
+func (c *counter) Reads() int64 { return atomic.LoadInt64(&c.reads) }
+
+func (c *counter) CountRead() { atomic.AddInt64(&c.reads, 1) }
+
+// plain.m is never atomic: plain accesses are fine.
+type plain struct{ m int64 }
+
+func (p *plain) Bump() { p.m++ }
+
+// NewCounter is construction: the value is not yet shared, so the
+// plain initialization is exempt.
+func NewCounter(start int64) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}

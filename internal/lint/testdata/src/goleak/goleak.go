@@ -1,0 +1,71 @@
+// Package goleakfix plants goroutine leaks: fire-and-forget workers
+// with no cancellation, channel, or WaitGroup discipline. The clean
+// twins exercise each accepted join path.
+package goleakfix
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// StartPoller leaks: the loop has no context, channel, or WaitGroup —
+// nothing can ever drain it.
+func StartPoller() {
+	go func() { // want "goleak: goroutine in StartPoller has no cancellation or join path"
+		for {
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// spin is a named leak target: the analyzer descends into in-module
+// callees.
+func spin() {
+	for {
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func StartSpinner() {
+	go spin() // want "goleak: goroutine spin launched from StartSpinner has no cancellation or join path"
+}
+
+// ---- clean twins -----------------------------------------------------------
+
+// StartWorker is context-joined.
+func StartWorker(ctx context.Context) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(time.Second):
+			}
+		}
+	}()
+}
+
+// StartCounted is WaitGroup-joined.
+func StartCounted(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(time.Millisecond)
+	}()
+}
+
+// drain is close-joined: range ends when ch closes.
+func drain(ch chan int) {
+	go func() {
+		for range ch {
+		}
+	}()
+}
+
+// signal completes by closing a done channel some joiner observes.
+func signal(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}

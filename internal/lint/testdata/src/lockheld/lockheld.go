@@ -1,0 +1,115 @@
+// Package lockfix plants blocking-while-locked violations and a
+// lock-acquisition-order cycle; the clean twins pin the accepted
+// idioms (select with default under a lock, Cond.Wait with only its
+// own locker, I/O after release).
+package lockfix
+
+import (
+	"context"
+	"os"
+	"sync"
+
+	"carsgo/internal/serve/jobq"
+)
+
+type store struct {
+	mu    sync.Mutex
+	ch    chan int
+	items map[string]int
+}
+
+// Flush blocks on a channel send while holding the store lock.
+func (s *store) Flush(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "lockheld: channel send in Flush while holding lockheld.store.mu"
+}
+
+// Persist does file I/O under the lock.
+func (s *store) Persist(path string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return os.WriteFile(path, data, 0o600) // want "lockheld: os.WriteFile (I/O) in Persist"
+}
+
+// Enqueue performs pool admission under the lock — unbounded work.
+func (s *store) Enqueue(ctx context.Context, p *jobq.Pool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, err := p.Submit(ctx, func(context.Context) (any, error) { return nil, nil }) // want "lockheld: Submit (unbounded pool/simulation work)"
+	return err
+}
+
+// Size takes the lock; Grow calls it with the lock already held —
+// sync.Mutex is not reentrant.
+func (s *store) Size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+func (s *store) Grow(k string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.Size() == 0 { // want "lockheld: call to Size, which re-acquires lockheld.store.mu"
+		s.items[k] = 1
+	}
+}
+
+// lockAB and lockBA close an a.mu -> b.mu -> a.mu acquisition-order
+// cycle across functions: the classic two-lock deadlock.
+type a struct{ mu sync.Mutex }
+
+type b struct{ mu sync.Mutex }
+
+func lockAB(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+func lockBA(x *a, y *b) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock() // want "lockheld: lock-order cycle"
+	x.mu.Unlock()
+}
+
+// ---- clean twins -----------------------------------------------------------
+
+// TryFlush is non-blocking under the lock: select with a default.
+func (s *store) TryFlush(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// PersistSnapshot copies under the lock and does I/O after release.
+func (s *store) PersistSnapshot(path string) error {
+	s.mu.Lock()
+	n := len(s.items)
+	s.mu.Unlock()
+	return os.WriteFile(path, make([]byte, n), 0o600)
+}
+
+type queue struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	n    int
+}
+
+// WaitNonEmpty holds only the Cond's own locker across Wait: the
+// required condition-variable idiom.
+func (q *queue) WaitNonEmpty() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for q.n == 0 {
+		q.cond.Wait()
+	}
+}

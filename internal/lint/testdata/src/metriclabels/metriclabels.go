@@ -1,0 +1,55 @@
+// Package metfix plants unbounded-cardinality label values fed into
+// the serve/metrics families: a raw request key and an error string.
+// The clean twins pin the accepted origins — constants, formatted
+// numerics, and parameters bound only to constants at every call site.
+package metfix
+
+import (
+	"strconv"
+
+	"carsgo/internal/serve/metrics"
+)
+
+const endpointSim = "simulate"
+
+type server struct {
+	reqs *metrics.CounterFamily
+	lat  *metrics.HistogramFamily
+}
+
+func newServer() *server {
+	r := metrics.NewRegistry()
+	return &server{
+		reqs: r.CounterVec("fix_requests_total", "requests", "endpoint", "code"),
+		lat:  r.HistogramVec("fix_latency_seconds", "latency", nil, "endpoint"),
+	}
+}
+
+// handleRequest feeds a raw request key into the label vec: one series
+// per distinct key, for the life of the process.
+func (s *server) handleRequest(key string, code int) {
+	s.reqs.With(key, strconv.Itoa(code)).Inc() // want "metriclabels: unbounded label cardinality: argument 1"
+}
+
+// recordErr stringifies an error into a label.
+func (s *server) recordErr(err error) {
+	s.reqs.With("errors", err.Error()).Inc() // want "metriclabels: unbounded label cardinality: argument 2"
+}
+
+// ---- clean twins -----------------------------------------------------------
+
+// observe's endpoint parameter is bounded: every call site in the
+// module passes a constant.
+func (s *server) observe(endpoint string, secs float64) {
+	s.lat.With(endpoint).Observe(secs)
+}
+
+func (s *server) record() {
+	s.observe(endpointSim, 0.1)
+	s.observe("vet", 0.2)
+}
+
+// recordCode formats a numeric: enumerated by construction.
+func (s *server) recordCode(code int) {
+	s.reqs.With("status", strconv.Itoa(code)).Inc()
+}

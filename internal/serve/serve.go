@@ -66,6 +66,9 @@ type Options struct {
 	MaxTimeout time.Duration
 	// Logger receives structured request logs; nil silences them.
 	Logger *slog.Logger
+	// JobStoreCap bounds the async job store (default 1024); when full,
+	// the oldest finished jobs are evicted to admit new submissions.
+	JobStoreCap int
 }
 
 func (o *Options) withDefaults() Options {
@@ -87,6 +90,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if v.Logger == nil {
 		v.Logger = slog.New(slog.DiscardHandler)
+	}
+	if v.JobStoreCap <= 0 {
+		v.JobStoreCap = 1024
 	}
 	return v
 }
@@ -126,7 +132,7 @@ func New(opt Options) *Server {
 		cache:  cache.New(o.CacheBytes),
 		flight: &singleflight.Group{},
 		reg:    metrics.NewRegistry(),
-		jobs:   newJobStore(1024),
+		jobs:   newJobStore(o.JobStoreCap),
 		log:    o.Logger,
 		start:  time.Now(),
 	}

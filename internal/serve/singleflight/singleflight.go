@@ -63,8 +63,10 @@ func (g *Group) Do(ctx context.Context, key string, fn func(ctx context.Context)
 		return g.wait(ctx, key, c, true)
 	}
 	// Leader: run fn on a context detached from any single caller's
-	// deadline; it dies only when every waiter has abandoned.
-	fctx, cancel := context.WithCancel(context.Background())
+	// deadline — it dies only when every waiter has abandoned — but
+	// derived from the first caller's so request-scoped values (trace
+	// IDs, loggers) still reach fn.
+	fctx, cancel := context.WithCancel(context.WithoutCancel(ctx))
 	c := &call{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	g.m[key] = c
 	g.mu.Unlock()

@@ -204,3 +204,84 @@ func TestDistinctKeysRunConcurrently(t *testing.T) {
 		t.Fatalf("executions = %d, want 8", execs.Load())
 	}
 }
+
+type traceKey struct{}
+
+// TestLeaderContextKeepsValues pins the leader-context derivation: the
+// flight context comes from the first caller's context via
+// WithoutCancel, so request-scoped values (trace IDs, loggers) reach
+// fn — while the cancellation contract is unchanged: the first
+// caller's cancellation does not kill the flight while another waiter
+// remains, and completion still cancels the flight context.
+func TestLeaderContextKeepsValues(t *testing.T) {
+	var g Group
+
+	gate := make(chan struct{})
+	fnCtx := make(chan context.Context, 1)
+	leaderCtx, cancelLeader := context.WithCancel(
+		context.WithValue(context.Background(), traceKey{}, "trace-1"))
+	defer cancelLeader()
+
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(leaderCtx, "k", func(ctx context.Context) (any, error) {
+			fnCtx <- ctx
+			<-gate
+			return "v", nil
+		})
+		firstDone <- err
+	}()
+
+	var fc context.Context
+	select {
+	case fc = <-fnCtx:
+	case <-time.After(2 * time.Second):
+		t.Fatal("fn never started")
+	}
+	if got := fc.Value(traceKey{}); got != "trace-1" {
+		t.Fatalf("fn context value = %v, want trace-1 (leader context must derive from the first caller's)", got)
+	}
+
+	// Second caller joins the flight, then the first caller abandons:
+	// the flight must keep running for the remaining waiter.
+	type result struct {
+		v   any
+		err error
+	}
+	waiter := make(chan result, 1)
+	go func() {
+		v, err, _ := g.Do(context.Background(), "k", func(context.Context) (any, error) {
+			return nil, errors.New("second caller must join, not execute")
+		})
+		waiter <- result{v, err}
+	}()
+	deadline := time.After(2 * time.Second)
+	for g.Stats().Collapsed == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("second caller never joined the flight")
+		case <-time.After(time.Millisecond):
+		}
+	}
+
+	cancelLeader()
+	if err := <-firstDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("first caller returned %v, want context.Canceled", err)
+	}
+	select {
+	case <-fc.Done():
+		t.Fatal("flight context cancelled by the first caller while a waiter remains")
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	close(gate)
+	r := <-waiter
+	if r.err != nil || r.v != "v" {
+		t.Fatalf("waiter got (%v, %v), want (v, nil)", r.v, r.err)
+	}
+	select {
+	case <-fc.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("flight context not cancelled after completion")
+	}
+}
