@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check san fuzz test test-short race-short bench experiments examples serve-smoke serve-test clean
+.PHONY: all build vet lint check opt san fuzz test test-short race-short bench bench-diff experiments examples serve-smoke serve-test clean
 
 all: build vet lint test
 
@@ -32,8 +32,24 @@ lint:
 	$(GO) run ./cmd/carslint
 
 # Pre-push gate: compile everything, both vet layers, the analyzer
-# suite, and the short test matrix. CI runs exactly this first.
-check: build vet lint test-short
+# suite, the short test matrix, and the optimizer soundness gate. CI
+# runs exactly this first.
+check: build vet lint test-short opt
+
+# Certificate-carrying optimizer soundness gate (cmd/carsopt,
+# internal/opt): every registry workload and every checked-in spec is
+# optimized and must simulate bit-identically in every ABI mode, with
+# a clean sanitizer and a non-degrading vet report; failing runs write
+# their certificates to opt-failures/ (CI uploads them). The optweaken
+# build then plants an unsound next-def-kills rewrite the same
+# differential must catch — an oracle that cannot see a planted bug
+# proves nothing. Takes a few minutes.
+opt:
+	$(GO) run ./cmd/carsopt examples/vetdemo/optme.carsasm
+	$(GO) run ./cmd/carsopt -workloads -certs opt-failures
+	for s in internal/spec/testdata/workloads/*.json; do \
+		$(GO) run ./cmd/carsopt -spec $$s -certs opt-failures || exit 1; done
+	$(GO) run -tags optweaken ./cmd/carsopt -selftest
 
 # Static/dynamic differential harness: every workload in every ABI
 # mode under the shadow sanitizer (internal/san); vet's bounds must
@@ -85,8 +101,19 @@ experiments:
 # deterministic, so one iteration is the measurement. cmd/benchjson
 # tees the text stream and archives every row into BENCH_<date>.json
 # (cycles + wall time per workload) for the perf trajectory.
+# -timeout=40m: the full figure + ablation sweep outgrew go test's
+# default 10m budget around the fig19 backend lattice.
 bench:
-	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem . | $(GO) run ./cmd/benchjson
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem -timeout=40m . | $(GO) run ./cmd/benchjson
+
+# Perf-trajectory diff: re-measure into a scratch snapshot and compare
+# against the checked-in baseline, warning (never failing) on >5%
+# simulated-cycle regressions. Override BENCH_BASELINE to diff against
+# a different snapshot.
+BENCH_BASELINE ?= BENCH_2026-08-08.json
+bench-diff:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem -timeout=40m . | $(GO) run ./cmd/benchjson -o bench-head.json
+	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) bench-head.json
 
 # The serving layer's concurrency tests under the race detector:
 # admission/drain races in the pool, single-flight collapse, LRU

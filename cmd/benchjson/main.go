@@ -10,9 +10,21 @@
 // uploads it as a non-blocking artifact so regressions in simulated
 // cycles or harness wall time are visible across commits.
 //
+// Compare mode diffs two snapshots instead of reading stdin:
+//
+//	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
+//
+// It prints the per-benchmark delta of every deterministic cycle
+// metric (units containing "cycles" — simulated work, not wall time)
+// and warns on any regression above -threshold percent (default 5).
+// Warnings are advisory: compare mode exits 0 even when regressions
+// are found, so a slow design point never gates a merge — the CI
+// bench job surfaces the warnings without blocking.
+//
 // Exit status 1 when no benchmark rows were found (a broken pipeline
 // would otherwise silently archive an empty snapshot), 2 on I/O or
-// flag errors.
+// flag errors. Compare mode: 0 even with warnings, 2 on unreadable
+// or empty snapshots.
 package main
 
 import (
@@ -22,6 +34,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -92,9 +105,130 @@ func parseLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// compareDelta is one metric's movement between two snapshots.
+type compareDelta struct {
+	bench, metric string
+	old, new      float64
+	pct           float64 // signed percent change; positive = regression
+}
+
+// cycleMetric reports whether a metric unit counts simulated cycles —
+// the deterministic measurements worth diffing across machines (wall
+// time depends on the runner and would drown the signal in noise).
+func cycleMetric(unit string) bool { return strings.Contains(unit, "cycles") }
+
+// compareSnapshots matches benchmarks by name and diffs every cycle
+// metric, returning all deltas plus the names present on one side only.
+func compareSnapshots(old, new *Snapshot) (deltas []compareDelta, onlyOld, onlyNew []string) {
+	oldBy := map[string]*Benchmark{}
+	for i := range old.Benchmarks {
+		oldBy[old.Benchmarks[i].Name] = &old.Benchmarks[i]
+	}
+	seen := map[string]bool{}
+	for i := range new.Benchmarks {
+		nb := &new.Benchmarks[i]
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			onlyNew = append(onlyNew, nb.Name)
+			continue
+		}
+		seen[nb.Name] = true
+		units := make([]string, 0, len(nb.Metrics))
+		for unit := range nb.Metrics {
+			if cycleMetric(unit) {
+				units = append(units, unit)
+			}
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			ov, ok := ob.Metrics[unit]
+			if !ok || ov == 0 {
+				continue
+			}
+			nv := nb.Metrics[unit]
+			deltas = append(deltas, compareDelta{
+				bench: nb.Name, metric: unit, old: ov, new: nv,
+				pct: 100 * (nv - ov) / ov,
+			})
+		}
+	}
+	for _, b := range old.Benchmarks {
+		if !seen[b.Name] {
+			onlyOld = append(onlyOld, b.Name)
+		}
+	}
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+	return deltas, onlyOld, onlyNew
+}
+
+// runCompare loads and diffs two snapshots, warning (never failing) on
+// cycle regressions above threshold percent.
+func runCompare(oldPath, newPath string, threshold float64) int {
+	load := func(path string) (*Snapshot, error) {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		var s Snapshot
+		if err := json.Unmarshal(raw, &s); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if len(s.Benchmarks) == 0 {
+			return nil, fmt.Errorf("%s: snapshot has no benchmark rows", path)
+		}
+		return &s, nil
+	}
+	old, err := load(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	new, err := load(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	deltas, onlyOld, onlyNew := compareSnapshots(old, new)
+	warned := 0
+	for _, d := range deltas {
+		mark := "  "
+		if d.pct > threshold {
+			mark = "! "
+			warned++
+		}
+		fmt.Printf("%s%-40s %-24s %12.0f -> %-12.0f %+.1f%%\n",
+			mark, d.bench, d.metric, d.old, d.new, d.pct)
+	}
+	for _, n := range onlyOld {
+		fmt.Printf("-  %s (only in %s)\n", n, oldPath)
+	}
+	for _, n := range onlyNew {
+		fmt.Printf("+  %s (only in %s)\n", n, newPath)
+	}
+	if warned > 0 {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: WARNING: %d cycle metric(s) regressed more than %.0f%% vs %s (advisory — not a failure)\n",
+			warned, threshold, oldPath)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: no cycle metric regressed more than %.0f%% (%d compared)\n",
+			threshold, len(deltas))
+	}
+	return 0
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
+	compare := flag.Bool("compare", false, "diff two snapshot files (OLD NEW) instead of reading a benchmark stream")
+	threshold := flag.Float64("threshold", 5, "compare mode: warn when a cycle metric regresses more than this percent")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files (old new)")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))
+	}
 	date := time.Now().Format("2006-01-02")
 	path := *out
 	if path == "" {

@@ -61,3 +61,52 @@ func TestParseLine(t *testing.T) {
 		})
 	}
 }
+
+func TestCompareSnapshots(t *testing.T) {
+	old := &Snapshot{Benchmarks: []Benchmark{
+		{Name: "WorkloadCycles/MST", NsPerOp: 100, Metrics: map[string]float64{
+			"base-cycles": 1000, "cars-cycles": 500}},
+		{Name: "WorkloadCycles/FIB", Metrics: map[string]float64{"base-cycles": 200}},
+		{Name: "Gone", Metrics: map[string]float64{"base-cycles": 1}},
+	}}
+	new := &Snapshot{Benchmarks: []Benchmark{
+		// base regresses 10%, cars improves 10%; wall time is ignored.
+		{Name: "WorkloadCycles/MST", NsPerOp: 9999, Metrics: map[string]float64{
+			"base-cycles": 1100, "cars-cycles": 450}},
+		{Name: "WorkloadCycles/FIB", Metrics: map[string]float64{"base-cycles": 200}},
+		{Name: "Fresh", Metrics: map[string]float64{"base-cycles": 1}},
+	}}
+	deltas, onlyOld, onlyNew := compareSnapshots(old, new)
+	if len(deltas) != 3 {
+		t.Fatalf("deltas = %d, want 3 (cycle metrics only): %+v", len(deltas), deltas)
+	}
+	regressed := 0
+	for _, d := range deltas {
+		if d.pct > 5 {
+			regressed++
+			if d.bench != "WorkloadCycles/MST" || d.metric != "base-cycles" {
+				t.Errorf("wrong regression flagged: %+v", d)
+			}
+		}
+	}
+	if regressed != 1 {
+		t.Errorf("regressions over 5%% = %d, want 1", regressed)
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "Gone" {
+		t.Errorf("onlyOld = %v, want [Gone]", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "Fresh" {
+		t.Errorf("onlyNew = %v, want [Fresh]", onlyNew)
+	}
+}
+
+func TestCycleMetricFilter(t *testing.T) {
+	for unit, want := range map[string]bool{
+		"base-cycles": true, "cars-cycles": true, "B/op": false,
+		"allocs/op": false, "cars-geomean-x": false,
+	} {
+		if cycleMetric(unit) != want {
+			t.Errorf("cycleMetric(%q) = %v, want %v", unit, !want, want)
+		}
+	}
+}

@@ -13,6 +13,13 @@
 //
 //	carsfuzz -n 200 -seed 1 -corpus fuzz-corpus
 //
+// With -opt each spec is additionally pushed through the
+// certificate-carrying optimizer (internal/opt) and the
+// optimize→simulate differential (san.OptDiffWorkload): the optimized
+// program must produce bit-identical outputs with a clean sanitizer
+// and a non-degrading vet report in every ABI mode, or the spec is a
+// reproducer for a lying licensing fact.
+//
 // With -backends (on by default) each spec also has its static
 // spill-backend lattice cross-checked: vet's per-backend rows and the
 // merged cross-backend advice must satisfy the lattice's structural
@@ -59,6 +66,7 @@ func main() {
 		verbose   = flag.Bool("v", false, "per-spec progress")
 		selftest  = flag.Bool("selftest", false, "assert a -tags vetweaken build is caught within the budget")
 		backends  = flag.Bool("backends", true, "cross-check the static spill-backend lattice (vet's per-backend rows and cross advice) per spec")
+		optDiff   = flag.Bool("opt", false, "also push each spec through the certificate-carrying optimizer and require the optimized program to simulate bit-identically (san.OptDiffWorkload)")
 		backSelf  = flag.Bool("backends-selftest", false, "assert the lattice cross-check catches planted forced mismatches, then exit")
 		emitSeeds = flag.String("emit-seeds", "", "write go-fuzz corpus seeds from generated specs to this directory and exit")
 	)
@@ -76,7 +84,7 @@ func main() {
 	if thresh < 0 {
 		thresh = math.Inf(1)
 	}
-	h := &harness{regret: thresh, timeout: *timeout, backends: *backends}
+	h := &harness{regret: thresh, timeout: *timeout, backends: *backends, optDiff: *optDiff}
 
 	if *backSelf {
 		os.Exit(runBackendsSelftest(*n, *seed))
@@ -95,6 +103,7 @@ type harness struct {
 	regret   float64
 	timeout  time.Duration
 	backends bool // also cross-check the static backend lattice
+	optDiff  bool // also run the optimize→simulate differential
 }
 
 // run returns every static/dynamic disagreement for one spec. Infra
@@ -151,6 +160,21 @@ func (h *harness) run(s *spec.Spec) (violations []string, err error) {
 			return nil, lerr
 		}
 		violations = append(violations, lat...)
+	}
+	if h.optDiff {
+		for _, mode := range abi.Modes {
+			res, derr := san.OptDiffWorkload(ctx, w, mode)
+			if derr != nil {
+				if ctx.Err() != nil {
+					return nil, fmt.Errorf("opt/%s: %w", mode, derr)
+				}
+				violations = append(violations, fmt.Sprintf("opt/%s: %v", mode, derr))
+				continue
+			}
+			for _, f := range res.Failures {
+				violations = append(violations, fmt.Sprintf("opt/%s: %s", mode, f))
+			}
+		}
 	}
 	return violations, nil
 }

@@ -26,17 +26,24 @@
 // diagnostics — wrapped in a versioned envelope with stable field
 // order:
 //
-//	{"schemaVersion": 2, "units": [...]}     // vet reports
-//	{"schemaVersion": 2, "perf": [...]}      // -perfdiff results
+//	{"schemaVersion": 3, "units": [...]}     // vet reports
+//	{"schemaVersion": 3, "perf": [...]}      // -perfdiff results
 //
 // The schemaVersion field is bumped whenever a field is renamed,
-// removed, or changes meaning; adding fields is not a bump. Version 2
-// is the cross-backend lattice schema: advice is now per backend
-// (each perf.backends column carries its own advice row) and the
-// top-level perf.advice field is reserved for the CARS watermark
-// ladder — v1 consumers that read perf.advice for non-CARS units must
-// move to perf.backends. v1 documents still decode: no v1 field was
-// renamed or removed (see testdata/golden_v1.json).
+// removed, or changes meaning; adding fields is not a bump. Version 3
+// is the value-range schema: the interprocedural range/trip-count
+// analysis now collapses symbolic ×loop^k cost terms whose trip
+// counts it can bound, so the cost-bound sym/value fields emit
+// different (tighter) text for the same program than v2 did — a
+// meaning change for consumers that compare bounds across runs. It
+// also adds the per-kernel perf.ranges block (derived loop trip
+// bounds, unknown-loop/dead-branch/devirtualizable counts); the
+// addition alone would not have been a bump. Version 2 was the
+// cross-backend lattice schema: advice became per backend
+// (perf.backends) and top-level perf.advice was reserved for the CARS
+// watermark ladder. v1 and v2 documents still decode: no field was
+// renamed or removed in either bump (see testdata/golden_v1.json,
+// testdata/golden_v2.json).
 //
 // -sync prints each kernel's synchronization verdicts — BarrierSafe
 // (every reachable BAR.SYNC provably executes convergently) and
@@ -117,7 +124,9 @@ var (
 // is renamed, removed, or changes meaning (additions are not bumps).
 // v2: per-backend advice (perf.backends, report-level cross) — the
 // top-level perf.advice now describes only the CARS watermark ladder.
-const schemaVersion = 2
+// v3: trip-count collapse changes what the cost-bound sym/value pair
+// means for loops the range analysis can bound; perf.ranges added.
+const schemaVersion = 3
 
 // jsonDoc is the -json envelope.
 type jsonDoc struct {
@@ -428,6 +437,14 @@ func perfReport(tag string, rep *vet.ProgramReport) {
 		}
 		if a := k.Perf.Advice; a != nil {
 			fmt.Printf("%s: perf %s advice: %s (%s)\n", tag, k.Kernel, a.Level, a.Reason)
+		}
+		if r := k.Perf.Ranges; r != nil {
+			for _, lb := range r.Loops {
+				fmt.Printf("%s: perf %s range loop %s[%d] trips=%d\n",
+					tag, k.Kernel, lb.Func, lb.Index, lb.Trips)
+			}
+			fmt.Printf("%s: perf %s range unknown-loops=%d dead-branches=%d devirtualizable=%d\n",
+				tag, k.Kernel, r.UnknownLoops, r.DeadBranches, r.Devirtualizable)
 		}
 		for _, bp := range k.Perf.Backends {
 			for _, bl := range bp.Levels {

@@ -68,10 +68,62 @@ func TestDecodesV1Golden(t *testing.T) {
 	}
 }
 
-// TestSchemaVersionIsTwo pins the current envelope version so a future
-// field rename remembers to bump it (and to regenerate the docs).
-func TestSchemaVersionIsTwo(t *testing.T) {
-	if schemaVersion != 2 {
-		t.Fatalf("schemaVersion = %d; the doc comment, the golden set, and this test track 2", schemaVersion)
+// TestDecodesV2Golden pins backward compatibility across the v3 bump:
+// a checked-in schemaVersion-2 document (emitted before the
+// value-range analysis landed) must keep decoding into today's types.
+// v3 changed the *meaning* of cost-bound text (trip-count collapse)
+// and added perf.ranges, but renamed and removed nothing, so v2
+// fields all survive and the v3-only ranges block stays nil. The
+// golden file is frozen history — never regenerate it.
+func TestDecodesV2Golden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "golden_v2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("v2 golden no longer decodes: %v", err)
+	}
+	if doc.SchemaVersion != 2 {
+		t.Fatalf("golden schemaVersion = %d, want 2", doc.SchemaVersion)
+	}
+	if len(doc.Units) != 4 {
+		t.Fatalf("golden has %d units, want 4 (pre-abi + three ABI modes)", len(doc.Units))
+	}
+	var backends, checked int
+	for _, u := range doc.Units {
+		if u.Report == nil {
+			continue // pre-ABI unit carries only diags
+		}
+		for _, k := range u.Report.Kernels {
+			if k.Perf == nil {
+				t.Errorf("%s [%s]: %s lost its perf block", u.Unit, u.Mode, k.Kernel)
+				continue
+			}
+			if k.Perf.Cost.SpillStores.Sym == "" {
+				t.Errorf("%s [%s]: %s cost bound lost its symbolic form", u.Unit, u.Mode, k.Kernel)
+			}
+			backends += len(k.Perf.Backends)
+			// The v3-only ranges block must default cleanly on v2 docs.
+			if k.Perf.Ranges != nil {
+				t.Errorf("%s [%s]: v2 document decoded a phantom ranges block", u.Unit, u.Mode)
+			}
+		}
+		checked++
+	}
+	if checked != 3 {
+		t.Fatalf("checked %d linked units, want 3", checked)
+	}
+	if backends == 0 {
+		t.Error("v2 document lost its backend rows (the field v2 introduced)")
+	}
+}
+
+// TestSchemaVersionIsThree pins the current envelope version so a
+// future field rename remembers to bump it (and to regenerate the
+// docs).
+func TestSchemaVersionIsThree(t *testing.T) {
+	if schemaVersion != 3 {
+		t.Fatalf("schemaVersion = %d; the doc comment, the golden set, and this test track 3", schemaVersion)
 	}
 }

@@ -28,6 +28,7 @@ func (r *Runner) experimentFns() []struct {
 		{"fig17", r.Fig17},
 		{"fig18", r.Fig18},
 		{"fig19", r.Fig19},
+		{"fig20", r.Fig20},
 	}
 }
 

@@ -58,11 +58,11 @@ func TestFig1IsStatic(t *testing.T) {
 func TestRunnerIDsAndUnknown(t *testing.T) {
 	r := NewRunner(1)
 	ids := r.IDs()
-	if len(ids) != 17 {
-		t.Fatalf("%d experiments, want 17 (all paper exhibits plus the lattice study)", len(ids))
+	if len(ids) != 18 {
+		t.Fatalf("%d experiments, want 18 (all paper exhibits plus the lattice and optimizer studies)", len(ids))
 	}
 	want := map[string]bool{"fig1": true, "fig8": true, "tab1": true, "tab2": true,
-		"tab3": true, "fig14": true, "fig18": true, "fig19": true}
+		"tab3": true, "fig14": true, "fig18": true, "fig19": true, "fig20": true}
 	seen := map[string]bool{}
 	for _, id := range ids {
 		seen[id] = true

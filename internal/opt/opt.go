@@ -1,0 +1,482 @@
+// Package opt is a certificate-carrying optimizer for pre-ABI kir
+// modules (DESIGN.md §14).
+//
+// Every rewrite it applies must be licensed by a named fact exported
+// from internal/vet's static analyses (vet.ModuleFacts): branch folds
+// by dead-branch range facts, instruction deletion by dead-def
+// liveness facts, window narrowing by dead-window facts, and
+// devirtualization by indirect-narrowing range facts. Each applied
+// rewrite is recorded as a Certificate carrying the transform name,
+// the site, and the licensing fact, so a failing differential run can
+// always point at the exact rewrite — and the exact static fact —
+// that lied.
+//
+// The optimizer itself is deliberately not trusted: internal/san's
+// optimize→simulate differential re-runs every optimized workload and
+// requires bit-identical outputs plus a non-degrading static report.
+package opt
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+	"carsgo/internal/vet"
+)
+
+// Transform names carried in certificates.
+const (
+	TransformFoldBranch = "fold-branch"
+	TransformDeadDef    = "delete-dead-def"
+	TransformNarrow     = "narrow-window"
+	TransformDevirt     = "devirtualize"
+)
+
+// Certificate records one applied rewrite and the static fact that
+// licenses it.
+type Certificate struct {
+	Transform string   `json:"transform"`
+	Func      string   `json:"func"`
+	Index     int      `json:"index"` // site in the pre-rewrite code; -1 = whole function
+	Detail    string   `json:"detail"`
+	Fact      vet.Fact `json:"fact"`
+}
+
+func (c Certificate) String() string {
+	site := c.Func
+	if c.Index >= 0 {
+		site = fmt.Sprintf("%s[%d]", c.Func, c.Index)
+	}
+	return fmt.Sprintf("%s @ %s: %s ⇐ %s", c.Transform, site, c.Detail, c.Fact)
+}
+
+// Result is one module's optimization outcome.
+type Result struct {
+	Module *kir.Module   `json:"-"`
+	Certs  []Certificate `json:"certs"`
+	Rounds int           `json:"rounds"`
+}
+
+// maxRounds bounds the rewrite fixpoint. Each round applies at most
+// one transform family per function and re-derives the facts, so the
+// bound is never reached by terminating inputs; it is a backstop
+// against a transform that fails to converge.
+const maxRounds = 32
+
+// Optimize returns an optimized deep copy of the module together with
+// one certificate per applied rewrite. The input module is never
+// mutated. Modules with vet errors are refused outright — no fact
+// derived from a structurally broken function is trustworthy.
+// Warnings are permitted: several (dead window saves) are exactly
+// what the optimizer removes.
+func Optimize(m *kir.Module) (*Result, error) {
+	for _, d := range vet.Modules(m) {
+		if d.Sev >= vet.SevError {
+			return nil, fmt.Errorf("opt: refusing module %s: %s", m.Name, d)
+		}
+	}
+	cur := cloneModule(m)
+	res := &Result{Module: cur}
+	for round := 0; round < maxRounds; round++ {
+		facts := vet.ModuleFacts(cur)
+		var certs []Certificate
+		for _, f := range cur.Funcs {
+			ff := facts[f.Name]
+			if ff == nil {
+				continue
+			}
+			// One transform family per function per round; the next
+			// round re-derives every fact against the rewritten code, so
+			// cascading opportunities (a fold exposing dead defs, a dead
+			// def exposing a dead window) are found without ever acting
+			// on a stale fact.
+			switch {
+			case len(ff.DeadBranches) > 0:
+				certs = append(certs, foldBranches(f, ff)...)
+			case len(ff.DeadDefs) > 0:
+				certs = append(certs, deleteDeadDefs(f, ff)...)
+			case len(ff.Indirect) > 0:
+				certs = append(certs, devirtualize(f, ff)...)
+			case len(ff.WindowUnused) > 0:
+				certs = append(certs, narrowWindow(f, ff)...)
+			}
+		}
+		if len(certs) == 0 {
+			res.Rounds = round
+			return res, nil
+		}
+		res.Certs = append(res.Certs, certs...)
+	}
+	res.Rounds = maxRounds
+	return res, nil
+}
+
+// OptimizeAll optimizes each module of a compilation set independently
+// and returns the optimized set plus all certificates.
+func OptimizeAll(mods ...*kir.Module) ([]*kir.Module, []Certificate, error) {
+	var out []*kir.Module
+	var certs []Certificate
+	for _, m := range mods {
+		r, err := Optimize(m)
+		if err != nil {
+			return nil, nil, err
+		}
+		out = append(out, r.Module)
+		certs = append(certs, r.Certs...)
+	}
+	return out, certs, nil
+}
+
+func cloneModule(m *kir.Module) *kir.Module {
+	out := &kir.Module{Name: m.Name}
+	for _, f := range m.Funcs {
+		nf := &kir.Func{
+			Name:            f.Name,
+			IsKernel:        f.IsKernel,
+			CalleeSaved:     f.CalleeSaved,
+			ExtraLocalBytes: f.ExtraLocalBytes,
+			RegsUsed:        f.RegsUsed,
+			Code:            append([]isa.Instruction(nil), f.Code...),
+			CallNames:       append([]string(nil), f.CallNames...),
+			FuncRefs:        map[int]string{},
+		}
+		for _, t := range f.IndirectTargets {
+			nf.IndirectTargets = append(nf.IndirectTargets, append([]string(nil), t...))
+		}
+		for k, v := range f.FuncRefs {
+			nf.FuncRefs[k] = v
+		}
+		out.AddFunc(nf)
+	}
+	return out
+}
+
+// foldBranches rewrites statically-dead branches: an always-taken
+// predicated BRA becomes unconditional (the SIMT stack then takes the
+// uniform-jump path, identical to the all-lanes-taken predicated
+// case), a never-taken one is deleted. Code the folds disconnect from
+// the entry is removed in the same rewrite, licensed by the same
+// facts. The function's final instruction (the structural terminator)
+// is never removed.
+func foldBranches(f *kir.Func, ff *vet.FuncFacts) []Certificate {
+	del := map[int]bool{}
+	var applied []vet.DeadBranch
+	for _, db := range ff.DeadBranches {
+		in := &f.Code[db.Index]
+		if in.Op != isa.OpBra || in.Pred == isa.NoPred {
+			continue // stale or malformed fact: refuse silently, next round re-derives
+		}
+		if db.Always {
+			in.Pred = isa.NoPred
+			in.PNeg = false
+		} else {
+			del[db.Index] = true
+		}
+		applied = append(applied, db)
+	}
+	if len(applied) == 0 {
+		return nil
+	}
+	removed := markUnreachable(f.Code, del)
+	deleteIndices(f, del)
+	recomputeRegsUsed(f)
+	var certs []Certificate
+	for _, db := range applied {
+		kind, factDetail := "never-taken branch deleted", "condition never holds"
+		if db.Always {
+			kind, factDetail = "branch made unconditional", "condition always holds"
+		}
+		certs = append(certs, Certificate{
+			Transform: TransformFoldBranch,
+			Func:      f.Name,
+			Index:     db.Index,
+			Detail:    fmt.Sprintf("%s; %d unreachable instruction(s) removed", kind, removed),
+			Fact:      ff.Fact(vet.FactDeadBranch, db.Index, factDetail),
+		})
+	}
+	return certs
+}
+
+// markUnreachable extends del with every instruction no path from the
+// entry reaches once the folds in del/code are in effect, except the
+// final instruction (kept as the structural terminator). It returns
+// how many instructions it added.
+func markUnreachable(code []isa.Instruction, del map[int]bool) int {
+	n := len(code)
+	seen := make([]bool, n)
+	stack := []int{0}
+	push := func(t int) {
+		if t >= 0 && t < n && !seen[t] {
+			seen[t] = true
+			stack = append(stack, t)
+		}
+	}
+	if n > 0 {
+		seen[0] = true
+	}
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if del[i] { // a deleted never-taken branch: execution falls through
+			push(i + 1)
+			continue
+		}
+		in := &code[i]
+		switch in.Op {
+		case isa.OpRet, isa.OpExit:
+		case isa.OpBra:
+			push(in.Target)
+			if in.Pred != isa.NoPred {
+				push(i + 1)
+			}
+		default:
+			push(i + 1)
+		}
+	}
+	added := 0
+	for i := 0; i < n; i++ {
+		if !seen[i] && !del[i] && i != n-1 {
+			del[i] = true
+			added++
+		}
+	}
+	return added
+}
+
+// deleteDeadDefs removes the instructions vet's backward liveness
+// proved to define values no path consumes.
+func deleteDeadDefs(f *kir.Func, ff *vet.FuncFacts) []Certificate {
+	dead := append([]int(nil), ff.DeadDefs...)
+	if Weakened() {
+		dead = weakenExtraDead(f, dead)
+	}
+	if len(dead) == 0 {
+		return nil
+	}
+	del := map[int]bool{}
+	var certs []Certificate
+	for _, i := range dead {
+		in := &f.Code[i]
+		del[i] = true
+		certs = append(certs, Certificate{
+			Transform: TransformDeadDef,
+			Func:      f.Name,
+			Index:     i,
+			Detail:    fmt.Sprintf("deleted %s (R%d never read afterwards)", in.Op, in.Dst),
+			Fact:      ff.Fact(vet.FactDeadDef, i, fmt.Sprintf("R%d dead after def", in.Dst)),
+		})
+	}
+	deleteIndices(f, del)
+	recomputeRegsUsed(f)
+	return certs
+}
+
+// devirtualize converts provably-single-target indirect calls into
+// direct calls. Sites are processed in descending ordinal order so the
+// positional IndirectTargets metadata of later sites stays aligned
+// while earlier entries are spliced out.
+func devirtualize(f *kir.Func, ff *vet.FuncFacts) []Certificate {
+	sites := append([]vet.IndirectNarrow(nil), ff.Indirect...)
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Ordinal > sites[j].Ordinal })
+	var certs []Certificate
+	for _, s := range sites {
+		in := &f.Code[s.Index]
+		if in.Op != isa.OpCallI || s.Ordinal >= len(f.IndirectTargets) {
+			continue
+		}
+		found := false
+		for _, cand := range f.IndirectTargets[s.Ordinal] {
+			if cand == s.Target {
+				found = true
+			}
+		}
+		if !found {
+			continue // fact does not match the candidate list: refuse
+		}
+		in.Op = isa.OpCall
+		in.SrcA = isa.NoReg
+		in.Callee = len(f.CallNames)
+		f.CallNames = append(f.CallNames, s.Target)
+		f.IndirectTargets = append(f.IndirectTargets[:s.Ordinal], f.IndirectTargets[s.Ordinal+1:]...)
+		certs = append(certs, Certificate{
+			Transform: TransformDevirt,
+			Func:      f.Name,
+			Index:     s.Index,
+			Detail:    fmt.Sprintf("indirect call devirtualized to %s", s.Target),
+			Fact:      ff.Fact(vet.FactIndirect, s.Index, fmt.Sprintf("selector always resolves to %s", s.Target)),
+		})
+	}
+	return certs
+}
+
+// narrowWindow drops declared callee-saved registers the body never
+// references, renaming the kept ones to close interior holes, and
+// clamps call-site FRU to the shrunken register usage. The dropped
+// registers were never written, so callers' values in them survive the
+// call with or without ABI preservation; the narrowing only removes
+// save/fill (or push) traffic.
+func narrowWindow(f *kir.Func, ff *vet.FuncFacts) []Certificate {
+	if f.IsKernel || f.CalleeSaved == 0 || len(ff.WindowUnused) == 0 {
+		return nil
+	}
+	unused := map[int]bool{}
+	for _, r := range ff.WindowUnused {
+		unused[r] = true
+	}
+	// Refuse if the body references registers beyond the declared
+	// window: the rename below only reasons about declared slots.
+	limit := isa.FirstCalleeSaved + f.CalleeSaved
+	var buf [3]uint8
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.WritesReg() && int(in.Dst) >= limit {
+			return nil
+		}
+		for _, r := range in.Reads(buf[:0]) {
+			if int(r) >= limit {
+				return nil
+			}
+		}
+	}
+	rename := map[uint8]uint8{}
+	next := isa.FirstCalleeSaved
+	for r := isa.FirstCalleeSaved; r < limit; r++ {
+		if unused[r] {
+			continue
+		}
+		rename[uint8(r)] = uint8(next)
+		next++
+	}
+	mapReg := func(r uint8) uint8 {
+		if nr, ok := rename[r]; ok {
+			return nr
+		}
+		return r
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.WritesReg() {
+			in.Dst = mapReg(in.Dst)
+		}
+		if in.SrcA != isa.NoReg {
+			in.SrcA = mapReg(in.SrcA)
+		}
+		if in.SrcB != isa.NoReg {
+			in.SrcB = mapReg(in.SrcB)
+		}
+		if in.SrcC != isa.NoReg {
+			in.SrcC = mapReg(in.SrcC)
+		}
+	}
+	old := f.CalleeSaved
+	f.CalleeSaved = next - isa.FirstCalleeSaved
+	recomputeRegsUsed(f)
+	for i := range f.Code {
+		in := &f.Code[i]
+		if (in.Op == isa.OpCall || in.Op == isa.OpCallI) && in.FRU > f.RegsUsed {
+			in.FRU = f.RegsUsed
+		}
+	}
+	var names []string
+	for _, r := range ff.WindowUnused {
+		names = append(names, fmt.Sprintf("R%d", r))
+	}
+	return []Certificate{{
+		Transform: TransformNarrow,
+		Func:      f.Name,
+		Index:     -1,
+		Detail:    fmt.Sprintf("callee-saved window narrowed %d→%d slot(s)", old, f.CalleeSaved),
+		Fact:      ff.Fact(vet.FactDeadWindow, -1, strings.Join(names, ",")+" never referenced"),
+	}}
+}
+
+// deleteIndices removes the instructions in del from f, remapping every
+// branch target and reconvergence point and rebuilding the positional
+// call metadata (CallNames indices, per-CALLI IndirectTargets,
+// per-index FuncRefs). A target pointing at a deleted instruction maps
+// to the next surviving one — exactly where execution lands after the
+// deleted range, so SIMT reconvergence-by-PC-equality is preserved.
+func deleteIndices(f *kir.Func, del map[int]bool) {
+	if len(del) == 0 {
+		return
+	}
+	n := len(f.Code)
+	posMap := make([]int, n+1)
+	code := make([]isa.Instruction, 0, n)
+	var callNames []string
+	var indirect [][]string
+	refs := map[int]string{}
+	indIdx := 0
+	for pi := 0; pi < n; pi++ {
+		posMap[pi] = len(code)
+		in := f.Code[pi]
+		isCallI := in.Op == isa.OpCallI
+		if del[pi] {
+			if isCallI {
+				indIdx++
+			}
+			continue
+		}
+		if in.Op == isa.OpCall {
+			name := f.CallNames[in.Callee]
+			in.Callee = len(callNames)
+			callNames = append(callNames, name)
+		}
+		if isCallI {
+			indirect = append(indirect, f.IndirectTargets[indIdx])
+			indIdx++
+		}
+		if name, ok := f.FuncRefs[pi]; ok {
+			refs[len(code)] = name
+		}
+		code = append(code, in)
+	}
+	posMap[n] = len(code)
+	clampMap := func(t int) int {
+		if t < 0 {
+			return t
+		}
+		if t > n {
+			t = n
+		}
+		return posMap[t]
+	}
+	for i := range code {
+		switch code[i].Op {
+		case isa.OpBra:
+			code[i].Target = clampMap(code[i].Target)
+			code[i].Target2 = clampMap(code[i].Target2)
+		case isa.OpSSY:
+			code[i].Target2 = clampMap(code[i].Target2)
+		}
+	}
+	f.Code = code
+	f.CallNames = callNames
+	f.IndirectTargets = indirect
+	f.FuncRefs = refs
+}
+
+// recomputeRegsUsed rebuilds the function's register-usage watermark
+// from the surviving operands (plus the declared window), so deleted
+// or renamed code releases its register demand to the occupancy model.
+func recomputeRegsUsed(f *kir.Func) {
+	max := 0
+	var buf [3]uint8
+	for i := range f.Code {
+		in := &f.Code[i]
+		if in.WritesReg() && int(in.Dst)+1 > max {
+			max = int(in.Dst) + 1
+		}
+		for _, r := range in.Reads(buf[:0]) {
+			if int(r)+1 > max {
+				max = int(r) + 1
+			}
+		}
+	}
+	if f.CalleeSaved > 0 && isa.FirstCalleeSaved+f.CalleeSaved > max {
+		max = isa.FirstCalleeSaved + f.CalleeSaved
+	}
+	f.RegsUsed = max
+}

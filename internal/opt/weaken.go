@@ -1,0 +1,63 @@
+//go:build optweaken
+
+package opt
+
+import (
+	"carsgo/internal/isa"
+	"carsgo/internal/kir"
+)
+
+// Weakened reports whether the optimizer was built with a deliberately
+// unsound rewrite planted (-tags optweaken). The differential oracle
+// selftest (carsopt -selftest, carsfuzz -opt -selftest) builds this
+// variant and requires the optimize→simulate differential to fail: if
+// the oracle cannot catch a planted next-def-kills bug, it cannot be
+// trusted to catch a real one.
+func Weakened() bool { return true }
+
+// weakenExtraDead plants the classic next-def-kills liveness bug: any
+// pure unpredicated def whose destination is redefined later in the
+// same straight-line run is treated as dead, IGNORING reads in
+// between. A sequence like SHLI R9,R8,2 / IADD R9,R5,R9 loses its
+// first instruction even though the second reads it — corrupting the
+// address computation the oracle must then observe as a wrong output.
+func weakenExtraDead(f *kir.Func, dead []int) []int {
+	have := map[int]bool{}
+	for _, i := range dead {
+		have[i] = true
+	}
+	for i := range f.Code {
+		in := &f.Code[i]
+		if have[i] || in.Pred != isa.NoPred || !pureWeaken(in) {
+			continue
+		}
+	scan:
+		for j := i + 1; j < len(f.Code); j++ {
+			nx := &f.Code[j]
+			switch nx.Op {
+			case isa.OpBra, isa.OpRet, isa.OpExit, isa.OpCall, isa.OpCallI:
+				break scan
+			}
+			if nx.WritesReg() && nx.Dst == in.Dst {
+				have[i] = true
+				dead = append(dead, i)
+				break scan
+			}
+		}
+	}
+	return dead
+}
+
+func pureWeaken(in *isa.Instruction) bool {
+	if !in.WritesReg() {
+		return false
+	}
+	switch in.Op {
+	case isa.OpIAdd, isa.OpISub, isa.OpIMul, isa.OpIMad, isa.OpIMin, isa.OpIMax,
+		isa.OpAnd, isa.OpOr, isa.OpXor, isa.OpShl, isa.OpShr,
+		isa.OpMov, isa.OpMovI, isa.OpSel, isa.OpS2R,
+		isa.OpFAdd, isa.OpFMul, isa.OpFFma, isa.OpFRcp, isa.OpFSqr:
+		return true
+	}
+	return false
+}

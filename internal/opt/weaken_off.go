@@ -1,0 +1,14 @@
+//go:build !optweaken
+
+package opt
+
+import "carsgo/internal/kir"
+
+// Weakened reports whether the optimizer was built with a deliberately
+// unsound rewrite planted (-tags optweaken). In the normal build no
+// plant is present.
+func Weakened() bool { return false }
+
+// weakenExtraDead is the no-op counterpart of the optweaken plant: the
+// sound build deletes exactly what the liveness facts license.
+func weakenExtraDead(_ *kir.Func, dead []int) []int { return dead }

@@ -89,3 +89,113 @@ func TestMinimizeNoFailureReturnsClone(t *testing.T) {
 		t.Fatal("minimizer must return a clone, not the input")
 	}
 }
+
+// minimalSpec is a kernel-only spec with every shrinkable knob already
+// at its floor: candidates() has nothing to propose for it.
+func minimalSpec() *spec.Spec {
+	return &spec.Spec{
+		Schema:         spec.SchemaVersion,
+		Name:           "floor",
+		Grid:           1,
+		Block:          32,
+		Iters:          1,
+		Pattern:        spec.PatStream,
+		FootprintWords: 1 << 8,
+	}
+}
+
+// TestMinimizeAlreadyMinimal: a spec at every floor shrinks no further
+// — and the minimizer must notice without spending a single predicate
+// evaluation, since each call typically runs the full differential.
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	s := minimalSpec()
+	if err := s.Validate(); err != nil {
+		t.Fatalf("floor spec invalid: %v", err)
+	}
+	calls := 0
+	min := spec.Minimize(s, func(*spec.Spec) bool { calls++; return true }, 1_000)
+	if calls != 0 {
+		t.Errorf("minimizer burned %d predicate calls on a spec with no candidates", calls)
+	}
+	if spec.Canon(min) != spec.Canon(s) {
+		t.Errorf("already-minimal spec changed:\n%s", spec.Encode(min))
+	}
+}
+
+// TestMinimizeZeroFuncSpec: a kernel-only spec (no device functions)
+// exercises the function-dropping passes on an empty slice; geometry
+// still shrinks to the floor and the result stays valid.
+func TestMinimizeZeroFuncSpec(t *testing.T) {
+	s := minimalSpec()
+	s.Grid, s.Block, s.Iters = 8, 128, 16
+	s.Kernel.ALU, s.Kernel.Loads = 32, 4
+	if err := s.Validate(); err != nil {
+		t.Fatalf("seed spec invalid: %v", err)
+	}
+	min := spec.Minimize(s, func(*spec.Spec) bool { return true }, 10_000)
+	if err := min.Validate(); err != nil {
+		t.Fatalf("minimized spec invalid: %v", err)
+	}
+	if len(min.Funcs) != 0 {
+		t.Errorf("functions appeared from nowhere: %+v", min.Funcs)
+	}
+	if min.Grid != 1 || min.Block != 32 || min.Iters != 1 {
+		t.Errorf("geometry not at floor: grid=%d block=%d iters=%d", min.Grid, min.Block, min.Iters)
+	}
+	if min.Kernel.ALU != 0 || min.Kernel.Loads != 0 {
+		t.Errorf("kernel knobs survived: %+v", min.Kernel)
+	}
+}
+
+// TestMinimizeBudgetExhaustionMidShrink: when the budget runs out in
+// the middle of a pass, the minimizer returns the best spec found so
+// far — still valid, still failing — rather than a half-applied
+// candidate or the untouched input.
+func TestMinimizeBudgetExhaustionMidShrink(t *testing.T) {
+	s := spec.Generate(11)
+	before := spec.Canon(s)
+	calls := 0
+	fails := func(c *spec.Spec) bool {
+		calls++
+		return true
+	}
+	min := spec.Minimize(s, fails, 3)
+	if calls > 3 {
+		t.Fatalf("minimizer made %d predicate calls, budget was 3", calls)
+	}
+	if err := min.Validate(); err != nil {
+		t.Fatalf("budget-exhausted result invalid: %v", err)
+	}
+	if !fails(min.Clone()) { // tautological predicate: documents the contract
+		t.Fatal("budget-exhausted result must still satisfy the failure predicate")
+	}
+	if spec.Canon(s) != before {
+		t.Fatal("minimizer mutated its input")
+	}
+	// With an always-failing predicate and budget ≥ 1, at least the
+	// first candidate was accepted: the result is strictly smaller.
+	if spec.Canon(min) == before {
+		t.Fatal("budget of 3 accepted no candidate at all")
+	}
+}
+
+// TestMinimizeOutputReParses: the minimized reproducer must survive
+// the Encode → Parse round trip bit-for-bit — it is what carsfuzz
+// writes to the corpus directory, and a reproducer that cannot be
+// re-read is no reproducer.
+func TestMinimizeOutputReParses(t *testing.T) {
+	s := spec.Generate(13)
+	min := spec.Minimize(s, func(c *spec.Spec) bool { return len(c.Funcs) > 0 }, 10_000)
+	raw := spec.Encode(min)
+	back, err := spec.Parse(raw)
+	if err != nil {
+		t.Fatalf("minimized spec does not re-parse: %v\n%s", err, raw)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("re-parsed spec invalid: %v", err)
+	}
+	if spec.Canon(back) != spec.Canon(min) {
+		t.Fatalf("round trip changed the spec:\nbefore: %s\nafter:  %s",
+			spec.Canon(min), spec.Canon(back))
+	}
+}

@@ -114,7 +114,7 @@ func fillTxnCosts(p *isa.Program, sums []*funcSummary, sp *syncProgram) {
 					cv.unbounded = true
 					cv.terms = nil
 				} else {
-					cv.addAt(s.loopDepth, n)
+					cv.addAt(s.loopDepth, satMul(n, max64(1, s.mult)))
 				}
 			}
 			charge(&fc.sharedTxns, m)
@@ -209,8 +209,8 @@ func kernelResidual(p *isa.Program, sums []*funcSummary, root int, covered func(
 			if len(cands) == 0 {
 				continue
 			}
-			t.spillBytes.add(callee.spillBytes.shifted(site.loopDepth))
-			t.txns.add(callee.txns.shifted(site.loopDepth))
+			t.spillBytes.add(callee.spillBytes.shiftScaled(site.loopDepth, site.mult))
+			t.txns.add(callee.txns.shiftScaled(site.loopDepth, site.mult))
 		}
 		cp := t
 		memo[fi] = &cp

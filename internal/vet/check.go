@@ -30,6 +30,12 @@ type funcSummary struct {
 	siteLive   map[int]int  // call index -> callee-saved values live across
 	callSites  []SiteReport // report form of sites + siteLive
 	cost       funcCost     // loop-aware traffic bounds (cost.go)
+
+	// rng carries the value-range/trip-count facts (range.go) and
+	// blockStarts the block-id -> first-instruction mapping the range
+	// report needs to name loop headers.
+	rng         *funcRanges
+	blockStarts []int
 }
 
 // funcVet verifies one function. It serves both linked functions and
@@ -70,6 +76,12 @@ func (v *funcVet) run() {
 	if !v.isKernel {
 		v.checkPreserved()
 	}
+	// Value-range / trip-count abstract interpretation (range.go) runs
+	// for pre-ABI and linked code alike: its dead-branch, OOB, and
+	// devirtualization facts license the optimizer's rewrites on kir
+	// modules, and its trip bounds collapse the linked cost polynomials.
+	li := v.cfg.analyzeLoops()
+	v.analyzeRanges(li)
 	if v.preABI != nil {
 		v.checkModuleCallSites()
 		v.checkDeadWindow()
@@ -87,8 +99,9 @@ func (v *funcVet) run() {
 	// their push depths; it feeds the report and the over-wide-push
 	// and live-across checks.
 	v.analyzeLiveness()
-	// Loop-aware cost bounds (cost.go) for the perf report.
-	v.analyzeCost()
+	// Loop-aware cost bounds (cost.go) for the perf report, sharpened
+	// by the range pass's concrete trip counts.
+	v.analyzeCost(li)
 }
 
 // checkStructure flags shape problems: control running past the end

@@ -39,7 +39,17 @@ func (c *costVal) addAt(depth int, n int64) {
 	for len(c.terms) <= depth {
 		c.terms = append(c.terms, 0)
 	}
-	c.terms[depth] += n
+	c.terms[depth] = satAdd(c.terms[depth], n)
+}
+
+// satAdd adds two non-negative counts with the same 2^60 saturation
+// ceiling as satMul, so no sum of charges can overflow int64.
+func satAdd(a, b int64) int64 {
+	const cap = int64(1) << 60
+	if a > cap-b {
+		return cap
+	}
+	return a + b
 }
 
 // add folds o into c (sum of independent program points).
@@ -79,6 +89,18 @@ func (c *costVal) maxWith(o costVal) {
 // loop depth by: each term moves up by `by` degrees. by < 0 marks a
 // call site with unbounded multiplicity.
 func (c costVal) shifted(by int) costVal {
+	return c.shiftScaled(by, 1)
+}
+
+// shiftScaled is shifted with a concrete trip-count multiplier folded
+// in: a call site whose enclosing loops carry derived bounds (range.go)
+// shifts by only the residual symbolic degree and scales every term by
+// the product of the known bounds. The multiply saturates upward —
+// always sound for an upper bound.
+func (c costVal) shiftScaled(by int, mult int64) costVal {
+	if mult < 1 {
+		mult = 1 // zero-value sites scale by the identity
+	}
 	if c.unbounded || by < 0 {
 		if c.zero() {
 			return costVal{}
@@ -87,9 +109,22 @@ func (c costVal) shifted(by int) costVal {
 	}
 	var out costVal
 	for d, n := range c.terms {
-		out.addAt(d+by, n)
+		out.addAt(d+by, satMul(n, mult))
 	}
 	return out
+}
+
+// satMul multiplies two non-negative counts, saturating at 2^60 so
+// downstream additions cannot overflow int64.
+func satMul(a, b int64) int64 {
+	const cap = int64(1) << 60
+	if a == 0 || b == 0 {
+		return 0
+	}
+	if a > cap/b {
+		return cap
+	}
+	return a * b
 }
 
 func (c costVal) zero() bool {
@@ -174,11 +209,15 @@ type CostReport struct {
 	Irreducible bool      `json:"irreducible,omitempty"`
 }
 
-// costSite is one call instruction with its loop context.
+// costSite is one call instruction with its loop context: the residual
+// symbolic loop degree (enclosing loops with no derived trip bound)
+// and the concrete multiplier from the loops whose bounds the range
+// analysis did derive.
 type costSite struct {
 	index     int
-	loopDepth int // -1: unbounded multiplicity (irreducible region)
-	indirect  int // ordinal among OpCallI sites; -1 = direct
+	loopDepth int   // residual symbolic degree; -1: unbounded multiplicity
+	mult      int64 // product of derived enclosing trip bounds (≥ 1)
+	indirect  int   // ordinal among OpCallI sites; -1 = direct
 }
 
 // smemSite is one shared-memory access with its loop context, recorded
@@ -186,7 +225,8 @@ type costSite struct {
 // multiplier the sync pass derives for the site.
 type smemSite struct {
 	index     int
-	loopDepth int // -1: unbounded multiplicity (irreducible region)
+	loopDepth int   // residual symbolic degree; -1: unbounded multiplicity
+	mult      int64 // product of derived enclosing trip bounds (≥ 1)
 	spill     bool
 }
 
@@ -224,12 +264,15 @@ func (fc *funcCost) report() *CostReport {
 }
 
 // analyzeCost walks the function once with the loop nesting and
-// accumulates the symbolic execution counts.
-func (v *funcVet) analyzeCost() {
-	li := v.cfg.analyzeLoops()
+// accumulates the symbolic execution counts. Loops whose trip count
+// the range analysis bounded concretely contribute a plain multiplier
+// instead of a symbolic ×loop degree, so a fully-counted nest yields
+// an exact finite bound.
+func (v *funcVet) analyzeCost(li *loopInfo) {
 	fc := &v.summary.cost
 	fc.loops = li.loops
 	fc.irreducible = li.irreducible
+	rng := v.summary.rng
 
 	ord := 0
 	indirectOrd := make(map[int]int)
@@ -249,12 +292,17 @@ func (v *funcVet) analyzeCost() {
 		if li.unbounded[bi] {
 			d = -1
 		}
+		mult := int64(1)
+		if rng != nil && bi < len(rng.blockSym) {
+			d = rng.blockSym[bi]
+			mult = rng.blockMult[bi]
+		}
 		charge := func(cv *costVal, n int64) {
 			if d < 0 {
 				cv.unbounded = true
 				cv.terms = nil
 			} else {
-				cv.addAt(d, n)
+				cv.addAt(d, satMul(n, mult))
 			}
 		}
 		for i := b.start; i < b.end; i++ {
@@ -264,9 +312,9 @@ func (v *funcVet) analyzeCost() {
 				charge(&fc.localBytes, 4)
 			case isa.OpLdS, isa.OpStS:
 				charge(&fc.sharedBytes, 4)
-				fc.smems = append(fc.smems, smemSite{index: i, loopDepth: d, spill: in.Spill})
+				fc.smems = append(fc.smems, smemSite{index: i, loopDepth: d, mult: mult, spill: in.Spill})
 			case isa.OpCall, isa.OpCallI:
-				site := costSite{index: i, loopDepth: d, indirect: -1}
+				site := costSite{index: i, loopDepth: d, mult: mult, indirect: -1}
 				if in.Op == isa.OpCallI {
 					site.indirect = indirectOrd[i]
 				}
@@ -349,10 +397,10 @@ func kernelCosts(p *isa.Program, sums []*funcSummary) map[string]*CostReport {
 			if len(cands) == 0 {
 				continue
 			}
-			t.spillStores.add(callee.spillStores.shifted(site.loopDepth))
-			t.spillFills.add(callee.spillFills.shifted(site.loopDepth))
-			t.localBytes.add(callee.localBytes.shifted(site.loopDepth))
-			t.sharedBytes.add(callee.sharedBytes.shifted(site.loopDepth))
+			t.spillStores.add(callee.spillStores.shiftScaled(site.loopDepth, site.mult))
+			t.spillFills.add(callee.spillFills.shiftScaled(site.loopDepth, site.mult))
+			t.localBytes.add(callee.localBytes.shiftScaled(site.loopDepth, site.mult))
+			t.sharedBytes.add(callee.sharedBytes.shiftScaled(site.loopDepth, site.mult))
 			if callee.irreducible {
 				t.irreducible = true
 			}

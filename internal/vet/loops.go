@@ -13,6 +13,16 @@ package vet
 // unbounded so the cost bounds degrade to "unbounded" rather than a
 // wrong finite number.
 
+// loop is one natural loop: its header block, the body block set
+// (header included), and the source blocks of its back edges. The
+// range analysis (range.go) consumes this structure to derive concrete
+// trip-count bounds for the builder's counted-loop shape.
+type loop struct {
+	header  int
+	body    map[int]bool
+	latches []int
+}
+
 // loopInfo is the per-function loop summary.
 type loopInfo struct {
 	// depth is each block's natural-loop nesting depth (0 = straight-
@@ -25,6 +35,25 @@ type loopInfo struct {
 	loops int
 	// irreducible is set when any retreating edge is not a back edge.
 	irreducible bool
+	// headers maps each natural-loop header block to its loop.
+	headers map[int]*loop
+	// idom is the immediate-dominator tree (idom[0] == 0; -1 for
+	// unreachable blocks), kept for dominance queries downstream.
+	idom []int
+}
+
+// dominates reports whether block a dominates block b in the CFG the
+// loopInfo was computed over.
+func (li *loopInfo) dominates(a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if b == 0 || b < 0 || li.idom[b] < 0 || li.idom[b] == b {
+			return false
+		}
+		b = li.idom[b]
+	}
 }
 
 // analyzeLoops computes dominators, back edges, and loop nesting.
@@ -122,7 +151,8 @@ func (c *cfg) analyzeLoops() *loopInfo {
 
 	// Back edges → natural-loop bodies, merged per header; a retreating
 	// edge whose target does not dominate its source is irreducible.
-	bodies := map[int]map[int]bool{} // header -> body block set
+	li.headers = map[int]*loop{}
+	li.idom = idom
 	for _, u := range rpo {
 		for _, v := range c.blocks[u].succs {
 			if rpoNum[v] < 0 || rpoNum[v] > rpoNum[u] {
@@ -132,27 +162,28 @@ func (c *cfg) analyzeLoops() *loopInfo {
 				li.irreducible = true
 				continue
 			}
-			body := bodies[v]
-			if body == nil {
-				body = map[int]bool{v: true}
-				bodies[v] = body
+			lp := li.headers[v]
+			if lp == nil {
+				lp = &loop{header: v, body: map[int]bool{v: true}}
+				li.headers[v] = lp
 			}
+			lp.latches = append(lp.latches, u)
 			// All blocks reaching u without passing the header v.
 			work := []int{u}
 			for len(work) > 0 {
 				n := work[len(work)-1]
 				work = work[:len(work)-1]
-				if body[n] {
+				if lp.body[n] {
 					continue
 				}
-				body[n] = true
+				lp.body[n] = true
 				work = append(work, c.blocks[n].preds...)
 			}
 		}
 	}
-	li.loops = len(bodies)
-	for _, body := range bodies {
-		for b := range body {
+	li.loops = len(li.headers)
+	for _, lp := range li.headers {
+		for b := range lp.body {
 			li.depth[b]++
 		}
 	}

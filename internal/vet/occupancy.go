@@ -94,6 +94,9 @@ type KernelPerf struct {
 	Occupancy []LevelOccupancy `json:"occupancy,omitempty"`
 	Advice    *Advice          `json:"advice,omitempty"`
 	Backends  []BackendPerf    `json:"backends,omitempty"`
+	// Ranges aggregates the value-range/trip-count facts (range.go)
+	// over the kernel's reachable call graph.
+	Ranges *RangeReport `json:"ranges,omitempty"`
 }
 
 // maxWarpsOther mirrors GPU.maxWarpsOther: the per-SM warp bound from

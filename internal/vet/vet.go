@@ -110,6 +110,9 @@ const (
 	CheckBarrier      Check = "barrier-divergence" // BAR.SYNC some threads may skip
 	CheckReconv       Check = "reconvergence"      // SSY/SYNC stack malformed
 	CheckSharedRace   Check = "shared-race"        // unordered shared-memory conflict
+	CheckDeadBranch   Check = "dead-branch"        // branch condition statically constant
+	CheckOOB          Check = "oob-access"         // provably out-of-bounds local/shared access
+	CheckIndirect     Check = "indirect-narrow"    // indirect call provably single-target
 )
 
 // Diagnostic is one finding. Index is the instruction index within
@@ -475,6 +478,9 @@ func Report(p *isa.Program) *ProgramReport {
 	// Residual traffic closures for the backend lattice (backend.go);
 	// also fills the kernel-level SharedTxns bound.
 	attachResiduals(rep, p, sums)
+	// Value-range facts (range.go): per-kernel trip-count and
+	// dead-branch aggregates for the perf report.
+	attachRanges(rep, p, sums)
 	rep.Diags = Normalize(diags)
 	return rep
 }
