@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint check opt san fuzz test test-short race-short bench bench-diff experiments examples serve-smoke serve-test clean
+.PHONY: all build vet lint check opt san fuzz test test-short race-short bench bench-diff loadbench experiments examples serve-smoke serve-test clean
 
 all: build vet lint test
 
@@ -114,6 +114,13 @@ BENCH_BASELINE ?= BENCH_2026-08-08.json
 bench-diff:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x -benchmem -timeout=40m . | $(GO) run ./cmd/benchjson -o bench-head.json
 	$(GO) run ./cmd/benchjson -compare $(BENCH_BASELINE) bench-head.json
+
+# Serving-layer load smoke: build carsd + carsbench, start the daemon,
+# drive a short fixed-seed closed-loop zipf run over HTTP, sanity-check
+# the dedup counters, archive load-head.json, and diff it advisorily
+# against the checked-in LOAD_ baseline (see scripts/loadbench.sh).
+loadbench:
+	bash scripts/loadbench.sh
 
 # The serving layer's concurrency tests under the race detector:
 # admission/drain races in the pool, single-flight collapse, LRU

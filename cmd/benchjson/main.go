@@ -13,18 +13,22 @@
 // Compare mode diffs two snapshots instead of reading stdin:
 //
 //	go run ./cmd/benchjson -compare BENCH_old.json BENCH_new.json
+//	go run ./cmd/benchjson -compare LOAD_old.json LOAD_new.json
 //
-// It prints the per-benchmark delta of every deterministic cycle
-// metric (units containing "cycles" — simulated work, not wall time)
-// and warns on any regression above -threshold percent (default 5).
-// Warnings are advisory: compare mode exits 0 even when regressions
-// are found, so a slow design point never gates a merge — the CI
-// bench job surfaces the warnings without blocking.
+// For BENCH files it prints the per-benchmark delta of every
+// deterministic cycle metric (units containing "cycles" — simulated
+// work, not wall time) and warns on any regression above -threshold
+// percent (default 5). When both files are carsbench load reports
+// (probed by their "kind":"load" field) it instead diffs the per-stage
+// latency quantiles and throughput. Warnings are advisory either way:
+// compare mode exits 0 even when regressions are found, so a slow
+// design point never gates a merge — the CI bench and load jobs
+// surface the warnings without blocking.
 //
 // Exit status 1 when no benchmark rows were found (a broken pipeline
 // would otherwise silently archive an empty snapshot), 2 on I/O or
-// flag errors. Compare mode: 0 even with warnings, 2 on unreadable
-// or empty snapshots.
+// flag errors. Compare mode: 0 even with warnings, 2 on unreadable or
+// empty snapshots or when the two files are different kinds.
 package main
 
 import (
@@ -38,6 +42,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	carsload "carsgo/internal/load"
 )
 
 // schemaVersion identifies the snapshot layout; bump on any
@@ -217,6 +223,101 @@ func runCompare(oldPath, newPath string, threshold float64) int {
 	return 0
 }
 
+// isLoadSnapshot probes whether a snapshot file is a carsbench load
+// report (kind "load") rather than a benchmark snapshot.
+func isLoadSnapshot(path string) bool {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return false
+	}
+	var probe struct {
+		Kind string `json:"kind"`
+	}
+	_ = json.Unmarshal(raw, &probe)
+	return probe.Kind == carsload.ReportKind
+}
+
+// loadDelta is one stage metric's movement between two load reports.
+type loadDelta struct {
+	stage, metric string
+	old, new      float64
+	pct           float64 // signed percent change; positive = regression
+}
+
+// compareLoadReports diffs two load reports stage by stage (matched by
+// position in the ramp): latency quantiles regress upward, throughput
+// regresses downward, both expressed with positive pct = worse.
+func compareLoadReports(old, new *carsload.Report) []loadDelta {
+	var deltas []loadDelta
+	n := min(len(old.Stages), len(new.Stages))
+	for i := 0; i < n; i++ {
+		ob, nb := old.Stages[i], new.Stages[i]
+		stage := fmt.Sprintf("stage%d", i+1)
+		if nb.Concurrency > 0 {
+			stage += fmt.Sprintf("/%dc", nb.Concurrency)
+		} else if nb.RateRPS > 0 {
+			stage += fmt.Sprintf("/%drps", nb.RateRPS)
+		}
+		add := func(metric string, ov, nv float64, higherIsWorse bool) {
+			if ov <= 0 {
+				return
+			}
+			pct := 100 * (nv - ov) / ov
+			if !higherIsWorse {
+				pct = -pct
+			}
+			deltas = append(deltas, loadDelta{stage: stage, metric: metric, old: ov, new: nv, pct: pct})
+		}
+		add("p50Ms", ob.Latency.P50Ms, nb.Latency.P50Ms, true)
+		add("p90Ms", ob.Latency.P90Ms, nb.Latency.P90Ms, true)
+		add("p99Ms", ob.Latency.P99Ms, nb.Latency.P99Ms, true)
+		add("p999Ms", ob.Latency.P999Ms, nb.Latency.P999Ms, true)
+		add("throughputRps", ob.ThroughputRPS, nb.ThroughputRPS, false)
+	}
+	return deltas
+}
+
+// runLoadCompare loads and diffs two carsbench reports, warning (never
+// failing) on latency/throughput regressions above threshold percent.
+func runLoadCompare(oldPath, newPath string, threshold float64) int {
+	old, err := carsload.ReadReport(oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	new, err := carsload.ReadReport(newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return 2
+	}
+	if len(old.Stages) == 0 || len(new.Stages) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: load report has no stages")
+		return 2
+	}
+	if len(old.Stages) != len(new.Stages) {
+		fmt.Fprintf(os.Stderr, "benchjson: note: ramp shapes differ (%d vs %d stages); comparing the common prefix\n",
+			len(old.Stages), len(new.Stages))
+	}
+	warned := 0
+	for _, d := range compareLoadReports(old, new) {
+		mark := "  "
+		if d.pct > threshold {
+			mark = "! "
+			warned++
+		}
+		fmt.Printf("%s%-20s %-16s %12.3f -> %-12.3f %+.1f%%\n",
+			mark, d.stage, d.metric, d.old, d.new, d.pct)
+	}
+	if warned > 0 {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: WARNING: %d load metric(s) regressed more than %.0f%% vs %s (advisory — latency on a shared runner is noisy)\n",
+			warned, threshold, oldPath)
+	} else {
+		fmt.Fprintf(os.Stderr, "benchjson: no load metric regressed more than %.0f%%\n", threshold)
+	}
+	return 0
+}
+
 func main() {
 	out := flag.String("o", "", "output file (default BENCH_<date>.json)")
 	compare := flag.Bool("compare", false, "diff two snapshot files (OLD NEW) instead of reading a benchmark stream")
@@ -225,6 +326,14 @@ func main() {
 	if *compare {
 		if flag.NArg() != 2 {
 			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two snapshot files (old new)")
+			os.Exit(2)
+		}
+		oldLoad, newLoad := isLoadSnapshot(flag.Arg(0)), isLoadSnapshot(flag.Arg(1))
+		switch {
+		case oldLoad && newLoad:
+			os.Exit(runLoadCompare(flag.Arg(0), flag.Arg(1), *threshold))
+		case oldLoad != newLoad:
+			fmt.Fprintln(os.Stderr, "benchjson: cannot compare a load report with a benchmark snapshot")
 			os.Exit(2)
 		}
 		os.Exit(runCompare(flag.Arg(0), flag.Arg(1), *threshold))

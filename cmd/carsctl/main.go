@@ -8,36 +8,52 @@
 //	carsctl submit -kind simulate -config cars -workload MST
 //	carsctl poll <job-id>
 //	carsctl fetch <job-id>
+//	carsctl snapshot
 //	carsctl bench-fanout -n 32 -config cars -workload FIB
 //
-// bench-fanout fires N concurrent identical simulate requests and then
-// reads /metrics to show how many actually executed — the observable
-// proof of the daemon's single-flight collapse (N requests, 1 run).
+// When the daemon sheds load with 429 (queue full), carsctl honors the
+// Retry-After header: bounded retries (-retries, default 4) with a
+// capped, jittered backoff instead of a hard failure, so scripted
+// clients ride out transient bursts without a thundering-herd retry.
+//
+// snapshot fetches /metricsz, the daemon's typed JSON counter readout.
+// bench-fanout fires N concurrent identical simulate requests through
+// the internal/load closed-loop driver and diffs the daemon's typed
+// snapshot to show how many actually executed — the observable proof
+// of the daemon's single-flight collapse (N requests, 1 run).
 package main
 
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
-	"sync"
 	"time"
+
+	"carsgo/internal/load"
+	"carsgo/internal/serve/metrics"
 )
 
-var addr string
+var (
+	addr    string
+	retries int
+)
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: carsctl [-addr URL] <health|metrics|simulate|vet|experiment|submit|poll|fetch|bench-fanout> [args]")
+	fmt.Fprintln(os.Stderr, "usage: carsctl [-addr URL] [-retries N] <health|metrics|snapshot|simulate|vet|experiment|submit|poll|fetch|bench-fanout> [args]")
 	os.Exit(2)
 }
 
 func main() {
 	flag.StringVar(&addr, "addr", envOr("CARSD_ADDR", "http://localhost:8344"), "carsd base URL")
+	flag.IntVar(&retries, "retries", 4, "max retries after 429 queue-full responses (0 disables)")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -49,7 +65,9 @@ func main() {
 	case "health":
 		err = get("/healthz", os.Stdout)
 	case "metrics":
-		err = metrics(args)
+		err = metricsCmd(args)
+	case "snapshot":
+		err = snapshotCmd()
 	case "simulate":
 		err = simulate(args)
 	case "vet":
@@ -94,10 +112,11 @@ func get(path string, w io.Writer) error {
 	return err
 }
 
-// post sends a JSON document and pretty-prints the JSON reply. Non-2xx
-// replies become errors carrying the server's error envelope.
+// post sends a JSON document and pretty-prints the JSON reply. 429s
+// are retried with backoff (see postRetry); other non-2xx replies
+// become errors carrying the server's error envelope.
 func post(path string, doc any) error {
-	body, code, err := postRaw(path, doc)
+	body, code, err := postRetry(path, doc)
 	if err != nil {
 		return err
 	}
@@ -107,18 +126,53 @@ func post(path string, doc any) error {
 	return prettyJSON(os.Stdout, body)
 }
 
-func postRaw(path string, doc any) ([]byte, int, error) {
+// postRetry posts the document, honoring the daemon's load shedding:
+// a 429 queue-full reply is retried up to -retries times, sleeping the
+// server's Retry-After estimate (capped) plus up to 25% jitter so a
+// burst of shed clients does not re-arrive as the same burst. Any
+// other reply — success or error — returns immediately.
+func postRetry(path string, doc any) ([]byte, int, error) {
+	jitter := load.NewRNG(uint64(time.Now().UnixNano()) ^ uint64(os.Getpid()))
+	for attempt := 0; ; attempt++ {
+		body, code, hdr, err := postRaw(path, doc)
+		if err != nil || code != http.StatusTooManyRequests || attempt >= retries {
+			return body, code, err
+		}
+		wait := retryDelay(hdr.Get("Retry-After"), attempt)
+		wait += time.Duration(jitter.Uint64() % uint64(wait/4+1))
+		fmt.Fprintf(os.Stderr, "carsctl: queue full (429), retry %d/%d in %v\n",
+			attempt+1, retries, wait.Round(time.Millisecond))
+		time.Sleep(wait)
+	}
+}
+
+// retryDelay turns a Retry-After header (seconds) into a bounded
+// sleep, falling back to exponential backoff when the header is
+// missing or unparseable.
+func retryDelay(header string, attempt int) time.Duration {
+	const maxDelay = 5 * time.Second
+	if sec, err := strconv.Atoi(strings.TrimSpace(header)); err == nil && sec >= 0 {
+		d := time.Duration(sec) * time.Second
+		if d == 0 {
+			d = 250 * time.Millisecond
+		}
+		return min(d, maxDelay)
+	}
+	return min(250*time.Millisecond<<attempt, maxDelay)
+}
+
+func postRaw(path string, doc any) ([]byte, int, http.Header, error) {
 	data, err := json.Marshal(doc)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	resp, err := http.Post(addr+path, "application/json", bytes.NewReader(data))
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	defer resp.Body.Close()
 	body, _ := io.ReadAll(resp.Body)
-	return body, resp.StatusCode, nil
+	return body, resp.StatusCode, resp.Header, nil
 }
 
 func prettyJSON(w io.Writer, data []byte) error {
@@ -132,7 +186,7 @@ func prettyJSON(w io.Writer, data []byte) error {
 	return err
 }
 
-func metrics(args []string) error {
+func metricsCmd(args []string) error {
 	prefix := ""
 	if len(args) > 0 {
 		prefix = args[0]
@@ -254,9 +308,32 @@ func jobGet(args []string, suffix string) error {
 	return prettyJSON(os.Stdout, buf.Bytes())
 }
 
-// benchFanout fires n identical simulate requests at once, then scrapes
-// the execution counters: with single-flight and the result cache, a
-// cold-cache burst must report exactly one real simulation.
+// snapshotCmd pretty-prints the daemon's typed /metricsz readout.
+func snapshotCmd() error {
+	var buf bytes.Buffer
+	if err := get("/metricsz", &buf); err != nil {
+		return err
+	}
+	return prettyJSON(os.Stdout, buf.Bytes())
+}
+
+// fetchSnapshot reads the daemon's typed counter snapshot.
+func fetchSnapshot() (metrics.Snapshot, error) {
+	var buf bytes.Buffer
+	var snap metrics.Snapshot
+	if err := get("/metricsz", &buf); err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		return snap, fmt.Errorf("decode /metricsz: %w", err)
+	}
+	return snap, nil
+}
+
+// benchFanout fires n identical simulate requests at once through the
+// internal/load closed-loop driver, then diffs the daemon's typed
+// snapshot: with single-flight and the result cache, a cold-cache
+// burst must report exactly one real simulation.
 func benchFanout(args []string) error {
 	fs := flag.NewFlagSet("bench-fanout", flag.ContinueOnError)
 	n := fs.Int("n", 32, "concurrent identical requests")
@@ -270,78 +347,73 @@ func benchFanout(args []string) error {
 	if *timeout > 0 {
 		doc["timeoutMs"] = timeout.Milliseconds()
 	}
+	body, err := json.Marshal(doc)
+	if err != nil {
+		return err
+	}
 
-	before, err := scrape("carsd_sim_runs_total")
+	before, err := fetchSnapshot()
 	if err != nil {
 		return err
 	}
+	src := load.FixedSource{Req: load.Request{Key: *wl, Body: body}}
+	stages := []load.Stage{{Concurrency: *n, Requests: *n}}
 	start := time.Now()
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	codes := map[int]int{}
-	cachedN, sharedN, failures := 0, 0, 0
-	for i := 0; i < *n; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			body, code, err := postRaw("/v1/simulate", doc)
-			mu.Lock()
-			defer mu.Unlock()
-			if err != nil {
-				failures++
-				return
-			}
-			codes[code]++
-			var resp struct {
-				Cached bool `json:"cached"`
-				Shared bool `json:"shared"`
-			}
-			if code == http.StatusOK && json.Unmarshal(body, &resp) == nil {
-				if resp.Cached {
-					cachedN++
-				}
-				if resp.Shared {
-					sharedN++
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	results := load.RunClosed(context.Background(), stages, src, fanoutTarget())
 	elapsed := time.Since(start)
-	after, err := scrape("carsd_sim_runs_total")
+	after, err := fetchSnapshot()
 	if err != nil {
 		return err
 	}
+	res := results[0]
 
 	fmt.Printf("fan-out: %d identical requests in %v\n", *n, elapsed.Round(time.Millisecond))
-	for code, c := range codes {
+	for code, c := range res.Codes {
 		fmt.Printf("  HTTP %d: %d\n", code, c)
 	}
-	if failures > 0 {
-		fmt.Printf("  transport failures: %d\n", failures)
+	if res.TransportErrors > 0 {
+		fmt.Printf("  transport failures: %d\n", res.TransportErrors)
 	}
-	fmt.Printf("  served from cache: %d, collapsed onto another request: %d\n", cachedN, sharedN)
+	fmt.Printf("  served from cache: %d, collapsed onto another request: %d\n", res.Cached, res.Shared)
+	s := res.Hist.Summarize()
+	fmt.Printf("  latency p50 %v p99 %v max %v\n",
+		s.P50.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	b, _ := before.Value("carsd_sim_runs_total")
+	a, _ := after.Value("carsd_sim_runs_total")
 	fmt.Printf("  simulations actually executed: %.0f (carsd_sim_runs_total %.0f -> %.0f)\n",
-		after-before, before, after)
+		a-b, b, a)
 	return nil
 }
 
-// scrape reads one unlabeled metric value from /metrics.
-func scrape(name string) (float64, error) {
-	var buf bytes.Buffer
-	if err := get("/metrics", &buf); err != nil {
-		return 0, err
-	}
-	sc := bufio.NewScanner(&buf)
-	for sc.Scan() {
-		line := sc.Text()
-		if strings.HasPrefix(line, name+" ") {
-			var v float64
-			if _, err := fmt.Sscanf(line[len(name)+1:], "%g", &v); err != nil {
-				return 0, err
-			}
-			return v, nil
+// fanoutTarget adapts a direct POST (no retry: shed requests are part
+// of the fan-out measurement) to a load.Target.
+func fanoutTarget() load.Target {
+	client := &http.Client{}
+	return func(ctx context.Context, req load.Request) load.Outcome {
+		hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			addr+"/v1/simulate", bytes.NewReader(req.Body))
+		if err != nil {
+			return load.Outcome{Err: err}
 		}
+		hreq.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(hreq)
+		if err != nil {
+			return load.Outcome{Err: err}
+		}
+		defer resp.Body.Close()
+		out := load.Outcome{Code: resp.StatusCode}
+		if resp.StatusCode == http.StatusOK {
+			var envelope struct {
+				Cached bool `json:"cached"`
+				Shared bool `json:"shared"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&envelope) == nil {
+				out.Cached = envelope.Cached
+				out.Shared = envelope.Shared
+			}
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		return out
 	}
-	return 0, fmt.Errorf("metric %s not found", name)
 }

@@ -10,6 +10,7 @@
 //
 //	GET  /healthz              liveness + queue/cache snapshot
 //	GET  /metrics              Prometheus text format
+//	GET  /metricsz             typed JSON counter snapshot (carsbench)
 //	POST /v1/simulate          {"config":"cars","workload":"MST"}
 //	POST /v1/vet               {"config":"base","workload":"BFS"}
 //	POST /v1/experiment        {"id":"fig12"}

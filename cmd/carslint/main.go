@@ -71,7 +71,8 @@ var checks = []struct {
 	{lint.UnusedMonitorHook, []string{"internal/san", "internal/sim"}},
 	{lint.SeededRand, []string{
 		"internal/spec", "internal/workloads", "internal/sim",
-		"internal/experiments", "cmd/carsfuzz",
+		"internal/experiments", "internal/load",
+		"cmd/carsfuzz", "cmd/carsbench",
 	}},
 	{lint.BackendExhaustive, []string{
 		"internal/cars", "internal/sim", "internal/vet",

@@ -1,0 +1,66 @@
+package load
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Zipf draws ranks in [0,n) with probability ∝ 1/(rank+1)^s for an
+// integer exponent s ≥ 0 (s=0 is uniform). Weights are pure integers —
+// a fixed-point scale divided by the saturating integer power — so the
+// draw sequence is bit-identical on every platform, unlike
+// math/rand's float-based rejection sampler. The cumulative table is
+// built once; Next is a binary search, O(log n) per draw.
+type Zipf struct {
+	rng   *RNG
+	cum   []uint64 // cumulative weights, strictly increasing
+	total uint64
+}
+
+// zipfScale is the fixed-point numerator for rank weights. Large
+// enough that rank 0 vs the deep tail keeps full skew resolution for
+// populations up to 2^20 keys at s ≤ 4.
+const zipfScale = 1 << 40
+
+// NewZipf builds a sampler over n ranks with skew exponent s, drawing
+// from rng. Panics on n < 1 or s < 0 — a load model with no keys is a
+// configuration bug, not a runtime condition.
+func NewZipf(rng *RNG, n, s int) *Zipf {
+	if n < 1 || s < 0 {
+		panic(fmt.Sprintf("load: NewZipf(n=%d, s=%d): need n ≥ 1, s ≥ 0", n, s))
+	}
+	z := &Zipf{rng: rng, cum: make([]uint64, n)}
+	var run uint64
+	for k := 0; k < n; k++ {
+		w := uint64(zipfScale) / ipow(uint64(k+1), s)
+		if w < 1 {
+			w = 1
+		}
+		run += w
+		z.cum[k] = run
+	}
+	z.total = run
+	return z
+}
+
+// ipow is (base)^exp with saturation at zipfScale (beyond which the
+// weight floors to 1 anyway), keeping the arithmetic overflow-free.
+func ipow(base uint64, exp int) uint64 {
+	v := uint64(1)
+	for e := 0; e < exp; e++ {
+		v *= base
+		if v >= zipfScale {
+			return zipfScale
+		}
+	}
+	return v
+}
+
+// Next draws the next rank.
+func (z *Zipf) Next() int {
+	x := z.rng.Uint64() % z.total
+	return sort.Search(len(z.cum), func(i int) bool { return z.cum[i] > x })
+}
+
+// N is the rank population size.
+func (z *Zipf) N() int { return len(z.cum) }

@@ -170,6 +170,7 @@ func (s *Server) execCached(ctx context.Context, key cache.Key, job func(ctx con
 		return nil, false, false, ErrDraining
 	}
 	if data, ok := s.cache.Get(key); ok {
+		s.reqCached.Inc()
 		return data, true, false, nil
 	}
 	v, err, shared := s.flight.Do(ctx, key.String(), func(fctx context.Context) (any, error) {
@@ -190,6 +191,12 @@ func (s *Server) execCached(ctx context.Context, key cache.Key, job func(ctx con
 	})
 	if err != nil {
 		return nil, false, shared, err
+	}
+	if shared {
+		// Counted only on success: a collapsed caller that inherited the
+		// leader's error got no deduplicated result, and the response
+		// envelope it receives is an error, not shared:true.
+		s.reqCollapsed.Inc()
 	}
 	return v.([]byte), false, shared, nil
 }

@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"carsgo/internal/load"
+	"carsgo/internal/serve/metrics"
+)
+
+// metricsz fetches the daemon's typed snapshot — the programmatic
+// readout carsbench uses.
+func metricsz(t *testing.T, s *Server) metrics.Snapshot {
+	t.Helper()
+	rec := doJSON(s, "GET", "/metricsz", nil)
+	if rec.Code != 200 {
+		t.Fatalf("/metricsz = %d: %s", rec.Code, rec.Body.String())
+	}
+	var snap metrics.Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("decode /metricsz: %v", err)
+	}
+	if snap.SchemaVersion != metrics.SnapshotSchemaVersion {
+		t.Fatalf("/metricsz schema version %d", snap.SchemaVersion)
+	}
+	return snap
+}
+
+// serveTarget adapts the in-process server to a load.Target.
+func serveTarget(s *Server) load.Target {
+	return func(ctx context.Context, req load.Request) load.Outcome {
+		hreq := httptest.NewRequest("POST", "/v1/simulate", bytes.NewReader(req.Body))
+		hreq = hreq.WithContext(ctx)
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, hreq)
+		out := load.Outcome{Code: rec.Code}
+		if rec.Code == 200 {
+			var resp Response
+			if err := json.Unmarshal(rec.Body.Bytes(), &resp); err == nil {
+				out.Cached = resp.Cached
+				out.Shared = resp.Shared
+			}
+		}
+		return out
+	}
+}
+
+// TestZipfLoadDedupCounters drives many concurrent clients over a few
+// zipf-skewed keys and reconciles the daemon's request-level dedup
+// counters against what the clients observed: every cached:true
+// response incremented carsd_requests_cached_total, every shared:true
+// response incremented carsd_requests_collapsed_total, and the
+// simulator executed at most once per distinct key. Run under -race
+// this is the cache/singleflight stack's concurrency audit.
+func TestZipfLoadDedupCounters(t *testing.T) {
+	s := testServer(t, Options{Workers: 4, QueueCap: 4096})
+
+	const keys = 4
+	src, err := load.Model{Seed: 99, Keys: keys, Skew: 2, ColdPct: 5}.Stream()
+	if err != nil {
+		t.Fatalf("Stream: %v", err)
+	}
+
+	before := metricsz(t, s)
+	stages := []load.Stage{{Concurrency: 16, Requests: 400, Duration: time.Minute}}
+	results := load.RunClosed(context.Background(), stages, src, serveTarget(s))
+	after := metricsz(t, s)
+
+	res := results[0]
+	if res.Sent != 400 {
+		t.Fatalf("Sent = %d, want 400", res.Sent)
+	}
+	if res.OK != res.Sent {
+		t.Fatalf("only %d/%d OK: codes=%v transport=%d",
+			res.OK, res.Sent, res.Codes, res.TransportErrors)
+	}
+
+	cachedDelta := metrics.Delta(before, after, "carsd_requests_cached_total")
+	collapsedDelta := metrics.Delta(before, after, "carsd_requests_collapsed_total")
+	simDelta := metrics.Delta(before, after, "carsd_sim_runs_total")
+
+	if int(cachedDelta) != res.Cached {
+		t.Errorf("daemon counted %v cached responses, clients observed %d", cachedDelta, res.Cached)
+	}
+	if int(collapsedDelta) != res.Shared {
+		t.Errorf("daemon counted %v collapsed responses, clients observed %d", collapsedDelta, res.Shared)
+	}
+	// Each distinct key (hot set + cold misses) executes at most once;
+	// at least one real execution must have happened.
+	maxExec := keys + res.ColdSent
+	if simDelta < 1 || int(simDelta) > maxExec {
+		t.Errorf("sim runs delta %v outside [1, %d]", simDelta, maxExec)
+	}
+	// Every OK response is exactly one of: cached, collapsed, or led an
+	// execution. Leaders that re-found the result inside the flight's
+	// double cache check led without simulating, so led ≥ simulated.
+	led := res.OK - res.Cached - res.Shared
+	if led < int(simDelta) {
+		t.Errorf("clients led %d executions but the simulator ran %v times", led, simDelta)
+	}
+	// Under zipf(2) skew over 4 keys with 16 clients, the dedup stack
+	// must absorb the overwhelming majority of requests.
+	if res.Cached+res.Shared < res.OK*8/10 {
+		t.Errorf("dedup absorbed only %d of %d OK responses", res.Cached+res.Shared, res.OK)
+	}
+
+	// The text exposition and the typed snapshot must agree.
+	if text := metricValue(t, s, "carsd_requests_cached_total"); text != mustValue(t, after, "carsd_requests_cached_total") {
+		t.Errorf("/metrics says %v cached, /metricsz says %v", text, mustValue(t, after, "carsd_requests_cached_total"))
+	}
+}
+
+func mustValue(t *testing.T, snap metrics.Snapshot, name string) float64 {
+	t.Helper()
+	v, ok := snap.Value(name)
+	if !ok {
+		t.Fatalf("metric %s missing from snapshot", name)
+	}
+	return v
+}
+
+// TestMetricszEndpoint sanity-checks the typed snapshot carries the
+// families the text exposition does.
+func TestMetricszEndpoint(t *testing.T) {
+	s := testServer(t, Options{Workers: 2})
+	snap := metricsz(t, s)
+	for _, name := range []string{
+		"carsd_http_requests_total",
+		"carsd_sim_runs_total",
+		"carsd_cache_hits_total",
+		"carsd_singleflight_executions_total",
+		"carsd_requests_cached_total",
+		"carsd_requests_collapsed_total",
+		"carsd_queue_depth",
+	} {
+		if snap.Family(name) == nil {
+			t.Errorf("family %s missing from /metricsz", name)
+		}
+	}
+	// Histogram families serialize with buckets.
+	doJSON(s, "GET", "/healthz", nil)
+	snap = metricsz(t, s)
+	f := snap.Family("carsd_http_request_seconds")
+	if f == nil || len(f.Series) == 0 || f.Series[0].Histogram == nil {
+		t.Fatalf("latency histogram not in snapshot: %+v", f)
+	}
+}

@@ -1,0 +1,277 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SnapshotSchemaVersion versions the Snapshot JSON layout (the
+// /metricsz document). Bump on any field rename or semantic change.
+const SnapshotSchemaVersion = 1
+
+// Snapshot is a typed point-in-time readout of a whole registry:
+// what the Prometheus text exposition says, as data instead of lines,
+// so programmatic consumers (carsbench, tests) read counters and
+// histograms without text-parsing. Families are sorted by name and
+// series by label values — two snapshots of the same state are
+// DeepEqual.
+type Snapshot struct {
+	SchemaVersion int              `json:"schemaVersion"`
+	Families      []FamilySnapshot `json:"families"`
+}
+
+// FamilySnapshot is one metric family's readout.
+type FamilySnapshot struct {
+	Name       string           `json:"name"`
+	Kind       string           `json:"kind"` // "counter", "gauge", "histogram"
+	Help       string           `json:"help,omitempty"`
+	LabelNames []string         `json:"labelNames,omitempty"`
+	Series     []SeriesSnapshot `json:"series"`
+}
+
+// SeriesSnapshot is one labeled series' readout. Counter and gauge
+// series carry Value; histogram series carry Histogram.
+type SeriesSnapshot struct {
+	LabelValues []string           `json:"labelValues,omitempty"`
+	Value       float64            `json:"value"`
+	Histogram   *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// HistogramSnapshot mirrors the text exposition's cumulative buckets.
+type HistogramSnapshot struct {
+	Buckets []BucketSnapshot `json:"buckets"`
+	Sum     float64          `json:"sum"`
+	Count   uint64           `json:"count"`
+}
+
+// BucketSnapshot is one cumulative bucket; the implicit +Inf bucket is
+// represented with UpperBound = +Inf (JSON: the family Count covers
+// it, so it is omitted from Buckets).
+type BucketSnapshot struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// Snapshot reads every family atomically enough for monotonic
+// consumers: each series is read under its family's lock (a counter
+// never appears to decrease across snapshots), though distinct
+// families are not mutually synchronized — the same guarantee the
+// text exposition gives.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	fams := make(map[string]*family, len(r.families))
+	for n, f := range r.families {
+		names = append(names, n)
+		fams[n] = f
+	}
+	r.mu.Unlock()
+	sort.Strings(names)
+
+	snap := Snapshot{SchemaVersion: SnapshotSchemaVersion}
+	for _, n := range names {
+		snap.Families = append(snap.Families, fams[n].snapshot())
+	}
+	return snap
+}
+
+func (f *family) snapshot() FamilySnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fs := FamilySnapshot{
+		Name:       f.name,
+		Kind:       f.kind.String(),
+		Help:       f.help,
+		LabelNames: append([]string(nil), f.labels...),
+	}
+	keys := make([]string, 0, len(f.series)+len(f.fns))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	for k := range f.fns {
+		if _, dup := f.series[k]; !dup {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		var ss SeriesSnapshot
+		if len(f.labels) > 0 {
+			ss.LabelValues = labelValuesOf(f, k)
+		}
+		if fn, ok := f.fns[k]; ok {
+			ss.Value = fn()
+		} else {
+			switch s := f.series[k].(type) {
+			case *Counter:
+				ss.Value = s.Value()
+			case *Gauge:
+				ss.Value = s.Value()
+			case *Histogram:
+				ss.Histogram = s.snapshot()
+			}
+		}
+		fs.Series = append(fs.Series, ss)
+	}
+	return fs
+}
+
+// labelValuesOf recovers a series' label values from its rendered map
+// key ({name="v1",other="v2"}). Exact inverse of seriesKey: values are
+// %q-quoted over the escaped form, so unquoting inside the commas that
+// terminate quoted values round-trips every value byte for byte.
+func labelValuesOf(f *family, key string) []string {
+	if key == "" {
+		return nil
+	}
+	// key looks like {name="v1",other="v2"}; values never contain an
+	// unescaped quote, so split on `",` boundaries after stripping the
+	// braces.
+	body := key[1 : len(key)-1]
+	parts := splitLabelBody(body)
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if i := strings.IndexByte(p, '='); i >= 0 {
+			q := p[i+1:] // the %q-quoted, escape()d value
+			u, err := strconv.Unquote(q)
+			if err != nil {
+				u = q // defensive: surface the raw form rather than drop the series
+			}
+			out = append(out, unescapeLabel(u))
+		}
+	}
+	return out
+}
+
+// splitLabelBody splits `a="x",b="y"` on commas that terminate a
+// quoted value (a `",` sequence), never on commas inside values.
+func splitLabelBody(s string) []string {
+	var parts []string
+	start := 0
+	inQuote := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuote {
+				i++ // skip the escaped byte
+			}
+		case '"':
+			inQuote = !inQuote
+		case ',':
+			if !inQuote {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+// unescapeLabel reverses escape (backslash and newline escaping).
+func unescapeLabel(s string) string {
+	out := make([]byte, 0, len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+			switch s[i] {
+			case 'n':
+				out = append(out, '\n')
+			default:
+				out = append(out, s[i])
+			}
+			continue
+		}
+		out = append(out, s[i])
+	}
+	return string(out)
+}
+
+func (h *Histogram) snapshot() *HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hs := &HistogramSnapshot{Sum: h.sum, Count: h.total}
+	cum := uint64(0)
+	for i, ub := range h.buckets {
+		cum += h.counts[i]
+		hs.Buckets = append(hs.Buckets, BucketSnapshot{UpperBound: ub, Count: cum})
+	}
+	return hs
+}
+
+// Family returns the named family's snapshot, or nil.
+func (s Snapshot) Family(name string) *FamilySnapshot {
+	i := sort.Search(len(s.Families), func(i int) bool { return s.Families[i].Name >= name })
+	if i < len(s.Families) && s.Families[i].Name == name {
+		return &s.Families[i]
+	}
+	return nil
+}
+
+// Value returns the value of the series with exactly the given label
+// values (none for unlabeled series), and whether it exists.
+func (s Snapshot) Value(name string, labelValues ...string) (float64, bool) {
+	f := s.Family(name)
+	if f == nil {
+		return 0, false
+	}
+	for _, ss := range f.Series {
+		if equalStrings(ss.LabelValues, labelValues) {
+			return ss.Value, true
+		}
+	}
+	return 0, false
+}
+
+// SumWhere sums a labeled family's series values over every series
+// whose named label equals value (e.g. all endpoints' 429 counts).
+func (s Snapshot) SumWhere(name, labelName, labelValue string) float64 {
+	f := s.Family(name)
+	if f == nil {
+		return 0
+	}
+	idx := -1
+	for i, ln := range f.LabelNames {
+		if ln == labelName {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		return 0
+	}
+	total := 0.0
+	for _, ss := range f.Series {
+		if idx < len(ss.LabelValues) && ss.LabelValues[idx] == labelValue {
+			total += ss.Value
+		}
+	}
+	return total
+}
+
+// Delta is the monotonic difference after−before of an unlabeled
+// counter, floored at zero (a restarted daemon reads as zero growth,
+// not negative).
+func Delta(before, after Snapshot, name string) float64 {
+	b, _ := before.Value(name)
+	a, _ := after.Value(name)
+	return math.Max(0, a-b)
+}
+
+// DeltaWhere is Delta over SumWhere.
+func DeltaWhere(before, after Snapshot, name, labelName, labelValue string) float64 {
+	return math.Max(0, after.SumWhere(name, labelName, labelValue)-before.SumWhere(name, labelName, labelValue))
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -114,12 +114,14 @@ type Server struct {
 	start      time.Time
 	draining   atomic.Bool
 
-	reqTotal   *metrics.CounterFamily
-	reqLatency *metrics.HistogramFamily
-	simRuns    *metrics.Counter
-	simCycles  *metrics.Counter
-	rejected   *metrics.Counter
-	timeouts   *metrics.Counter
+	reqTotal     *metrics.CounterFamily
+	reqLatency   *metrics.HistogramFamily
+	simRuns      *metrics.Counter
+	simCycles    *metrics.Counter
+	rejected     *metrics.Counter
+	timeouts     *metrics.Counter
+	reqCached    *metrics.Counter
+	reqCollapsed *metrics.Counter
 }
 
 // New builds a Server. Call Close to drain it.
@@ -171,6 +173,14 @@ func (s *Server) registerMetrics() {
 		"Requests refused with 429 because the admission queue was full.")
 	s.timeouts = r.Counter("carsd_request_timeouts_total",
 		"Requests that exceeded their deadline mid-simulation.")
+	// Request-level dedup provenance: these count exactly the responses
+	// whose envelope said cached:true / shared:true, so a load client's
+	// own tallies must reconcile against them (the serve zipf test and
+	// carsbench both assert that).
+	s.reqCached = r.Counter("carsd_requests_cached_total",
+		"Requests answered from the result cache without executing.")
+	s.reqCollapsed = r.Counter("carsd_requests_collapsed_total",
+		"Requests that joined another caller's in-flight execution.")
 
 	r.GaugeFunc("carsd_queue_depth", "Jobs admitted but not yet running.",
 		func() float64 { return float64(s.pool.Depth()) })
@@ -205,6 +215,7 @@ func (s *Server) registerMetrics() {
 func (s *Server) routes() {
 	s.handle("GET /healthz", "healthz", s.handleHealthz)
 	s.handle("GET /metrics", "metrics", s.reg.Handler().ServeHTTP)
+	s.handle("GET /metricsz", "metricsz", s.handleMetricsz)
 	s.handle("POST /v1/simulate", "simulate", s.handleSimulate)
 	s.handle("POST /v1/vet", "vet", s.handleVet)
 	s.handle("POST /v1/experiment", "experiment", s.handleExperiment)
@@ -312,6 +323,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)
+}
+
+// handleMetricsz serves the registry's typed JSON snapshot — the same
+// counters as /metrics, as data instead of exposition lines, so load
+// clients (carsbench, carsctl) diff daemon state without text parsing.
+// The document is metrics.Snapshot and carries its own schemaVersion.
+func (s *Server) handleMetricsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.Snapshot())
 }
 
 // apiError is the error envelope every non-2xx JSON response uses.

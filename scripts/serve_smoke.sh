@@ -80,11 +80,19 @@ for m in \
   carsd_cache_evictions_total \
   carsd_singleflight_executions_total \
   carsd_singleflight_collapsed_total \
+  carsd_requests_cached_total \
+  carsd_requests_collapsed_total \
   carsd_request_timeouts_total \
   carsd_uptime_seconds
 do
   grep -q "^$m" "$DIR/metrics.txt" || { echo "MISSING METRIC: $m"; exit 1; }
 done
+
+echo "== typed snapshot (/metricsz)"
+"$DIR/carsctl" -addr "$BASE" snapshot >"$DIR/snapshot.json"
+grep -q '"schemaVersion": 1' "$DIR/snapshot.json"
+grep -q '"carsd_sim_runs_total"' "$DIR/snapshot.json"
+grep -q '"carsd_requests_cached_total"' "$DIR/snapshot.json"
 
 echo "== graceful drain (SIGTERM)"
 kill -TERM "$DPID"
